@@ -1,0 +1,52 @@
+"""Benchmark-suite infrastructure.
+
+Each benchmark regenerates one table or figure of the paper, asserts
+the paper's *shape* (who wins, by roughly what factor, where the
+crossovers sit) and writes the full series to
+``benchmarks/results/<name>.txt`` so the reproduction artifacts survive
+the run.
+
+Run the suite with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_QUICK=1`` for a fast smoke pass with shrunken sweeps.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(results_dir, request):
+    """Write one experiment's table + summary to the results directory."""
+
+    def _write(headers, rows, summary, name=None):
+        stem = name or request.node.name.replace("test_", "")
+        lines = [format_table(headers, rows), "", "summary:"]
+        lines.extend(f"  {key} = {value}" for key, value in summary.items())
+        path = results_dir / f"{stem}.txt"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    return _write
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,59 @@
+"""Ablations of the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_flexible_ratio(benchmark, report):
+    result = run_once(benchmark, ablations.ratio_ablation)
+    report(
+        ["TC", "CD", "flexible speedup", "naive 1:1 speedup"],
+        result.rows(),
+        result.summary(),
+    )
+    # Flexible ratios (Section V-C) clearly beat the naive 1:1 fusion.
+    assert result.summary()["mean_flexible_over_naive"] > 1.15
+
+
+def test_ablation_tgain_selection(benchmark, report):
+    result = run_once(benchmark, ablations.tgain_ablation)
+    report(
+        ["selection", "BE work ms"],
+        result.rows(),
+        result.summary(),
+    )
+    # Picking the largest-Tgain BE kernel never loses to first-fit.
+    assert result.summary()["gain_over_fifo"] >= 0.999
+
+
+def test_ablation_two_stage_predictor(benchmark, report):
+    result = run_once(benchmark, ablations.predictor_ablation)
+    report(
+        ["model", "max error %"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # A single LR over the whole ratio range misses the inflection and
+    # errs far beyond the paper's 8% bound; the two-stage model holds.
+    assert summary["two_stage_max_error"] < 0.08
+    assert summary["single_lr_max_error"] > 1.5 * summary[
+        "two_stage_max_error"
+    ]
+
+
+def test_ablation_policy_components(benchmark, report):
+    result = run_once(benchmark, ablations.policy_ablation)
+    report(
+        ["policy", "BE work ms"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # Fusion is the dominant contributor; combined never loses to
+    # either component alone.
+    assert summary["fusion+reorder_vs_reorder"] >= 1.05
+    assert summary["fusion+reorder_vs_reorder"] >= summary[
+        "fusion_only_vs_reorder"
+    ] - 1e-9

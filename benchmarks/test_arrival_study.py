@@ -1,0 +1,23 @@
+"""The arrival-process substitution, quantified (see DESIGN.md)."""
+
+from conftest import run_once
+
+from repro.experiments import arrival_study
+
+
+def test_arrival_study(benchmark, report):
+    result = run_once(benchmark, arrival_study.run)
+    report(
+        ["model", "solo ms", "paced peak qps", "poisson peak qps",
+         "paced p99 @80%", "poisson p99 @80%"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # Open-loop Poisson sustains only a small fraction of the paced
+    # peak before the 99th percentile breaks the QoS target...
+    assert summary["mean_poisson_to_paced_peak"] < 0.5
+    # ...and at the paper's operating point (80% of peak) Poisson
+    # traffic violates the target outright while paced holds it.
+    assert summary["worst_poisson_p99_at_paced_load"] > summary["qos_ms"]
+    assert summary["worst_paced_p99"] <= summary["qos_ms"]

@@ -1,0 +1,23 @@
+"""Section V-D's power observation, carried to its consequence."""
+
+from conftest import run_once
+
+from repro.experiments import energy
+
+
+def test_energy(benchmark, report):
+    result = run_once(benchmark, energy.run)
+    report(
+        ["policy", "avg watts", "BE work ms", "mJ per work-ms"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # The paper's measurement: power stays (clamped) the same when both
+    # unit types are active...
+    assert abs(
+        summary["tacker_watts"] - summary["baymax_watts"]
+    ) < 0.05 * summary["baymax_watts"]
+    # ...so fusing more work under the same watts cuts the energy per
+    # unit of best-effort work.
+    assert summary["energy_saving"] > 0.05

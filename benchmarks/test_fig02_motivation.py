@@ -1,0 +1,19 @@
+"""Fig. 1/2: false high utilization under the reorder-only baseline."""
+
+from conftest import run_once
+
+from repro.experiments import fig02_motivation
+
+
+def test_fig02_motivation(benchmark, report):
+    result = run_once(benchmark, fig02_motivation.run)
+    report(
+        ["LC", "BE", "TC active", "CD active", "stacked", "both"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # The GPU looks fully busy (stacked active time ~ the wall clock)...
+    assert summary["mean_stacked"] > 0.97
+    # ...but the two units are never active at the same time.
+    assert summary["max_both_active"] < 0.01

@@ -1,0 +1,19 @@
+"""Fig. 3: direct 1:1 fusion performs like sequential execution."""
+
+from conftest import run_once
+
+from repro.experiments import fig03_direct_fusion
+
+
+def test_fig03_direct_fusion(benchmark, report):
+    result = run_once(benchmark, fig03_direct_fusion.run)
+    report(
+        ["kernel", "norm fused duration"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # Paper: "the performance of most fused kernels is around 2" —
+    # i.e. no better than back-to-back execution.
+    assert 1.6 < summary["mean_normalized"] < 2.4
+    assert summary["min_normalized"] > 1.4

@@ -1,0 +1,20 @@
+"""Fig. 10: the fused-duration curve is two-stage linear in load ratio."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_load_ratio
+
+
+def test_fig10_load_ratio(benchmark, report):
+    result = run_once(benchmark, fig10_load_ratio.run)
+    report(
+        ["load ratio", "norm duration"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # Gentle slope while co-running, slope ~1 once the CD branch is the
+    # last to exit, inflection at the opportune ratio.
+    assert summary["before_slope"] < 0.4
+    assert 0.8 < summary["after_slope"] < 1.2
+    assert 0.2 < summary["opportune_ratio"] < 2.2

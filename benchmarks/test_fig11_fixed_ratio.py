@@ -1,0 +1,17 @@
+"""Fig. 11: at fixed load ratio, fused duration is linear in TC time."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_fixed_ratio
+
+
+def test_fig11_fixed_ratio(benchmark, report):
+    result = run_once(benchmark, fig11_fixed_ratio.run)
+    report(
+        ["load ratio", "Xori_tc (cycles)", "fused (cycles)"],
+        result.rows(),
+        {**result.summary(),
+         **{f"r2_at_{k}": v for k, v in result.linearity().items()}},
+    )
+    # Every fixed-ratio curve is a straight line (R^2 ~ 1).
+    assert result.summary()["min_r_squared"] > 0.99

@@ -1,0 +1,24 @@
+"""Fig. 14: BE throughput improvement over Baymax across 72 pairs."""
+
+from conftest import run_once
+
+from repro.experiments import fig14_throughput
+
+
+def test_fig14_throughput(benchmark, report):
+    result = run_once(benchmark, fig14_throughput.run)
+    report(
+        ["LC", "BE", "improvement %", "tacker p99", "baymax p99"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # Paper: +18.6% on average, up to +41.1%, positive for all pairs,
+    # compute-intensive BE applications gaining more.  Our average lands
+    # on the paper's; the max overshoots somewhat (the simulator's
+    # compute/compute co-runs are nearly interference-free — see
+    # EXPERIMENTS.md).
+    assert summary["all_positive"] == 1.0
+    assert 0.10 < summary["mean_improvement"] < 0.30
+    assert 0.30 < summary["max_improvement"] < 0.70
+    assert summary["mean_compute_be"] > summary["mean_memory_be"]

@@ -1,0 +1,32 @@
+"""Fig. 15: both core types active simultaneously under Tacker."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_timelines
+
+
+def test_fig15_timelines(benchmark, report, results_dir):
+    result = run_once(benchmark, fig15_timelines.run)
+    report(
+        ["BE", "kind", "kernel", "start ms", "end ms"],
+        result.rows(),
+        result.summary(),
+    )
+    # Also render the Fig. 15 view itself (ASCII) into the artifacts.
+    from repro.experiments.charts import timeline
+
+    lines = []
+    for be in ("sgemm", "fft"):
+        lines.append(f"Resnet50 + {be} (Tacker):")
+        lines.append(timeline(result.segments(be, limit=60)))
+        lines.append("")
+    (results_dir / "fig15_timeline_ascii.txt").write_text(
+        "\n".join(lines)
+    )
+    summary = result.summary()
+    # Tacker produces genuinely concurrent TC/CD activity...
+    assert summary["co_active_sgemm"] > 0.01
+    assert summary["co_active_fft"] > 0.01
+    # ...and the compute-intensive fft keeps both units active for
+    # longer than the memory-intensive sgemm (the paper's comparison).
+    assert summary["co_active_fft"] > summary["co_active_sgemm"]

@@ -1,0 +1,18 @@
+"""Fig. 17: per-kernel LR duration prediction within a few percent."""
+
+from conftest import run_once
+
+from repro.experiments import fig17_pred_single
+
+
+def test_fig17_pred_single(benchmark, report):
+    result = run_once(benchmark, fig17_pred_single.run)
+    report(
+        ["kernel", "mean err %", "max err %"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # Paper: at most ~3% error, average below 2%.
+    assert summary["overall_mean_error"] < 0.02
+    assert summary["worst_kernel_max_error"] < 0.05

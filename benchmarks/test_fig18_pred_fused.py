@@ -1,0 +1,20 @@
+"""Fig. 18: two-stage fused duration prediction within 8% per stage."""
+
+from conftest import run_once
+
+from repro.experiments import fig18_pred_fused
+
+
+def test_fig18_pred_fused(benchmark, report):
+    result = run_once(benchmark, fig18_pred_fused.run)
+    report(
+        ["TC", "CD", "before-inflection max err %",
+         "after-inflection max err %"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    assert summary["n_pairs"] >= 5
+    # Paper: both stages under 8% error.
+    assert summary["worst_before_inflection"] < 0.08
+    assert summary["worst_after_inflection"] < 0.08

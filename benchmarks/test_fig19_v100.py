@@ -1,0 +1,33 @@
+"""Fig. 19: Tacker generalizes to the V100 (96 KB shared memory)."""
+
+from conftest import run_once
+
+from repro.experiments import fig19_v100
+
+
+def test_fig19_v100(benchmark, report):
+    result = run_once(benchmark, fig19_v100.run)
+    report(
+        ["LC", "BE", "improvement %", "tacker p99", "baymax p99"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # Paper: +23.3% average (up to 40.4%), QoS still held.  A couple of
+    # training-job pairs fuse nothing on V100 and sit at exactly 0.
+    assert summary["min_improvement"] >= 0.0
+    assert 0.10 < summary["mean_improvement"] < 0.40
+    assert summary["max_improvement"] < 0.70
+
+
+def test_fig19_shared_memory_effect(benchmark, report):
+    effect = run_once(benchmark, fig19_v100.shared_memory_effect)
+    report(
+        ["platform", "memory-intensive BE mean improvement"],
+        [["RTX2080Ti", round(effect["turing_memory_be"], 4)],
+         ["V100", round(effect["volta_memory_be"], 4)]],
+        effect,
+    )
+    # Paper: memory-intensive BE applications gain more on V100 because
+    # the larger per-SM shared memory admits more co-residency.
+    assert effect["volta_memory_be"] > effect["turing_memory_be"]

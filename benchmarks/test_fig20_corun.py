@@ -1,0 +1,29 @@
+"""Fig. 20: overlap rates — Tacker vs MPS+PTB vs Stream+PTB."""
+
+from conftest import run_once
+
+from repro.experiments import fig20_corun
+from repro.experiments.fig20_corun import FAT_KERNELS
+
+
+def test_fig20_corun(benchmark, report):
+    result = run_once(benchmark, fig20_corun.run)
+    report(
+        ["GEMM", "CD kernel", "tacker", "mps+ptb", "stream+ptb"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # Tacker achieves the highest overlap in every co-run pair.
+    assert summary["tacker_wins"] == summary["n_pairs"]
+    assert 0.3 < summary["mean_tacker"] <= 0.5
+    # MPS overlap is "pretty poor in many cases".
+    assert summary["mean_mps"] < 0.1
+    # Stream is unstable: decent on light kernels, collapsing on the
+    # fat-footprint ones (tpacf / cutcp / stencil with the big GEMM).
+    assert summary["mean_stream"] < summary["mean_tacker"]
+    fat = [
+        result.overlaps[("tgemm_l", name)]["stream+ptb"]
+        for name in FAT_KERNELS
+    ]
+    assert max(fat) < 0.05

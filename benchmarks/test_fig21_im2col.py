@@ -1,0 +1,37 @@
+"""Fig. 21 / Section VIII-H: the im2col+GEMM conversion statistics."""
+
+from conftest import run_once
+
+from repro.experiments import fig21_im2col
+
+
+def test_fig21_im2col(benchmark, report):
+    result = run_once(benchmark, fig21_im2col.run)
+    report(
+        ["conv layer", "im2col+GEMM / cuDNN"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # Paper: gap < 15% for 39.6% of Resnet50's convolutions.
+    assert abs(summary["below_threshold_fraction"] - 0.396) < 0.06
+    # End-to-end loss of the conversion below 2% for every model.
+    assert summary["worst_loss"] < 0.02
+    # Conversion fractions: 36.5% for the VGGs, 55.4% for the rest.
+    assert abs(summary["vgg16_converted"] - 0.365) < 0.05
+    assert abs(summary["resnet50_converted"] - 0.554) < 0.02
+
+
+def test_fig21_fusable_fraction(benchmark, report):
+    result = run_once(benchmark, fig21_im2col.run)
+    rows = [
+        [model, round(result.fusable_fraction(model), 3)]
+        for model in ("resnet50", "vgg16", "inception")
+    ]
+    report(["model", "fusable TC fraction"], rows,
+           {"note": "55.4% of TC kernels usable for fusion (VIII-C)"})
+    # "we only use 55.4% of the TC kernels for fusion"
+    assert abs(result.fusable_fraction("resnet50") - 0.554) < 0.06
+    assert result.fusable_fraction("vgg16") < result.fusable_fraction(
+        "resnet50"
+    )

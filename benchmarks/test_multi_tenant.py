@@ -1,0 +1,21 @@
+"""Multi-tenant co-location: several LC services + several BE apps."""
+
+from conftest import run_once
+
+from repro.experiments import multi_tenant
+
+
+def test_multi_tenant(benchmark, report):
+    result = run_once(benchmark, multi_tenant.run)
+    report(
+        ["service", "p99 ms"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # Every service holds its QoS even with merged arrival streams
+    # (Eq. 9 reserves earlier queries' remaining time across services).
+    assert summary["worst_service_p99"] <= summary["qos_ms"]
+    # Fusion still pays off in the mixed setting.
+    assert summary["improvement"] > 0.02
+    assert summary["fused_launches"] > 0

@@ -1,0 +1,22 @@
+"""Section VIII-I: Tacker's offline and online overheads."""
+
+from conftest import run_once
+
+from repro.experiments import tab_overhead
+
+
+def test_overhead(benchmark, report):
+    result = run_once(benchmark, tab_overhead.run)
+    report(["quantity", "value", "unit"], result.rows(), result.summary())
+    summary = result.summary()
+    # Paper anchors: ~1.2 ms fusion-aware decision at 50 candidate
+    # pairs vs ~0.5 ms static; ~0.9 s / ~62 KB per compiled pair; the
+    # avoided online JIT costs ~900 ms per fusion.
+    assert 1.0 < summary["modeled_scheduling_ms"] < 1.5
+    assert 0.4 < summary["modeled_static_ms"] < 0.7
+    assert 600 < summary["parboil_compile_ms"] < 1300
+    assert 40 < summary["parboil_library_kb"] < 100
+    assert summary["online_jit_ms"] == 900.0
+    # The offline compile is a one-time cost; the online decision is
+    # three orders of magnitude cheaper than JIT fusion would be.
+    assert summary["modeled_scheduling_ms"] < summary["online_jit_ms"] / 100

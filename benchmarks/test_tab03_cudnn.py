@@ -1,0 +1,21 @@
+"""Table III: resource usage of the 12 cuDNN conv implementations."""
+
+from conftest import run_once
+
+from repro.experiments import tab03_cudnn
+
+
+def test_tab03_cudnn(benchmark, report):
+    result = run_once(benchmark, tab03_cudnn.run)
+    report(
+        ["impl", "arch", "regs %", "shmem %", "DRAM %", "FP32 %"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    assert summary["n_implementations"] == 12
+    # The paper's observations: DRAM below 71%, FP32 cores unused,
+    # every implementation leaves explicit resources idle.
+    assert summary["max_dram_pct"] < 71.0
+    assert summary["max_fp32_pct"] < 1.0
+    assert summary["all_leave_idle_resources"] == 1.0

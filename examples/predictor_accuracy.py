@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Explore the duration predictors (Figs. 10, 17, 18).
+
+Trains the per-kernel linear models and a fused two-stage model, prints
+the Fig. 10 load-ratio curve as an ASCII plot, and reports prediction
+errors for both model families.
+
+Run:  python examples/predictor_accuracy.py
+"""
+
+from repro.config import RTX2080TI
+from repro.fusion import FusionSearch, ptb_transform
+from repro.kernels import default_library
+from repro.predictor import OnlineModelManager
+
+GPU = RTX2080TI
+
+
+def ascii_plot(series, width=46, height=12) -> str:
+    xs = [p[0] for p in series]
+    ys = [p[1] for p in series]
+    lo_x, hi_x = min(xs), max(xs)
+    lo_y, hi_y = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in series:
+        col = round((x - lo_x) / (hi_x - lo_x) * (width - 1))
+        row = round((y - lo_y) / (hi_y - lo_y) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"load ratio {lo_x:.2f} .. {hi_x:.2f}  "
+                 f"(norm duration {lo_y:.2f} .. {hi_y:.2f})")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    library = default_library()
+    models = OnlineModelManager(GPU)
+
+    # Per-kernel LR models (Fig. 17).
+    print("single-kernel LR prediction error (held-out input sizes):")
+    for name in ("mriq", "fft", "lbm", "relu", "bn", "pooling"):
+        kernel = library.get(name)
+        model = models.kernel_model(kernel)
+        report = model.evaluate(
+            GPU, [round(kernel.default_grid * s) for s in (0.4, 0.9, 1.5)]
+        )
+        print(f"  {name:8s} mean {report['mean_error'] * 100:5.2f}%  "
+              f"max {report['max_error'] * 100:5.2f}%")
+
+    # Fused two-stage model (Figs. 10/18).
+    tc = ptb_transform(library.get("tgemm_l"), GPU)
+    cd = ptb_transform(library.get("fft"), GPU)
+    fused = FusionSearch(GPU).search(tc, cd).best.fused
+    model = models.fused_model(fused)
+    print(f"\nfused {fused.name}: opportune load ratio "
+          f"{model.opportune_load_ratio:.2f}")
+
+    series = []
+    tc_grid = tc.ir.default_grid
+    tc_model = models.kernel_model(tc.ir)
+    cd_model = models.kernel_model(cd.ir)
+    for i in range(16):
+        target = 0.1 * 1.25**i
+        if target > 2.8:
+            break
+        cd_grid = model._cd_grid_for_ratio(tc_grid, target, GPU)
+        xtc = tc_model.measure(GPU, tc_grid)
+        xcd = cd_model.measure(GPU, cd_grid)
+        series.append((xcd / xtc, model.measure(GPU, tc_grid, cd_grid) / xtc))
+    series.sort()
+    print("\nFig. 10 — fused duration vs load ratio (two-stage linear):")
+    print(ascii_plot(series))
+
+    worst = max(
+        abs(model.predict_norm(ratio) - norm) / norm
+        for ratio, norm in series
+    )
+    print(f"\nworst two-stage prediction error over the sweep: "
+          f"{worst * 100:.2f}%  (paper bound: 8%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: fuse a Tensor-core GEMM with a CUDA-core kernel.
+
+Walks the full Tacker pipeline on one kernel pair:
+
+1. pick kernels from the library and look at their solo behaviour;
+2. PTB-transform them (fixed grid, input-sized loop);
+3. search fusion ratios and compile the winning fused kernel;
+4. train the two-stage duration model and predict a fused launch;
+5. run the fused kernel and compare prediction vs reality.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import RTX2080TI
+from repro.fusion import FusionCompiler, FusionSearch, ptb_transform
+from repro.gpusim import simulate_launch
+from repro.kernels import default_library
+from repro.predictor import OnlineModelManager
+
+GPU = RTX2080TI
+
+
+def main() -> None:
+    library = default_library()
+    tc = library.get("tgemm_l")   # Tensor-core GEMM (a conv's im2col GEMM)
+    cd = library.get("fft")       # CUDA-core Parboil kernel
+
+    # 1. Solo behaviour: each kernel leaves one of the two units idle.
+    solo_tc = simulate_launch(tc.launch(), GPU)
+    solo_cd = simulate_launch(cd.launch(), GPU)
+    print(f"{tc.name}: {solo_tc.duration_ms(GPU):.3f} ms solo "
+          f"(CUDA-core pipe busy {solo_tc.pipe_timeline('cuda').total():.0f} "
+          "cycles — idle!)")
+    print(f"{cd.name}: {solo_cd.duration_ms(GPU):.3f} ms solo "
+          f"(Tensor-core pipe busy "
+          f"{solo_cd.pipe_timeline('tensor').total():.0f} cycles — idle!)")
+
+    # 2. PTB transform: static grids, so fusion compiles offline once.
+    tc_ptb = ptb_transform(tc, GPU)
+    cd_ptb = ptb_transform(cd, GPU)
+    print(f"\nPTB: {tc_ptb.name} issues "
+          f"{tc_ptb.persistent_blocks_per_sm} persistent blocks/SM")
+    print(cd_ptb.source.render()[:220], "...\n")
+
+    # 3. Fusion-ratio search + compile.
+    decision = FusionSearch(GPU).search(tc_ptb, cd_ptb)
+    print(f"search: {len(decision.candidates)} candidates, best ratio "
+          f"{decision.best.ratio}, speedup over serial "
+          f"{decision.speedup_over_serial:.2f}x")
+    artifact = FusionCompiler().compile(decision)
+    print(f"compiled {artifact.library_name} "
+          f"({artifact.library_bytes // 1024} KB, "
+          f"{artifact.compile_ms:.0f} ms offline)")
+
+    # 4. Train the two-stage duration model; predict an unseen launch.
+    models = OnlineModelManager(GPU)
+    fused = artifact.fused
+    model = models.fused_model(fused)
+    print(f"\nopportune load ratio: {model.opportune_load_ratio:.2f}")
+    xtc = models.predict_kernel(tc, tc.default_grid)
+    xcd = models.predict_kernel(cd, cd.default_grid)
+    predicted_ms = GPU.cycles_to_ms(models.predict_fused(fused, xtc, xcd))
+
+    # 5. Run it and compare.
+    corun = fused.corun(GPU, tc.default_grid, cd.default_grid)
+    actual_ms = GPU.cycles_to_ms(corun.duration_cycles)
+    serial_ms = GPU.cycles_to_ms(
+        corun.solo_a_cycles + corun.solo_b_cycles
+    )
+    print(f"fused:     predicted {predicted_ms:.3f} ms, "
+          f"actual {actual_ms:.3f} ms "
+          f"(error {abs(predicted_ms - actual_ms) / actual_ms * 100:.1f}%)")
+    print(f"serial:    {serial_ms:.3f} ms")
+    print(f"overlap rate (Eq. 11): {corun.overlap:.2f} "
+          "(0 = serial, 0.5 = perfect)")
+
+
+if __name__ == "__main__":
+    main()

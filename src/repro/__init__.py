@@ -1,0 +1,94 @@
+"""Reproduction of *Tacker: Tensor-CUDA Core Kernel Fusion for Improving
+the GPU Utilization while Ensuring QoS* (HPCA 2022).
+
+Public API tour
+---------------
+Hardware substrate::
+
+    from repro import RTX2080TI, V100, simulate_launch
+
+Kernels and workloads::
+
+    from repro import default_library, model_by_name
+
+The Tacker pipeline::
+
+    from repro import ptb_transform, FusionSearch, FusionCompiler
+    from repro import OnlineModelManager
+
+End-to-end co-location::
+
+    from repro import TackerSystem
+    system = TackerSystem()
+    outcome = system.run_pair("resnet50", "fft")
+    print(outcome.improvement, outcome.tacker.p99_latency_ms)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record of every table and figure.
+"""
+
+from .config import RTX2080TI, V100, GPUConfig, SMConfig, gpu_preset
+from .errors import (
+    ConfigError,
+    FusionError,
+    PredictionError,
+    SchedulingError,
+    SimulationError,
+    TackerError,
+)
+from .gpusim import simulate_launch
+from .kernels import KernelIR, default_library
+from .models import LC_MODELS, model_by_name, training_job
+from .fusion import (
+    FusedKernel,
+    FusionCompiler,
+    FusionSearch,
+    ptb_transform,
+)
+from .predictor import (
+    FusedDurationModel,
+    KernelDurationModel,
+    OnlineModelManager,
+)
+from .runtime import (
+    BaymaxPolicy,
+    ColocationServer,
+    PairOutcome,
+    TackerPolicy,
+    TackerSystem,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RTX2080TI",
+    "V100",
+    "GPUConfig",
+    "SMConfig",
+    "gpu_preset",
+    "TackerError",
+    "ConfigError",
+    "SimulationError",
+    "FusionError",
+    "PredictionError",
+    "SchedulingError",
+    "simulate_launch",
+    "KernelIR",
+    "default_library",
+    "LC_MODELS",
+    "model_by_name",
+    "training_job",
+    "ptb_transform",
+    "FusionSearch",
+    "FusionCompiler",
+    "FusedKernel",
+    "KernelDurationModel",
+    "FusedDurationModel",
+    "OnlineModelManager",
+    "TackerSystem",
+    "TackerPolicy",
+    "BaymaxPolicy",
+    "ColocationServer",
+    "PairOutcome",
+    "__version__",
+]

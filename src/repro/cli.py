@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro kernels                      # kernel library
+    python -m repro models                       # LC services
+    python -m repro fuse tgemm_l fft             # fuse one pair
+    python -m repro run-pair resnet50 fft        # Tacker vs Baymax
+    python -m repro trace resnet50 fft out.json  # Chrome trace export
+    python -m repro report [--full]              # aggregate report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import gpu_preset
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tacker (HPCA 2022) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--gpu", default="rtx2080ti", help="GPU preset (rtx2080ti | v100)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("kernels", help="list the kernel library")
+    commands.add_parser("models", help="list the LC services")
+
+    fuse = commands.add_parser("fuse", help="fuse one TC/CD kernel pair")
+    fuse.add_argument("tc_kernel")
+    fuse.add_argument("cd_kernel")
+    fuse.add_argument("--source", action="store_true",
+                      help="print the fused kernel source")
+
+    pair = commands.add_parser(
+        "run-pair", help="co-locate one LC service with one BE app"
+    )
+    pair.add_argument("lc_model")
+    pair.add_argument("be_app")
+    pair.add_argument("--queries", type=int, default=100)
+
+    trace = commands.add_parser(
+        "trace", help="export a co-location run as a Chrome trace"
+    )
+    trace.add_argument("lc_model")
+    trace.add_argument("be_app")
+    trace.add_argument("output", help="output JSON path")
+    trace.add_argument("--queries", type=int, default=20)
+
+    report = commands.add_parser("report", help="aggregate reproduction report")
+    report.add_argument("--full", action="store_true")
+    return parser
+
+
+def _cmd_kernels(args) -> int:
+    from .kernels import default_library
+
+    gpu = gpu_preset(args.gpu)
+    library = default_library()
+    print(f"{'kernel':<16}{'kind':<6}{'threads':>8}{'shmem KB':>10}"
+          f"{'grid':>8}  tags")
+    for kernel in sorted(library, key=lambda k: (k.kind, k.name)):
+        print(f"{kernel.name:<16}{kernel.kind:<6}"
+              f"{kernel.resources.threads:>8}"
+              f"{kernel.resources.shared_mem_bytes // 1024:>10}"
+              f"{kernel.default_grid:>8}  {', '.join(sorted(kernel.tags))}")
+    print(f"\n{len(library)} kernels; GPU preset: {gpu.name}")
+    return 0
+
+
+def _cmd_models(args) -> int:
+    from .models.zoo import LC_MODEL_FACTORIES
+
+    print(f"{'model':<12}{'batch':>6}{'kernels':>9}{'TC':>5}{'CD':>5}"
+          f"{'fusable TC':>12}")
+    for factory in LC_MODEL_FACTORIES:
+        spec = factory()
+        print(f"{spec.name:<12}{spec.batch_size:>6}{spec.n_kernels:>9}"
+              f"{len(spec.tc_kernels):>5}{len(spec.cd_kernels):>5}"
+              f"{spec.fusable_tc_fraction:>11.0%}")
+    return 0
+
+
+def _cmd_fuse(args) -> int:
+    from .fusion import FusionSearch, ptb_transform
+    from .kernels import default_library
+
+    gpu = gpu_preset(args.gpu)
+    library = default_library()
+    tc = ptb_transform(library.get(args.tc_kernel), gpu)
+    cd = ptb_transform(library.get(args.cd_kernel), gpu)
+    decision = FusionSearch(gpu).search(tc, cd)
+    if not decision.should_fuse:
+        print(f"{args.tc_kernel} + {args.cd_kernel}: sequential wins — "
+              "not fused")
+        return 1
+    best = decision.best
+    print(f"fused at ratio {best.ratio}; "
+          f"{decision.speedup_over_serial:.2f}x over serial; "
+          f"overlap {best.corun.overlap:.2f}")
+    if args.source:
+        print(best.fused.source.render())
+    return 0
+
+
+def _cmd_run_pair(args) -> int:
+    from .runtime.system import TackerSystem
+
+    system = TackerSystem(gpu=gpu_preset(args.gpu))
+    outcome = system.run_pair(
+        args.lc_model, args.be_app, n_queries=args.queries
+    )
+    print(f"{outcome.lc_name} + {outcome.be_name} "
+          f"({args.queries} queries, QoS {system.qos_ms:.0f} ms)")
+    print(f"  improvement over Baymax: {outcome.improvement:+.1%}")
+    print(f"  Tacker p99: {outcome.tacker.p99_latency_ms:.1f} ms | "
+          f"Baymax p99: {outcome.baymax.p99_latency_ms:.1f} ms")
+    print(f"  fused launches: {outcome.tacker.n_fused_kernels}")
+    print(f"  QoS satisfied: {'yes' if outcome.qos_satisfied else 'NO'}")
+    return 0 if outcome.qos_satisfied else 1
+
+
+def _cmd_trace(args) -> int:
+    from .runtime.system import TackerSystem
+    from .runtime.trace_export import write_chrome_trace
+    from .models.zoo import model_by_name
+    from .runtime.workload import be_application
+
+    system = TackerSystem(gpu=gpu_preset(args.gpu))
+    model = model_by_name(args.lc_model)
+    system.prepare_pair(model, be_application(args.be_app, system.library))
+    result = system.run_custom(
+        model, [args.be_app], system._make_policy("tacker"),
+        n_queries=args.queries, record_kernels=True,
+    )
+    path = write_chrome_trace(result, args.output)
+    print(f"wrote {len(result.executed)} kernel events to {path} "
+          "(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments import report
+
+    return report.main(["--full"] if args.full else [])
+
+
+_COMMANDS = {
+    "kernels": _cmd_kernels,
+    "models": _cmd_models,
+    "fuse": _cmd_fuse,
+    "run-pair": _cmd_run_pair,
+    "trace": _cmd_trace,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,194 @@
+"""Hardware configuration for the simulated GPUs.
+
+The paper evaluates Tacker on an Nvidia RTX 2080Ti (Turing, 68 SMs, 64 KB
+shared memory per SM) and a V100 (Volta, 80 SMs, 96 KB shared memory per
+SM).  The simulator does not model the silicon cycle-by-cycle; it models
+the handful of architectural quantities the paper's phenomena depend on:
+
+* two independent issue pipes per SM (CUDA cores and Tensor cores), each
+  able to serve a bounded number of warps concurrently;
+* per-SM occupancy limits (thread slots, block slots, registers, shared
+  memory) that determine how many blocks are resident;
+* a DRAM bandwidth slice per SM that memory segments share fairly.
+
+All durations inside the simulator are expressed in *cycles*; the
+``cycles_to_ms`` helper converts to milliseconds using the core clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .errors import ConfigError
+
+#: Number of threads in a warp on every Nvidia architecture we model.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class SMConfig:
+    """Per-SM resources and issue-pipe widths.
+
+    Attributes
+    ----------
+    max_threads:
+        Thread slots per SM (1024 on Turing, 2048 on Volta).
+    max_blocks:
+        Resident block slots per SM.
+    registers:
+        32-bit registers per SM.
+    shared_mem_bytes:
+        Shared memory capacity per SM available to kernels.
+    cuda_pipe_width:
+        How many warps can occupy the CUDA-core (FP32/INT) pipe at once.
+        Turing SMs have four processing partitions, each issuing one warp
+        per cycle to its FP32 units; width 4 captures that.
+    tensor_pipe_width:
+        How many warps can occupy the Tensor-core pipe at once.
+    mem_latency_cycles:
+        Fixed DRAM round-trip latency paid by every memory segment before
+        its bytes start streaming.
+    """
+
+    max_threads: int = 1024
+    max_blocks: int = 16
+    registers: int = 65536
+    shared_mem_bytes: int = 64 * 1024
+    cuda_pipe_width: int = 4
+    tensor_pipe_width: int = 2
+    mem_latency_cycles: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.max_threads < WARP_SIZE:
+            raise ConfigError("an SM must hold at least one warp")
+        for field_name in (
+            "max_blocks",
+            "registers",
+            "shared_mem_bytes",
+            "cuda_pipe_width",
+            "tensor_pipe_width",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"SMConfig.{field_name} must be positive")
+        if self.mem_latency_cycles < 0:
+            raise ConfigError("memory latency cannot be negative")
+
+    @property
+    def max_warps(self) -> int:
+        """Warp slots per SM."""
+        return self.max_threads // WARP_SIZE
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Whole-GPU configuration: SM array plus the memory system.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name, e.g. ``"RTX2080Ti"``.
+    num_sms:
+        Number of streaming multiprocessors.
+    clock_ghz:
+        Core clock used to convert cycles to wall time.
+    dram_bandwidth_gbps:
+        Aggregate DRAM bandwidth in GB/s; each SM receives an equal slice.
+    sm:
+        Per-SM configuration.
+    """
+
+    name: str
+    num_sms: int
+    clock_ghz: float
+    dram_bandwidth_gbps: float
+    sm: SMConfig
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ConfigError("num_sms must be positive")
+        if self.clock_ghz <= 0:
+            raise ConfigError("clock_ghz must be positive")
+        if self.dram_bandwidth_gbps <= 0:
+            raise ConfigError("dram_bandwidth_gbps must be positive")
+
+    @property
+    def bytes_per_cycle_per_sm(self) -> float:
+        """DRAM bandwidth slice of one SM, in bytes per core cycle."""
+        total_bytes_per_cycle = self.dram_bandwidth_gbps / self.clock_ghz
+        return total_bytes_per_cycle / self.num_sms
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count into milliseconds of wall time."""
+        return cycles / (self.clock_ghz * 1e6)
+
+    def ms_to_cycles(self, ms: float) -> float:
+        """Convert milliseconds of wall time into core cycles."""
+        return ms * self.clock_ghz * 1e6
+
+    def with_sms(self, num_sms: int) -> "GPUConfig":
+        """Return a copy restricted to ``num_sms`` SMs (spatial partition).
+
+        The DRAM bandwidth is scaled proportionally so that each SM keeps
+        the same bandwidth slice, matching how MPS partitions behave.
+        """
+        if num_sms <= 0 or num_sms > self.num_sms:
+            raise ConfigError(
+                f"cannot partition {self.name} into {num_sms} of "
+                f"{self.num_sms} SMs"
+            )
+        fraction = num_sms / self.num_sms
+        return replace(
+            self,
+            num_sms=num_sms,
+            dram_bandwidth_gbps=self.dram_bandwidth_gbps * fraction,
+        )
+
+
+#: The primary evaluation platform of the paper (Table II).
+RTX2080TI = GPUConfig(
+    name="RTX2080Ti",
+    num_sms=68,
+    clock_ghz=1.545,
+    dram_bandwidth_gbps=616.0,
+    sm=SMConfig(
+        max_threads=1024,
+        max_blocks=16,
+        registers=65536,
+        shared_mem_bytes=64 * 1024,
+        cuda_pipe_width=4,
+        tensor_pipe_width=2,
+        mem_latency_cycles=400.0,
+    ),
+)
+
+#: The secondary platform used in Section VIII-F.
+V100 = GPUConfig(
+    name="V100",
+    num_sms=80,
+    clock_ghz=1.380,
+    dram_bandwidth_gbps=900.0,
+    sm=SMConfig(
+        max_threads=2048,
+        max_blocks=32,
+        registers=65536,
+        shared_mem_bytes=96 * 1024,
+        cuda_pipe_width=4,
+        tensor_pipe_width=2,
+        mem_latency_cycles=430.0,
+    ),
+)
+
+_PRESETS = {cfg.name.lower(): cfg for cfg in (RTX2080TI, V100)}
+
+
+def gpu_preset(name: str) -> GPUConfig:
+    """Look up a GPU preset by (case-insensitive) name.
+
+    >>> gpu_preset("rtx2080ti").num_sms
+    68
+    """
+    try:
+        return _PRESETS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_PRESETS))
+        raise ConfigError(f"unknown GPU preset {name!r}; known: {known}") from None

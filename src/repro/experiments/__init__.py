@@ -1,0 +1,31 @@
+"""Reproduction harnesses: one module per table/figure of the paper.
+
+Every module exposes ``run(...)`` returning a result object with a
+``rows()`` method (the table/series the paper reports) and a
+``summary()`` dict holding the headline numbers.  The benchmark suite
+(``benchmarks/``) executes these and asserts the paper's *shapes*:
+who wins, by roughly what factor, where the crossovers sit.
+
+Index (see DESIGN.md for the full mapping):
+
+====================  ===================================================
+module                reproduces
+====================  ===================================================
+fig02_motivation      Fig. 1/2 — false high utilization under Baymax
+tab01_microbench      Table I — Bench-A/B/C fused micro-kernels
+fig03_direct_fusion   Fig. 3 — direct 1:1 fusion brings no benefit
+fig10_load_ratio      Fig. 10 — two-stage duration vs load ratio
+fig11_fixed_ratio     Fig. 11 — linearity in Xori_tc at fixed ratios
+fig14_throughput      Fig. 14 — BE throughput improvement, 72 pairs
+fig15_timelines       Fig. 15 — both core types active under Tacker
+fig16_qos             Fig. 16 — avg/99% LC latencies under QoS
+fig17_pred_single     Fig. 17 — PTB-kernel LR prediction error
+fig18_pred_fused      Fig. 18 — two-stage fused prediction error
+fig19_v100            Fig. 19 — V100 generality
+fig20_corun           Fig. 20 — overlap vs MPS+PTB / Stream+PTB
+fig21_im2col          Fig. 21 — im2col+GEMM vs cuDNN conversion
+tab03_cudnn           Table III — cuDNN kernel resource usage
+tab_overhead          Section VIII-I — offline/online overheads
+ablations             design-choice ablations called out in DESIGN.md
+====================  ===================================================
+"""

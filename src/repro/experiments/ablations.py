@@ -1,0 +1,230 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Four studies:
+
+* ``ratio_ablation`` — the flexible fusion ratio (Section V-C) vs the
+  naive 1:1 PTB fusion;
+* ``tgain_ablation`` — Tgain-maximizing BE pair selection vs first-fit,
+  with several BE applications active;
+* ``predictor_ablation`` — the two-stage LR vs a single LR over all
+  load ratios;
+* ``policy_ablation`` — fusion+reorder (Tacker) vs fusion-only vs
+  reorder-only (Baymax).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fusion.fuser import flexible_fuse
+from ..models.zoo import model_by_name
+from ..predictor.linear import LinearModel
+from ..runtime.policies import BaymaxPolicy, TackerPolicy
+from ..runtime.query import BEApplication
+from ..runtime.workload import be_application
+from .common import default_queries, get_system
+
+
+# -- flexible ratio vs naive 1:1 -----------------------------------------------
+
+
+@dataclass
+class RatioAblation:
+    #: pair -> {"flexible": cycles, "naive": cycles, "serial": cycles}
+    durations: dict[tuple[str, str], dict[str, float]]
+
+    def rows(self) -> list[list]:
+        return [
+            [tc, cd,
+             round(d["serial"] / d["flexible"], 3),
+             round(d["serial"] / d["naive"], 3)]
+            for (tc, cd), d in self.durations.items()
+        ]
+
+    def summary(self) -> dict[str, float]:
+        gains = [
+            d["naive"] / d["flexible"] for d in self.durations.values()
+        ]
+        return {"mean_flexible_over_naive": sum(gains) / len(gains)}
+
+
+def ratio_ablation(
+    gpu: str = "rtx2080ti",
+    pairs: tuple[tuple[str, str], ...] = (
+        ("tgemm_l", "fft"), ("tgemm_l", "cp"), ("tgemm_l", "lbm"),
+    ),
+) -> RatioAblation:
+    system = get_system(gpu)
+    durations: dict[tuple[str, str], dict[str, float]] = {}
+    for tc_name, cd_name in pairs:
+        tc, cd = system.ptb(tc_name), system.ptb(cd_name)
+        fused = system.prepare_fusion(tc_name, cd_name)
+        if fused is None:
+            continue
+        flexible = fused.corun(
+            system.gpu, tc.ir.default_grid, cd.ir.default_grid
+        )
+        naive = flexible_fuse(tc, cd, system.gpu, 1, 1).corun(
+            system.gpu, tc.ir.default_grid, cd.ir.default_grid
+        )
+        durations[(tc_name, cd_name)] = {
+            "flexible": flexible.duration_cycles,
+            "naive": naive.duration_cycles,
+            "serial": flexible.solo_a_cycles + flexible.solo_b_cycles,
+        }
+    return RatioAblation(durations=durations)
+
+
+# -- Tgain selection vs first-fit ----------------------------------------------
+
+
+@dataclass
+class TgainAblation:
+    gain_work_ms: float
+    fifo_work_ms: float
+
+    def rows(self) -> list[list]:
+        return [
+            ["tgain-selection", round(self.gain_work_ms, 1)],
+            ["first-fit", round(self.fifo_work_ms, 1)],
+        ]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "gain_over_fifo": self.gain_work_ms / self.fifo_work_ms,
+        }
+
+
+def tgain_ablation(
+    gpu: str = "rtx2080ti",
+    lc_name: str = "resnet50",
+    be_names: tuple[str, ...] = ("fft", "lbm", "mriq"),
+    n_queries: int | None = None,
+) -> TgainAblation:
+    system = get_system(gpu)
+    n_queries = default_queries(80, 15) if n_queries is None else n_queries
+    model = model_by_name(lc_name)
+    for be in be_names:
+        system.prepare_pair(model, be_application(be, system.library))
+    results = {}
+    for selection in ("gain", "fifo"):
+        policy = TackerPolicy(
+            system.gpu, system.models, system.qos_ms, system.artifacts,
+            pair_selection=selection,
+        )
+        results[selection] = system.run_custom(
+            model, list(be_names), policy, n_queries=n_queries
+        )
+    return TgainAblation(
+        gain_work_ms=results["gain"].total_be_work_ms,
+        fifo_work_ms=results["fifo"].total_be_work_ms,
+    )
+
+
+# -- two-stage LR vs single LR ---------------------------------------------------
+
+
+@dataclass
+class PredictorAblation:
+    two_stage_max_error: float
+    single_lr_max_error: float
+
+    def rows(self) -> list[list]:
+        return [
+            ["two-stage LR", round(self.two_stage_max_error * 100, 2)],
+            ["single LR", round(self.single_lr_max_error * 100, 2)],
+        ]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "two_stage_max_error": self.two_stage_max_error,
+            "single_lr_max_error": self.single_lr_max_error,
+        }
+
+
+def predictor_ablation(
+    gpu: str = "rtx2080ti",
+    tc_name: str = "tgemm_l",
+    cd_name: str = "fft",
+) -> PredictorAblation:
+    system = get_system(gpu)
+    fused = system.prepare_fusion(tc_name, cd_name)
+    model = system.models.fused_model(fused)
+    tc_model = system.models.kernel_model(fused.tc.ir)
+    cd_model = system.models.kernel_model(fused.cd.ir)
+    tc_grid = fused.tc.ir.default_grid
+
+    # Evaluation sweep across the whole ratio range.
+    ratios = (0.15, 0.4, 0.7, 1.0, 1.3, 1.7, 2.1, 2.5)
+    samples = []
+    for ratio in ratios:
+        cd_grid = model._cd_grid_for_ratio(tc_grid, ratio, system.gpu)
+        xtc = tc_model.measure(system.gpu, tc_grid)
+        xcd = cd_model.measure(system.gpu, cd_grid)
+        actual = model.measure(system.gpu, tc_grid, cd_grid)
+        samples.append((xcd / xtc, actual / xtc))
+
+    single = LinearModel.fit(
+        [r for r, _ in samples], [n for _, n in samples]
+    )
+    two_stage_err = max(
+        abs(model.predict_norm(r) - n) / n for r, n in samples
+    )
+    single_err = max(
+        abs(single.predict(r) - n) / n for r, n in samples
+    )
+    return PredictorAblation(
+        two_stage_max_error=two_stage_err,
+        single_lr_max_error=single_err,
+    )
+
+
+# -- fusion+reorder vs fusion-only vs reorder-only ---------------------------------
+
+
+@dataclass
+class PolicyAblation:
+    #: policy -> BE work within the shared horizon
+    work_ms: dict[str, float]
+
+    def rows(self) -> list[list]:
+        return [[name, round(work, 1)] for name, work in self.work_ms.items()]
+
+    def summary(self) -> dict[str, float]:
+        reorder = self.work_ms["reorder-only"]
+        return {
+            name.replace("-", "_") + "_vs_reorder": work / reorder
+            for name, work in self.work_ms.items()
+        }
+
+
+def policy_ablation(
+    gpu: str = "rtx2080ti",
+    lc_name: str = "resnet50",
+    be_name: str = "fft",
+    n_queries: int | None = None,
+) -> PolicyAblation:
+    system = get_system(gpu)
+    n_queries = default_queries(80, 15) if n_queries is None else n_queries
+    model = model_by_name(lc_name)
+    system.prepare_pair(model, be_application(be_name, system.library))
+
+    policies = {
+        "fusion+reorder": TackerPolicy(
+            system.gpu, system.models, system.qos_ms, system.artifacts
+        ),
+        "fusion-only": TackerPolicy(
+            system.gpu, system.models, system.qos_ms, system.artifacts,
+            enable_reorder=False,
+        ),
+        "reorder-only": BaymaxPolicy(
+            system.gpu, system.models, system.qos_ms
+        ),
+    }
+    work: dict[str, float] = {}
+    for name, policy in policies.items():
+        result = system.run_custom(
+            model, [be_name], policy, n_queries=n_queries
+        )
+        work[name] = result.total_be_work_ms
+    return PolicyAblation(work_ms=work)

@@ -1,0 +1,61 @@
+"""Batch-size sensitivity (Section VIII-C, last paragraph).
+
+The paper observes that with a smaller LC batch size the co-located BE
+application achieves *more absolute throughput* (shorter queries leave
+more raw GPU time), while the *gain of the fusion technique itself*
+shrinks, "because the LC application's duration determines the fusion
+potential" — at batch 1 Tacker's edge over Baymax drops to 5.5%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.zoo import resnet50_batched
+from ..runtime.system import PairOutcome
+from .common import default_queries, get_system
+
+
+@dataclass
+class BatchSensitivityResult:
+    #: batch size -> pair outcome
+    outcomes: dict[int, PairOutcome]
+
+    def rows(self) -> list[list]:
+        return [
+            [batch,
+             round(outcome.improvement * 100, 1),
+             round(outcome.baymax.be_throughput, 4),
+             round(outcome.tacker.be_throughput, 4),
+             round(outcome.tacker.p99_latency_ms, 1)]
+            for batch, outcome in sorted(self.outcomes.items())
+        ]
+
+    def summary(self) -> dict[str, float]:
+        batches = sorted(self.outcomes)
+        small, large = batches[0], batches[-1]
+        return {
+            "small_batch": small,
+            "large_batch": large,
+            "improvement_small": self.outcomes[small].improvement,
+            "improvement_large": self.outcomes[large].improvement,
+            "be_throughput_small": self.outcomes[small].baymax.be_throughput,
+            "be_throughput_large": self.outcomes[large].baymax.be_throughput,
+        }
+
+
+def run(
+    gpu: str = "rtx2080ti",
+    be_name: str = "fft",
+    batches: tuple[int, ...] = (4, 32),
+    n_queries: int | None = None,
+) -> BatchSensitivityResult:
+    system = get_system(gpu)
+    n_queries = default_queries(100, 20) if n_queries is None else n_queries
+    outcomes: dict[int, PairOutcome] = {}
+    for batch in batches:
+        spec = resnet50_batched(batch)
+        outcomes[batch] = system.run_pair(
+            spec, be_name, n_queries=n_queries
+        )
+    return BatchSensitivityResult(outcomes=outcomes)

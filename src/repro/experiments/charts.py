@@ -1,0 +1,125 @@
+"""Plain-text chart rendering for the reproduction report.
+
+The paper's figures are bar charts, scatter curves and timelines; these
+helpers render the same series as ASCII so the benchmark artifacts and
+the aggregate report are self-contained without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import ConfigError
+from ..runtime.server import ExecutedKernel
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart; an optional baseline draws a ``|`` marker."""
+    if len(labels) != len(values):
+        raise ConfigError("labels and values must align")
+    if not values:
+        raise ConfigError("nothing to chart")
+    peak = max(max(values), baseline or 0.0)
+    if peak <= 0:
+        raise ConfigError("chart needs a positive value")
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = value / peak * width
+        bar = _BAR * int(filled)
+        if filled - int(filled) >= 0.5:
+            bar += _HALF
+        line = f"{str(label):>{label_width}} {bar:<{width}} "
+        line += f"{value:.3g}{unit}"
+        if baseline is not None:
+            marker = min(width - 1, round(baseline / peak * width))
+            padded = list(line[label_width + 1:label_width + 1 + width])
+            if 0 <= marker < len(padded) and padded[marker] == " ":
+                padded[marker] = "|"
+            line = line[:label_width + 1] + "".join(padded) + line[
+                label_width + 1 + width:]
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def scatter(
+    points: Sequence[tuple[float, float]],
+    width: int = 56,
+    height: int = 14,
+    marker: str = "*",
+) -> str:
+    """2-D scatter of (x, y) points in a fixed-size character grid."""
+    if not points:
+        raise ConfigError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    lo_x, hi_x = min(xs), max(xs)
+    lo_y, hi_y = min(ys), max(ys)
+    span_x = (hi_x - lo_x) or 1.0
+    span_y = (hi_y - lo_y) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = round((x - lo_x) / span_x * (width - 1))
+        row = round((y - lo_y) / span_y * (height - 1))
+        grid[height - 1 - row][col] = marker
+    lines = ["".join(row) for row in grid]
+    lines.append(
+        f"x: {lo_x:.3g} .. {hi_x:.3g}   y: {lo_y:.3g} .. {hi_y:.3g}"
+    )
+    return "\n".join(lines)
+
+
+def timeline(
+    kernels: Sequence[ExecutedKernel],
+    width: int = 72,
+) -> str:
+    """Two-row unit-activity timeline (the Fig. 1/15 view).
+
+    ``T`` marks Tensor-core activity, ``C`` CUDA-core activity, and the
+    fused intervals show up as simultaneous marks in both rows.
+    """
+    if not kernels:
+        raise ConfigError("empty kernel trace")
+    start = min(k.start_ms for k in kernels)
+    end = max(k.end_ms for k in kernels)
+    span = (end - start) or 1.0
+
+    def row(select) -> str:
+        cells = [" "] * width
+        for kernel in kernels:
+            unit_end = select(kernel)
+            if unit_end <= kernel.start_ms:
+                continue
+            lo = int((kernel.start_ms - start) / span * width)
+            hi = max(lo + 1, round((unit_end - start) / span * width))
+            mark = "F" if kernel.kind == "fused" else (
+                "T" if select is _tc_end else "C"
+            )
+            for i in range(lo, min(hi, width)):
+                cells[i] = mark
+        return "".join(cells)
+
+    tc_row = row(_tc_end)
+    cd_row = row(_cd_end)
+    return "\n".join([
+        f"Tensor cores |{tc_row}|",
+        f"CUDA cores   |{cd_row}|",
+        f"              {start:.1f} ms {'':<{max(0, width - 18)}}{end:.1f} ms",
+    ])
+
+
+def _tc_end(kernel: ExecutedKernel) -> float:
+    return kernel.tc_end_ms
+
+
+def _cd_end(kernel: ExecutedKernel) -> float:
+    return kernel.cd_end_ms

@@ -1,0 +1,65 @@
+"""Shared infrastructure for the experiment harnesses.
+
+The expensive state — kernel library, simulation caches, PTB transforms,
+fused artifacts, trained models — lives in a :class:`TackerSystem` that
+is shared per GPU across all experiments in a process, exactly as the
+paper's offline preparation is shared across its evaluation runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..config import GPUConfig, gpu_preset
+from ..runtime.system import TackerSystem
+
+_SYSTEMS: dict[str, TackerSystem] = {}
+
+#: Environment switch: set REPRO_QUICK=1 to shrink sweeps for smoke runs.
+QUICK_ENV = "REPRO_QUICK"
+
+
+def quick_mode() -> bool:
+    return os.environ.get(QUICK_ENV, "") not in ("", "0", "false")
+
+
+def get_system(gpu: str = "rtx2080ti") -> TackerSystem:
+    """The process-wide shared system for one GPU preset."""
+    key = gpu.lower()
+    if key not in _SYSTEMS:
+        _SYSTEMS[key] = TackerSystem(gpu=gpu_preset(key))
+    return _SYSTEMS[key]
+
+
+def reset_systems() -> None:
+    """Drop all shared systems (tests that need isolation)."""
+    _SYSTEMS.clear()
+
+
+def default_queries(full: int = 150, quick: int = 30) -> int:
+    return quick if quick_mode() else full
+
+
+def format_table(
+    headers: list[str], rows: list[list], width: int = 12
+) -> str:
+    """Fixed-width plain-text table, the form the bench output prints."""
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}".rjust(width)
+        return str(value).rjust(width)
+
+    lines = ["".join(str(h).rjust(width) for h in headers)]
+    lines.append("-" * (width * len(headers)))
+    lines.extend("".join(cell(v) for v in row) for row in rows)
+    return "\n".join(lines)
+
+
+def geometric_spacing(lo: float, hi: float, count: int) -> list[float]:
+    """``count`` points spaced multiplicatively in [lo, hi]."""
+    if count < 2:
+        return [lo]
+    ratio = (hi / lo) ** (1 / (count - 1))
+    return [lo * ratio**i for i in range(count)]

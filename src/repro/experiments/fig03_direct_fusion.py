@@ -1,0 +1,73 @@
+"""Fig. 3: direct (1:1) kernel fusion brings no throughput benefit.
+
+The GEMM TC kernel is directly fused with each Parboil kernel, the
+Parboil input tuned so both components have equal solo duration (the
+experiment setup of Section III-C).  The paper finds the fused duration
+sits around 2x a single kernel — i.e. no better than running the two
+kernels back to back — because the fused block's summed footprint
+halves occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GPUConfig, RTX2080TI
+from ..errors import FusionError, OccupancyError
+from ..fusion.fuser import direct_fuse
+from ..gpusim.gpu import simulate_launch
+from ..kernels.gemm import canonical_gemms
+from ..kernels.parboil import all_parboil
+
+#: x-axis of Fig. 3.
+FIG3_KERNELS = (
+    "sgemm", "fft", "lbm", "cutcp", "mriq", "mrif", "stencil",
+    "regtil", "cp",
+)
+
+
+@dataclass
+class DirectFusionResult:
+    #: kernel -> fused duration normalized to one component's solo time
+    normalized: dict[str, float]
+    #: kernels whose direct fusion does not even fit on an SM
+    unfusable: tuple[str, ...]
+
+    def rows(self) -> list[list]:
+        rows = [
+            [name, round(value, 3)]
+            for name, value in self.normalized.items()
+        ]
+        rows.extend([name, "does not fit"] for name in self.unfusable)
+        return rows
+
+    def summary(self) -> dict[str, float]:
+        values = list(self.normalized.values())
+        return {
+            "mean_normalized": sum(values) / len(values),
+            "min_normalized": min(values),
+            "n_unfusable": len(self.unfusable),
+        }
+
+
+def run(gpu: GPUConfig = RTX2080TI) -> DirectFusionResult:
+    tc = canonical_gemms()["tgemm_l"]
+    parboil = all_parboil()
+    solo_tc = simulate_launch(tc.launch(), gpu).duration_cycles
+
+    normalized: dict[str, float] = {}
+    unfusable: list[str] = []
+    for name in FIG3_KERNELS:
+        cd = parboil[name]
+        solo_cd = simulate_launch(cd.launch(), gpu).duration_cycles
+        cd_grid = max(1, round(cd.default_grid * solo_tc / solo_cd))
+        fusion = direct_fuse(tc, cd)
+        try:
+            corun = fusion.simulate(gpu, tc.default_grid, cd_grid)
+        except (FusionError, OccupancyError):
+            unfusable.append(name)
+            continue
+        normalized[name] = corun.duration_cycles / solo_tc
+    return DirectFusionResult(
+        normalized=normalized, unfusable=tuple(unfusable)
+    )

@@ -1,0 +1,77 @@
+"""Fig. 10: fused duration vs load ratio — the two-stage linear curve.
+
+The TC component's work is fixed and the CD component's work swept; the
+fused duration (normalized to the TC solo time) follows two lines: a
+gentle one while the branches co-run, then a slope-1 line once the CD
+branch outlives the TC branch, with the inflection at the opportune
+load ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..predictor.linear import LinearModel
+from .common import geometric_spacing, get_system
+
+
+@dataclass
+class LoadRatioResult:
+    pair: tuple[str, str]
+    #: measured (load ratio, normalized fused duration) series
+    series: list[tuple[float, float]]
+    opportune_ratio: float
+    before_slope: float
+    after_slope: float
+
+    def rows(self) -> list[list]:
+        return [[round(r, 3), round(n, 3)] for r, n in self.series]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "opportune_ratio": self.opportune_ratio,
+            "before_slope": self.before_slope,
+            "after_slope": self.after_slope,
+        }
+
+
+def run(
+    tc_name: str = "tgemm_l",
+    cd_name: str = "fft",
+    gpu: str = "rtx2080ti",
+    points: int = 14,
+) -> LoadRatioResult:
+    system = get_system(gpu)
+    fused = system.prepare_fusion(tc_name, cd_name)
+    if fused is None:
+        raise RuntimeError(f"pair ({tc_name}, {cd_name}) is unfusable")
+    model = system.models.fused_model(fused)
+    tc_model = system.models.kernel_model(fused.tc.ir)
+    cd_model = system.models.kernel_model(fused.cd.ir)
+
+    tc_grid = fused.tc.ir.default_grid
+    series: list[tuple[float, float]] = []
+    for target in geometric_spacing(0.1, 2.6, points):
+        cd_grid = model._cd_grid_for_ratio(tc_grid, target, system.gpu)
+        xtc = tc_model.measure(system.gpu, tc_grid)
+        xcd = cd_model.measure(system.gpu, cd_grid)
+        actual = model.measure(system.gpu, tc_grid, cd_grid)
+        series.append((xcd / xtc, actual / xtc))
+    series.sort()
+
+    inflection = model.opportune_load_ratio
+    before = [(r, n) for r, n in series if r <= inflection]
+    after = [(r, n) for r, n in series if r > inflection]
+    before_slope = (
+        LinearModel.fit(*zip(*before)).slope if len(before) >= 2 else 0.0
+    )
+    after_slope = (
+        LinearModel.fit(*zip(*after)).slope if len(after) >= 2 else 0.0
+    )
+    return LoadRatioResult(
+        pair=(tc_name, cd_name),
+        series=series,
+        opportune_ratio=inflection,
+        before_slope=before_slope,
+        after_slope=after_slope,
+    )

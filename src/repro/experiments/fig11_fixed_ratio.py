@@ -1,0 +1,76 @@
+"""Fig. 11: at a fixed load ratio, the fused duration is linear in the
+TC component's original time.
+
+For several fixed ratios the TC work is swept; the paper's observation
+(the basis of the two-stage model's transfer across work sizes) is that
+each curve is a straight line through the origin region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import get_system
+
+#: Ratios sampled, straddling the typical opportune point.
+FIXED_RATIOS = (0.4, 0.8, 1.2, 1.6)
+TC_SCALES = (0.5, 0.75, 1.0, 1.5, 2.0)
+
+
+@dataclass
+class FixedRatioResult:
+    pair: tuple[str, str]
+    #: ratio -> list of (Xori_tc cycles, fused duration cycles)
+    curves: dict[float, list[tuple[float, float]]]
+
+    def linearity(self) -> dict[float, float]:
+        """R^2 of a straight-line fit per ratio curve."""
+        out = {}
+        for ratio, points in self.curves.items():
+            x = np.array([p[0] for p in points])
+            y = np.array([p[1] for p in points])
+            slope, intercept = np.polyfit(x, y, 1)
+            predicted = slope * x + intercept
+            ss_res = float(np.sum((y - predicted) ** 2))
+            ss_tot = float(np.sum((y - y.mean()) ** 2))
+            out[ratio] = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        return out
+
+    def rows(self) -> list[list]:
+        return [
+            [ratio, round(x, 0), round(y, 0)]
+            for ratio, points in self.curves.items()
+            for x, y in points
+        ]
+
+    def summary(self) -> dict[str, float]:
+        r2 = self.linearity()
+        return {"min_r_squared": min(r2.values())}
+
+
+def run(
+    tc_name: str = "tgemm_l",
+    cd_name: str = "fft",
+    gpu: str = "rtx2080ti",
+) -> FixedRatioResult:
+    system = get_system(gpu)
+    fused = system.prepare_fusion(tc_name, cd_name)
+    if fused is None:
+        raise RuntimeError(f"pair ({tc_name}, {cd_name}) is unfusable")
+    model = system.models.fused_model(fused)
+    tc_model = system.models.kernel_model(fused.tc.ir)
+
+    base_grid = fused.tc.ir.default_grid
+    curves: dict[float, list[tuple[float, float]]] = {}
+    for ratio in FIXED_RATIOS:
+        points = []
+        for scale in TC_SCALES:
+            tc_grid = max(1, round(base_grid * scale))
+            cd_grid = model._cd_grid_for_ratio(tc_grid, ratio, system.gpu)
+            xtc = tc_model.measure(system.gpu, tc_grid)
+            duration = model.measure(system.gpu, tc_grid, cd_grid)
+            points.append((xtc, duration))
+        curves[ratio] = points
+    return FixedRatioResult(pair=(tc_name, cd_name), curves=curves)

@@ -1,0 +1,88 @@
+"""Fig. 14: BE throughput improvement over Baymax across all 72 pairs.
+
+Six LC services x twelve BE applications, each evaluated under Tacker
+and under Baymax on identical arrival traces.  The paper reports an
+average improvement of 18.6% (up to 41.1%), with compute-intensive BE
+applications gaining more than memory-intensive ones.
+
+The pair outcomes are cached per (gpu, query count) so the QoS figure
+(Fig. 16) reuses the same runs, as the paper's two figures describe one
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.system import PairOutcome
+from ..runtime.workload import standard_be_names
+from .common import default_queries, get_system
+
+FIG14_LC = ("resnet50", "resnext", "vgg16", "vgg19", "inception",
+            "densenet")
+
+#: Section VIII-B's BE classification for the summary breakdown.
+COMPUTE_BE = ("mriq", "fft", "mrif", "cutcp", "cp")
+
+_CACHE: dict[tuple, "ThroughputResult"] = {}
+
+
+@dataclass
+class ThroughputResult:
+    outcomes: dict[tuple[str, str], PairOutcome]
+
+    def rows(self) -> list[list]:
+        return [
+            [lc, be, round(outcome.improvement * 100, 1),
+             round(outcome.tacker.p99_latency_ms, 1),
+             round(outcome.baymax.p99_latency_ms, 1)]
+            for (lc, be), outcome in self.outcomes.items()
+        ]
+
+    def improvements(self) -> dict[tuple[str, str], float]:
+        return {
+            pair: outcome.improvement
+            for pair, outcome in self.outcomes.items()
+        }
+
+    def summary(self) -> dict[str, float]:
+        values = list(self.improvements().values())
+        compute = [
+            v for (lc, be), v in self.improvements().items()
+            if be in COMPUTE_BE
+        ]
+        memory = [
+            v for (lc, be), v in self.improvements().items()
+            if be not in COMPUTE_BE
+        ]
+        return {
+            "mean_improvement": sum(values) / len(values),
+            "max_improvement": max(values),
+            "min_improvement": min(values),
+            "mean_compute_be": sum(compute) / len(compute) if compute else 0,
+            "mean_memory_be": sum(memory) / len(memory) if memory else 0,
+            "n_pairs": len(values),
+            "all_positive": float(all(v > 0 for v in values)),
+        }
+
+
+def run(
+    gpu: str = "rtx2080ti",
+    lc_names: tuple[str, ...] = FIG14_LC,
+    be_names: tuple[str, ...] | None = None,
+    n_queries: int | None = None,
+) -> ThroughputResult:
+    be_names = standard_be_names() if be_names is None else be_names
+    n_queries = default_queries(150, 25) if n_queries is None else n_queries
+    key = (gpu, tuple(lc_names), tuple(be_names), n_queries)
+    if key in _CACHE:
+        return _CACHE[key]
+    system = get_system(gpu)
+    outcomes: dict[tuple[str, str], PairOutcome] = {}
+    for lc in lc_names:
+        for be in be_names:
+            outcome = system.run_pair(lc, be, n_queries=n_queries)
+            outcomes[(outcome.lc_name, outcome.be_name)] = outcome
+    result = ThroughputResult(outcomes=outcomes)
+    _CACHE[key] = result
+    return result

@@ -1,0 +1,73 @@
+"""Fig. 15: active timelines of the two core types under Tacker.
+
+Resnet50 is co-located with sgemm and with fft; the execution trace is
+recorded at kernel granularity.  Under Tacker the Tensor-core and
+CUDA-core busy intervals overlap (the blue co-run bars of Fig. 15), and
+the compute-intensive fft keeps both units active for longer than the
+memory-intensive sgemm — the paper's explanation for fft's higher
+throughput gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.zoo import model_by_name
+from ..runtime.policies import TackerPolicy
+from ..runtime.server import ExecutedKernel, ServerResult
+from ..runtime.workload import be_application
+from .common import default_queries, get_system
+
+FIG15_BE = ("sgemm", "fft")
+
+
+@dataclass
+class TimelineResult:
+    #: be app -> Tacker run with per-kernel trace
+    runs: dict[str, ServerResult]
+
+    def co_active_fraction(self, be: str) -> float:
+        run = self.runs[be]
+        both = run.tc_timeline.intersection(run.cd_timeline).total()
+        return both / run.end_ms
+
+    def segments(self, be: str, limit: int = 40) -> list[ExecutedKernel]:
+        """A window of the execution trace (what Fig. 15 plots)."""
+        return self.runs[be].executed[:limit]
+
+    def rows(self) -> list[list]:
+        out = []
+        for be, run in self.runs.items():
+            for seg in self.segments(be, limit=12):
+                out.append([
+                    be, seg.kind, seg.name,
+                    round(seg.start_ms, 3), round(seg.end_ms, 3),
+                ])
+        return out
+
+    def summary(self) -> dict[str, float]:
+        return {
+            f"co_active_{be}": self.co_active_fraction(be)
+            for be in self.runs
+        }
+
+
+def run(
+    gpu: str = "rtx2080ti",
+    lc_name: str = "resnet50",
+    be_names: tuple[str, ...] = FIG15_BE,
+    n_queries: int | None = None,
+) -> TimelineResult:
+    system = get_system(gpu)
+    n_queries = default_queries(40, 10) if n_queries is None else n_queries
+    model = model_by_name(lc_name)
+    runs: dict[str, ServerResult] = {}
+    for be in be_names:
+        system.prepare_pair(model, be_application(be, system.library))
+        policy = TackerPolicy(
+            system.gpu, system.models, system.qos_ms, system.artifacts
+        )
+        runs[be] = system.run_custom(
+            model, [be], policy, n_queries=n_queries, record_kernels=True
+        )
+    return TimelineResult(runs=runs)

@@ -1,0 +1,68 @@
+"""Fig. 16: LC latency under co-location — QoS holds in every pair.
+
+Average and 99th-percentile latencies of the LC services across the 72
+co-locations under Tacker.  The paper's findings: the QoS target is met
+everywhere; averages are similar across co-locations (same arrival
+process); 99th percentiles sit close to the target because Tacker spends
+the headroom on BE work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.metrics import latency_stats
+from . import fig14_throughput
+
+
+@dataclass
+class QoSResult:
+    #: (lc, be) -> latency statistics of the Tacker run
+    stats: dict[tuple[str, str], dict[str, float]]
+    qos_ms: float
+
+    def rows(self) -> list[list]:
+        return [
+            [lc, be, round(s["mean_ms"], 1), round(s["p99_ms"], 1),
+             round(s["violation_rate"] * 100, 2)]
+            for (lc, be), s in self.stats.items()
+        ]
+
+    def summary(self) -> dict[str, float]:
+        p99s = [s["p99_ms"] for s in self.stats.values()]
+        per_lc: dict[str, list[float]] = {}
+        per_lc_parboil: dict[str, list[float]] = {}
+        for (lc, be), s in self.stats.items():
+            per_lc.setdefault(lc, []).append(s["mean_ms"])
+            if not be.endswith("-T"):
+                per_lc_parboil.setdefault(lc, []).append(s["mean_ms"])
+        # The paper's claim is per service: one LC model's average
+        # latency is similar across its co-locations.  With the Parboil
+        # BEs (steady small launches) this holds tightly; the training
+        # BE jobs can head-of-line block on a multi-ms GEMM, leaving
+        # headroom unspent and the query finishing early — a *lower*
+        # latency, never a violation.
+        spread = max(max(m) - min(m) for m in per_lc.values())
+        parboil_spread = max(
+            max(m) - min(m) for m in per_lc_parboil.values()
+        )
+        return {
+            "n_pairs": len(self.stats),
+            "qos_satisfied_pairs": sum(
+                1 for p in p99s if p <= self.qos_ms
+            ),
+            "worst_p99_ms": max(p99s),
+            "mean_latency_spread_ms": spread,
+            "parboil_mean_spread_ms": parboil_spread,
+            "p99_to_target": max(p99s) / self.qos_ms,
+        }
+
+
+def run(gpu: str = "rtx2080ti", **kwargs) -> QoSResult:
+    throughput = fig14_throughput.run(gpu=gpu, **kwargs)
+    stats = {
+        pair: latency_stats(outcome.tacker)
+        for pair, outcome in throughput.outcomes.items()
+    }
+    qos_ms = next(iter(throughput.outcomes.values())).tacker.qos_ms
+    return QoSResult(stats=stats, qos_ms=qos_ms)

@@ -1,0 +1,60 @@
+"""Fig. 17: duration-prediction error of the per-kernel LR models.
+
+The Parboil kernels plus the four representative DNN operators (ReLU,
+Scale, BN, Pooling) are profiled, fitted, and evaluated on held-out
+input sizes.  The paper reports at most 3% error with an average below
+2%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import get_system
+
+#: Fig. 17's kernel set.
+FIG17_KERNELS = (
+    "mriq", "fft", "mrif", "cutcp", "cp",
+    "sgemm", "lbm", "tpacf", "stencil", "regtil",
+    "relu", "scale", "bn", "pooling",
+)
+
+#: Held-out evaluation scales (fractions of the default input).
+EVAL_SCALES = (0.35, 0.6, 0.85, 1.15, 1.45, 1.8)
+
+
+@dataclass
+class SinglePredictionResult:
+    #: kernel -> {"mean_error", "max_error"}
+    errors: dict[str, dict[str, float]]
+
+    def rows(self) -> list[list]:
+        return [
+            [name, round(e["mean_error"] * 100, 2),
+             round(e["max_error"] * 100, 2)]
+            for name, e in self.errors.items()
+        ]
+
+    def summary(self) -> dict[str, float]:
+        means = [e["mean_error"] for e in self.errors.values()]
+        maxes = [e["max_error"] for e in self.errors.values()]
+        return {
+            "overall_mean_error": sum(means) / len(means),
+            "worst_kernel_max_error": max(maxes),
+        }
+
+
+def run(
+    gpu: str = "rtx2080ti",
+    kernels: tuple[str, ...] = FIG17_KERNELS,
+) -> SinglePredictionResult:
+    system = get_system(gpu)
+    errors: dict[str, dict[str, float]] = {}
+    for name in kernels:
+        kernel = system.library.get(name)
+        model = system.models.kernel_model(kernel)
+        grids = sorted(
+            {max(1, round(kernel.default_grid * s)) for s in EVAL_SCALES}
+        )
+        errors[name] = model.evaluate(system.gpu, grids)
+    return SinglePredictionResult(errors=errors)

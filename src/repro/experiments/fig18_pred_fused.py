@@ -1,0 +1,79 @@
+"""Fig. 18: duration-prediction error of the two-stage fused models.
+
+For a set of (GEMM, Parboil) fused kernels, the prediction error is
+evaluated separately before and after the inflection point.  The paper
+reports both stages under 8%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import get_system
+
+FIG18_PAIRS = (
+    ("tgemm_l", "mriq"), ("tgemm_l", "fft"), ("tgemm_l", "cp"),
+    ("tgemm_l", "sgemm"), ("tgemm_l", "lbm"),
+    ("tgemm_m", "fft"), ("tgemm_m", "mriq"),
+)
+
+#: Evaluation points as multiples of the pair's opportune ratio.
+EVAL_RATIO_FRACTIONS = (0.25, 0.55, 0.85, 1.2, 1.6, 2.1)
+
+
+@dataclass
+class FusedPredictionResult:
+    #: pair -> {"before": max err, "after": max err}
+    errors: dict[tuple[str, str], dict[str, float]]
+    skipped: tuple[tuple[str, str], ...]
+
+    def rows(self) -> list[list]:
+        return [
+            [tc, cd, round(e["before"] * 100, 2),
+             round(e["after"] * 100, 2)]
+            for (tc, cd), e in self.errors.items()
+        ]
+
+    def summary(self) -> dict[str, float]:
+        before = [e["before"] for e in self.errors.values()]
+        after = [e["after"] for e in self.errors.values()]
+        return {
+            "worst_before_inflection": max(before),
+            "worst_after_inflection": max(after),
+            "n_pairs": len(self.errors),
+        }
+
+
+def run(
+    gpu: str = "rtx2080ti",
+    pairs: tuple[tuple[str, str], ...] = FIG18_PAIRS,
+) -> FusedPredictionResult:
+    system = get_system(gpu)
+    errors: dict[tuple[str, str], dict[str, float]] = {}
+    skipped: list[tuple[str, str]] = []
+    for tc_name, cd_name in pairs:
+        fused = system.prepare_fusion(tc_name, cd_name)
+        if fused is None:
+            skipped.append((tc_name, cd_name))
+            continue
+        model = system.models.fused_model(fused)
+        tc_model = system.models.kernel_model(fused.tc.ir)
+        cd_model = system.models.kernel_model(fused.cd.ir)
+        tc_grid = fused.tc.ir.default_grid
+        stage_errors = {"before": 0.0, "after": 0.0}
+        for fraction in EVAL_RATIO_FRACTIONS:
+            target = fraction * model.opportune_load_ratio
+            cd_grid = model._cd_grid_for_ratio(tc_grid, target, system.gpu)
+            xtc = tc_model.measure(system.gpu, tc_grid)
+            xcd = cd_model.measure(system.gpu, cd_grid)
+            actual = model.measure(system.gpu, tc_grid, cd_grid)
+            predicted = model.predict(xtc, xcd)
+            error = abs(predicted - actual) / actual
+            stage = (
+                "before"
+                if (xcd / xtc) <= model.opportune_load_ratio
+                else "after"
+            )
+            stage_errors[stage] = max(stage_errors[stage], error)
+        errors[(tc_name, cd_name)] = stage_errors
+    return FusedPredictionResult(errors=errors, skipped=tuple(skipped))

@@ -1,0 +1,61 @@
+"""Fig. 19: generality — Tacker on the V100.
+
+Three LC services x twelve BE applications on the V100 preset (80 SMs,
+96 KB shared memory per SM).  The paper reports an average improvement
+of 23.3% (up to 40.4%) and notes memory-intensive BE applications gain
+*more* on V100 than on the 2080Ti because the larger shared memory lets
+their blocks co-reside with TC kernels more often.
+
+Only the duration models are retrained for the new GPU (Section
+VIII-F: "No other update is required") — which falls out of the design:
+the shared ``TackerSystem`` per GPU re-profiles and re-searches, while
+all code is GPU-agnostic.
+"""
+
+from __future__ import annotations
+
+from . import fig14_throughput
+from .common import default_queries
+
+#: The three LC services shown in Fig. 19.
+FIG19_LC = ("resnet50", "vgg16", "densenet")
+
+
+def run(n_queries: int | None = None) -> fig14_throughput.ThroughputResult:
+    n_queries = default_queries(150, 25) if n_queries is None else n_queries
+    return fig14_throughput.run(
+        gpu="v100", lc_names=FIG19_LC, n_queries=n_queries
+    )
+
+
+#: The memory-intensive Parboil kernels — the workloads whose large
+#: shared-memory blocks benefit from the V100's 96 KB SMs (the
+#: co-residency argument of Section VIII-F).  The DNN-training jobs are
+#: also classed memory-intensive but their gains ride on reverse fusion,
+#: which the shared-memory argument does not cover.
+MEMORY_PARBOIL = ("sgemm", "lbm", "tpacf")
+
+
+def shared_memory_effect(
+    n_queries: int | None = None,
+) -> dict[str, float]:
+    """Memory-intensive BE gains on V100 vs 2080Ti (the Fig. 19 claim)."""
+    n_queries = default_queries(150, 25) if n_queries is None else n_queries
+    turing = fig14_throughput.run(
+        gpu="rtx2080ti", lc_names=FIG19_LC, n_queries=n_queries
+    )
+    volta = fig14_throughput.run(
+        gpu="v100", lc_names=FIG19_LC, n_queries=n_queries
+    )
+
+    def mean_memory(result) -> float:
+        values = [
+            v for (_, be), v in result.improvements().items()
+            if be in MEMORY_PARBOIL
+        ]
+        return sum(values) / len(values)
+
+    return {
+        "turing_memory_be": mean_memory(turing),
+        "volta_memory_be": mean_memory(volta),
+    }

@@ -1,0 +1,72 @@
+"""Fig. 21 / Section VIII-H: the im2col+GEMM conversion.
+
+Per-convolution normalized performance of the im2col+GEMM path against
+``cudnnConvolutionForward`` for Resnet50, the fraction of layers under
+the 15% threshold (paper: 39.6%), the converted fractions per model
+family (36.5% / 55.4%), and the end-to-end loss bound (< 2%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.cudnn import (
+    CONVERSION_GAP_THRESHOLD,
+    conversion_report,
+    resnet50_conv_gaps,
+)
+from ..models.zoo import model_by_name
+
+#: (model, conv count) pairs the conversion statistics cover.
+MODEL_CONV_COUNTS = (
+    ("resnet50", 53),
+    ("resnext", 53),
+    ("vgg16", 13),
+    ("vgg19", 16),
+    ("inception", 94),
+    ("densenet", 120),
+)
+
+
+@dataclass
+class Im2colResult:
+    #: per-layer normalized performance of im2col+GEMM (cuDNN = 1.0)
+    resnet50_normalized: list[float]
+    reports: dict[str, dict[str, float]]
+
+    def rows(self) -> list[list]:
+        return [
+            [i, round(norm, 3)]
+            for i, norm in enumerate(self.resnet50_normalized)
+        ]
+
+    def summary(self) -> dict[str, float]:
+        report = self.reports["resnet50"]
+        return {
+            "below_threshold_fraction": report["below_threshold_fraction"],
+            "resnet50_loss": report["end_to_end_loss"],
+            "worst_loss": max(
+                r["end_to_end_loss"] for r in self.reports.values()
+            ),
+            "vgg16_converted": self.reports["vgg16"]["converted_fraction"],
+            "resnet50_converted": report["converted_fraction"],
+        }
+
+    def fusable_fraction(self, model: str) -> float:
+        return model_by_name(model).fusable_tc_fraction
+
+
+def run() -> Im2colResult:
+    gaps = resnet50_conv_gaps()
+    normalized = [1.0 / (1.0 + gap) for gap in gaps]
+    reports = {
+        model: conversion_report(model, n_convs)
+        for model, n_convs in MODEL_CONV_COUNTS
+    }
+    return Im2colResult(
+        resnet50_normalized=normalized, reports=reports
+    )
+
+
+def threshold() -> float:
+    return CONVERSION_GAP_THRESHOLD

@@ -1,0 +1,118 @@
+"""Aggregate reproduction report.
+
+Runs every experiment harness and prints one consolidated report —
+the plain-text version of EXPERIMENTS.md.  Respects ``REPRO_QUICK=1``
+for a fast pass.
+
+Usage::
+
+    python -m repro.experiments.report            # micro experiments
+    python -m repro.experiments.report --full     # + the 72-pair sweeps
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import (
+    ablations,
+    arrival_study,
+    batch_sensitivity,
+    energy,
+    fig02_motivation,
+    fig03_direct_fusion,
+    fig10_load_ratio,
+    fig11_fixed_ratio,
+    fig15_timelines,
+    fig17_pred_single,
+    fig18_pred_fused,
+    fig20_corun,
+    fig21_im2col,
+    tab01_microbench,
+    tab03_cudnn,
+    tab_overhead,
+)
+from .common import format_table
+
+#: (title, module.run, headers) for the light experiments.
+_LIGHT = (
+    ("Table I — fused micro-benchmark", tab01_microbench.run,
+     ["bench", "1st half", "2nd half", "norm duration"]),
+    ("Fig. 3 — direct 1:1 fusion", fig03_direct_fusion.run,
+     ["kernel", "norm fused duration"]),
+    ("Fig. 10 — two-stage load-ratio curve", fig10_load_ratio.run,
+     ["load ratio", "norm duration"]),
+    ("Fig. 11 — linearity at fixed ratios", fig11_fixed_ratio.run,
+     ["ratio", "Xori_tc", "fused cycles"]),
+    ("Fig. 17 — single-kernel LR error", fig17_pred_single.run,
+     ["kernel", "mean err %", "max err %"]),
+    ("Fig. 18 — fused two-stage error", fig18_pred_fused.run,
+     ["TC", "CD", "before %", "after %"]),
+    ("Fig. 20 — co-running interfaces", fig20_corun.run,
+     ["GEMM", "CD", "tacker", "mps+ptb", "stream+ptb"]),
+    ("Fig. 21 — im2col+GEMM conversion", fig21_im2col.run,
+     ["conv", "normalized perf"]),
+    ("Table III — cuDNN resource usage", tab03_cudnn.run,
+     ["impl", "arch", "regs %", "shmem %", "DRAM %", "FP32 %"]),
+    ("Section VIII-I — overheads", tab_overhead.run,
+     ["quantity", "value", "unit"]),
+)
+
+_SERVER = (
+    ("Fig. 1/2 — false high utilization", fig02_motivation.run,
+     ["LC", "BE", "TC", "CD", "stacked", "both"]),
+    ("Fig. 15 — co-active timelines", fig15_timelines.run,
+     ["BE", "kind", "kernel", "start", "end"]),
+    ("Section VIII-C — batch sensitivity", batch_sensitivity.run,
+     ["batch", "improvement %", "baymax thpt", "tacker thpt", "p99"]),
+    ("Ablation — flexible ratio", ablations.ratio_ablation,
+     ["TC", "CD", "flexible x", "naive x"]),
+    ("Ablation — two-stage predictor", ablations.predictor_ablation,
+     ["model", "max err %"]),
+    ("Ablation — policy components", ablations.policy_ablation,
+     ["policy", "BE work ms"]),
+    ("Extension — energy per BE work", energy.run,
+     ["policy", "watts", "work ms", "mJ/work-ms"]),
+    ("Extension — arrival-process study", arrival_study.run,
+     ["model", "solo", "paced qps", "poisson qps", "paced p99",
+      "poisson p99"]),
+)
+
+
+def _section(title: str, run_fn, headers) -> str:
+    result = run_fn()
+    rows = result.rows()
+    if len(rows) > 24:
+        rows = rows[:24] + [["..."] + [""] * (len(headers) - 1)]
+    lines = [f"== {title} ==", format_table(headers, rows), "summary:"]
+    lines.extend(
+        f"  {key} = {value}" for key, value in result.summary().items()
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    full = "--full" in argv
+    sections = list(_LIGHT) + list(_SERVER)
+    for title, run_fn, headers in sections:
+        print(_section(title, run_fn, headers))
+        print()
+    if full:
+        from . import fig14_throughput, fig16_qos, fig19_v100
+
+        for title, run_fn, headers in (
+            ("Fig. 14 — throughput over Baymax (72 pairs)",
+             fig14_throughput.run,
+             ["LC", "BE", "improvement %", "tacker p99", "baymax p99"]),
+            ("Fig. 16 — QoS across pairs", fig16_qos.run,
+             ["LC", "BE", "mean", "p99", "violations %"]),
+            ("Fig. 19 — V100", fig19_v100.run,
+             ["LC", "BE", "improvement %", "tacker p99", "baymax p99"]),
+        ):
+            print(_section(title, run_fn, headers))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,115 @@
+"""Table I: the Bench-A/B/C micro-benchmark (Section III-B).
+
+Three micro-kernels built from a Tensor-core kernel ``Kt`` (the Nvidia
+GEMM) and a CUDA-core kernel ``Kc`` (pure register compute, negligible
+memory) with equal solo durations:
+
+* Bench-A — each block's first half of threads runs Kt, second half Kc;
+* Bench-B — both halves run Kt (two Kt kernels' work);
+* Bench-C — both halves run Kc.
+
+The paper measures normalized durations (to Kt) of 1.03 / 2 / 2: the
+fused A variant finishes in about one kernel's time because the two
+halves occupy *different* execution units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GPUConfig, RTX2080TI
+from ..gpusim.gpu import KernelLaunch, simulate_launch
+from ..gpusim.resources import BlockResources
+from ..gpusim.warp import ComputeSegment, MemorySegment, WarpProgram
+
+#: Kt's per-iteration tensor burst; Kc's CUDA burst is derived so the
+#: two kernels' solo durations match (pipe widths differ).
+_TENSOR_CYCLES = 420.0
+_ITERATIONS = 24
+_WARPS = 8
+_BLOCKS_PER_SM = 2
+
+
+@dataclass
+class MicrobenchResult:
+    bench_a: float
+    bench_b: float
+    bench_c: float
+    kc_solo_norm: float
+
+    def rows(self) -> list[list]:
+        return [
+            ["Bench-A", "Kt", "Kc", round(self.bench_a, 3)],
+            ["Bench-B", "Kt", "Kt", round(self.bench_b, 3)],
+            ["Bench-C", "Kc", "Kc", round(self.bench_c, 3)],
+        ]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "bench_a": self.bench_a,
+            "bench_b": self.bench_b,
+            "bench_c": self.bench_c,
+        }
+
+
+def _kt_program() -> WarpProgram:
+    return WarpProgram(
+        (ComputeSegment("tensor", _TENSOR_CYCLES), MemorySegment(64.0)),
+        _ITERATIONS,
+    )
+
+
+def _kc_program(gpu: GPUConfig) -> WarpProgram:
+    # Match solo durations: with W warps per SM, the tensor pipe serves
+    # Kt at W/tensor_width concurrency and the CUDA pipe serves Kc at
+    # W/cuda_width, so Kc needs proportionally larger bursts.
+    scale = gpu.sm.cuda_pipe_width / gpu.sm.tensor_pipe_width
+    return WarpProgram(
+        (ComputeSegment("cuda", _TENSOR_CYCLES * scale),
+         MemorySegment(8.0)),
+        _ITERATIONS,
+    )
+
+
+def _launch(name: str, kind: str, template, threads: int,
+            gpu: GPUConfig) -> KernelLaunch:
+    grid = _BLOCKS_PER_SM * gpu.num_sms * 8
+    return KernelLaunch(
+        name=name,
+        kind=kind,
+        resources=BlockResources(threads, 48, 8 * 1024),
+        grid_blocks=grid,
+        block_template=template,
+        persistent_blocks_per_sm=_BLOCKS_PER_SM,
+    )
+
+
+def run(gpu: GPUConfig = RTX2080TI) -> MicrobenchResult:
+    kt, kc = _kt_program(), _kc_program(gpu)
+    solo_kt = simulate_launch(
+        _launch("kt", "tc", {"tc": (kt,) * _WARPS}, 256, gpu), gpu
+    ).duration_cycles
+    solo_kc = simulate_launch(
+        _launch("kc", "cd", {"cd": (kc,) * _WARPS}, 256, gpu), gpu
+    ).duration_cycles
+
+    bench_a = simulate_launch(
+        _launch("bench_a", "mixed",
+                {"tc": (kt,) * _WARPS, "cd": (kc,) * _WARPS}, 512, gpu),
+        gpu,
+    ).duration_cycles
+    bench_b = simulate_launch(
+        _launch("bench_b", "tc", {"tc": (kt,) * (2 * _WARPS)}, 512, gpu),
+        gpu,
+    ).duration_cycles
+    bench_c = simulate_launch(
+        _launch("bench_c", "cd", {"cd": (kc,) * (2 * _WARPS)}, 512, gpu),
+        gpu,
+    ).duration_cycles
+
+    return MicrobenchResult(
+        bench_a=bench_a / solo_kt,
+        bench_b=bench_b / solo_kt,
+        bench_c=bench_c / solo_kt,
+        kc_solo_norm=solo_kc / solo_kt,
+    )

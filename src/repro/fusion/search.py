@@ -1,0 +1,154 @@
+"""Fusion-ratio search (Section V-C).
+
+Even after the PTB transform, the *ratio* at which two kernels' blocks
+are folded into one fused block matters: a naive 1:1 ratio can halve the
+TC kernel's occupancy and slow both components.  Tacker:
+
+1. packs enough TC block copies first to preserve the Tensor-core
+   kernel's throughput (Tensor cores are the more valuable unit);
+2. fills the leftover explicit resources with CD block copies;
+3. *measures* every feasible candidate — implicit memory contention
+   means more CD copies are not always better — and also measures the
+   sequential execution, keeping whichever wins.
+
+If sequential execution wins, the pair is marked unfusable and the
+runtime will never attempt to fuse it (Section VIII-I's first
+fusion-frequency reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import GPUConfig
+from ..errors import FusionError, OccupancyError
+from ..gpusim.gpu import CoRunResult
+from ..gpusim.resources import blocks_per_sm, fits
+from .fuser import FusedKernel, flexible_fuse
+from .ptb import PTBKernel
+
+
+@dataclass(frozen=True)
+class FusionCandidate:
+    """One measured fusion configuration."""
+
+    fused: FusedKernel
+    corun: CoRunResult
+
+    @property
+    def ratio(self) -> tuple[int, int]:
+        return (self.fused.tc_copies, self.fused.cd_copies)
+
+
+@dataclass(frozen=True)
+class FusionDecision:
+    """Outcome of the offline search for one (TC, CD) kernel pair."""
+
+    tc_name: str
+    cd_name: str
+    serial_cycles: float
+    candidates: tuple[FusionCandidate, ...]
+    best: Optional[FusionCandidate]
+
+    @property
+    def should_fuse(self) -> bool:
+        return self.best is not None
+
+    @property
+    def speedup_over_serial(self) -> float:
+        """Serial time / best fused time (1.0 when unfusable)."""
+        if self.best is None:
+            return 1.0
+        return self.serial_cycles / self.best.corun.duration_cycles
+
+
+class FusionSearch:
+    """Enumerates, measures and ranks fusion candidates for kernel pairs."""
+
+    def __init__(self, gpu: GPUConfig, max_cd_copies: int = 8):
+        self._gpu = gpu
+        self._max_cd_copies = max_cd_copies
+
+    def _tc_copies(self, tc: PTBKernel, cd: PTBKernel) -> int:
+        """TC copies packed first: the profiled-optimal persistent count,
+        reduced only until one CD block also fits."""
+        for copies in range(tc.persistent_blocks_per_sm, 0, -1):
+            demand = tc.ir.resources.scaled(copies).combined(cd.ir.resources)
+            if fits(demand, self._gpu.sm):
+                return copies
+        raise FusionError(
+            f"no TC copy count lets {tc.ir.name}+{cd.ir.name} fit on an SM"
+        )
+
+    def search(
+        self,
+        tc: PTBKernel,
+        cd: PTBKernel,
+        tc_grid: Optional[int] = None,
+        cd_grid: Optional[int] = None,
+    ) -> FusionDecision:
+        """Measure all feasible ratios for one pair; pick the winner.
+
+        ``tc_grid`` / ``cd_grid`` default to the kernels' default inputs
+        — the sizes the offline profiling pass uses.
+        """
+        tc_grid = tc.ir.default_grid if tc_grid is None else tc_grid
+        cd_grid = cd.ir.default_grid if cd_grid is None else cd_grid
+
+        try:
+            preferred_tc = self._tc_copies(tc, cd)
+        except (FusionError, OccupancyError):
+            return FusionDecision(
+                tc_name=tc.ir.name, cd_name=cd.ir.name,
+                serial_cycles=self._serial(tc, cd, tc_grid, cd_grid),
+                candidates=(), best=None,
+            )
+
+        candidates: list[FusionCandidate] = []
+        for tc_copies in range(preferred_tc, 0, -1):
+            for cd_copies in range(1, self._max_cd_copies + 1):
+                demand = tc.ir.resources.scaled(tc_copies).combined(
+                    cd.ir.resources.scaled(cd_copies)
+                )
+                if not fits(demand, self._gpu.sm):
+                    break
+                fused = flexible_fuse(
+                    tc, cd, self._gpu, tc_copies, cd_copies
+                )
+                corun = fused.corun(self._gpu, tc_grid, cd_grid)
+                candidates.append(FusionCandidate(fused=fused, corun=corun))
+
+        serial = self._serial(tc, cd, tc_grid, cd_grid, candidates)
+        best: Optional[FusionCandidate] = None
+        if candidates:
+            fastest = min(
+                candidates, key=lambda c: c.corun.duration_cycles
+            )
+            if fastest.corun.duration_cycles < serial:
+                best = fastest
+        return FusionDecision(
+            tc_name=tc.ir.name,
+            cd_name=cd.ir.name,
+            serial_cycles=serial,
+            candidates=tuple(candidates),
+            best=best,
+        )
+
+    def _serial(
+        self,
+        tc: PTBKernel,
+        cd: PTBKernel,
+        tc_grid: int,
+        cd_grid: int,
+        candidates: Optional[list[FusionCandidate]] = None,
+    ) -> float:
+        """Sequential duration of the pair (reusing measured solo times)."""
+        if candidates:
+            corun = candidates[0].corun
+            return corun.solo_a_cycles + corun.solo_b_cycles
+        from ..gpusim.gpu import simulate_launch
+
+        solo_tc = simulate_launch(tc.launch(tc_grid), self._gpu)
+        solo_cd = simulate_launch(cd.launch(cd_grid), self._gpu)
+        return solo_tc.duration_cycles + solo_cd.duration_cycles

@@ -1,0 +1,89 @@
+"""Deadlock-free barrier allocation for fused kernels (Section V-D).
+
+A fused block contains warps running *different* code.  The original
+kernels synchronize with ``__syncthreads()``, which waits for **every**
+thread of the block — in a fused block that deadlocks (the other
+branch's warps never arrive) or silently changes semantics.  Tacker
+therefore rewrites each ``__syncthreads()`` into the PTX partial barrier
+
+    asm volatile("bar.sync id, cnt;");
+
+where ``id`` names one of the block's 16 hardware barriers and ``cnt``
+is the number of *threads* that must arrive.  Two rules keep this
+correct:
+
+* warps that must synchronize together (the warps of one original block
+  copy) share an ``id``;
+* warps that must *not* wait for each other (different branches, or
+  different copies of the same branch in a flexible fusion) get distinct
+  ``id``s.
+
+This module owns the id bookkeeping and raises
+:class:`~repro.errors.BarrierAllocationError` when a fusion would need
+more than the 16 hardware barriers — such a fusion cannot be compiled.
+"""
+
+from __future__ import annotations
+
+from ..config import WARP_SIZE
+from ..errors import BarrierAllocationError
+from ..gpusim.warp import Segment, SyncSegment
+
+#: PTX exposes barriers 0..15 per block.
+MAX_BARRIERS = 16
+
+
+class BarrierAllocator:
+    """Hands out hardware barrier ids to branch copies of a fused block."""
+
+    def __init__(self) -> None:
+        self._next_id = 0
+        self._assignments: dict[tuple[str, int, int], int] = {}
+
+    def allocate(self, branch: str, copy: int, original_id: int) -> int:
+        """Barrier id for ``original_id`` inside ``copy`` of ``branch``.
+
+        Idempotent: the same (branch, copy, original barrier) always maps
+        to the same hardware id, so every warp of the copy agrees.
+        """
+        key = (branch, copy, original_id)
+        if key in self._assignments:
+            return self._assignments[key]
+        if self._next_id >= MAX_BARRIERS:
+            raise BarrierAllocationError(
+                f"fused kernel needs more than {MAX_BARRIERS} bar.sync ids "
+                f"(requested by branch {branch!r} copy {copy})"
+            )
+        barrier_id = self._next_id
+        self._next_id += 1
+        self._assignments[key] = barrier_id
+        return barrier_id
+
+    @property
+    def allocated(self) -> int:
+        return self._next_id
+
+    def rewrite_segments(
+        self, segments: tuple[Segment, ...], branch: str, copy: int, warps: int
+    ) -> tuple[Segment, ...]:
+        """Rewrite a warp loop body's barriers for one branch copy.
+
+        Every :class:`SyncSegment` gets this copy's hardware id and a
+        count equal to the copy's own warps — the partial barrier of
+        Fig. 9.
+        """
+        rewritten: list[Segment] = []
+        for segment in segments:
+            if isinstance(segment, SyncSegment):
+                barrier_id = self.allocate(branch, copy, segment.barrier_id)
+                rewritten.append(SyncSegment(barrier_id, warps))
+            else:
+                rewritten.append(segment)
+        return tuple(rewritten)
+
+    def sync_text(self, branch: str, copy: int, original_id: int,
+                  warps: int) -> str:
+        """The PTX asm line emitted for one barrier of one branch copy."""
+        barrier_id = self.allocate(branch, copy, original_id)
+        threads = warps * WARP_SIZE
+        return f'asm volatile("bar.sync {barrier_id}, {threads};");'

@@ -1,0 +1,59 @@
+"""Event-driven GPU simulator: the hardware substrate of the reproduction.
+
+The real Tacker runs on RTX 2080Ti / V100 silicon.  This package replaces
+the silicon with an event-driven model of the quantities Tacker's
+phenomena depend on:
+
+* :mod:`~repro.gpusim.engine` — a deterministic event heap;
+* :mod:`~repro.gpusim.resources` — SM occupancy accounting;
+* :mod:`~repro.gpusim.memory` — fair-share DRAM bandwidth with latency;
+* :mod:`~repro.gpusim.warp` — warps as segment-loop state machines;
+* :mod:`~repro.gpusim.sm` — one SM: issue pipes, barriers, warp scheduling;
+* :mod:`~repro.gpusim.gpu` — whole-kernel launches, waves, PTB residency
+  and the co-run policies (fused / spatial / concurrent / serial);
+* :mod:`~repro.gpusim.trace` — busy-interval timelines and overlap rates.
+"""
+
+from .engine import EventQueue
+from .resources import BlockResources, blocks_per_sm, occupancy_report
+from .memory import MemorySystem
+from .warp import ComputeSegment, MemorySegment, SyncSegment, WarpProgram
+from .sm import BlockSpec, SMSimulation, SMResult
+from .gpu import (
+    CoRunResult,
+    KernelLaunch,
+    LaunchResult,
+    corun_concurrent,
+    corun_fused_launch,
+    corun_serial,
+    corun_spatial,
+    simulate_launch,
+)
+from .trace import Interval, Timeline, merge_busy, overlap_rate
+
+__all__ = [
+    "EventQueue",
+    "BlockResources",
+    "blocks_per_sm",
+    "occupancy_report",
+    "MemorySystem",
+    "ComputeSegment",
+    "MemorySegment",
+    "SyncSegment",
+    "WarpProgram",
+    "BlockSpec",
+    "SMSimulation",
+    "SMResult",
+    "KernelLaunch",
+    "LaunchResult",
+    "CoRunResult",
+    "simulate_launch",
+    "corun_fused_launch",
+    "corun_serial",
+    "corun_spatial",
+    "corun_concurrent",
+    "Interval",
+    "Timeline",
+    "merge_busy",
+    "overlap_rate",
+]

@@ -1,0 +1,84 @@
+"""Deterministic discrete-event engine.
+
+A minimal event heap: callbacks scheduled at simulated times, executed in
+time order.  Ties are broken by insertion order, which keeps every
+simulation fully deterministic — a property the prediction-accuracy
+experiments (Figs. 17/18) rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from ..errors import SimulationError
+
+#: A scheduled callback; receives the current simulation time.
+EventCallback = Callable[[float], None]
+
+
+class EventQueue:
+    """Priority queue of timed callbacks with a monotonic clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, EventCallback]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._cancelled: set[int] = set()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def schedule(self, time: float, callback: EventCallback) -> int:
+        """Schedule ``callback`` at ``time``; returns a cancellable handle.
+
+        Scheduling in the past raises :class:`SimulationError` — it always
+        indicates a simulator bug rather than a workload property.
+        """
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"event scheduled at {time} before current time {self._now}"
+            )
+        handle = next(self._counter)
+        heapq.heappush(self._heap, (max(time, self._now), handle, callback))
+        return handle
+
+    def schedule_now(self, callback: EventCallback) -> int:
+        """Schedule ``callback`` at the current time (after pending ties)."""
+        return self.schedule(self._now, callback)
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a previously scheduled event.
+
+        Cancellation is lazy: the entry stays in the heap and is skipped
+        when popped.
+        """
+        self._cancelled.add(handle)
+
+    def run(self, max_events: int = 10_000_000) -> float:
+        """Run until the queue drains; returns the final simulation time.
+
+        ``max_events`` guards against accidental infinite event loops
+        (e.g. a zero-length self-rescheduling segment).
+        """
+        executed = 0
+        while self._heap:
+            time, handle, callback = heapq.heappop(self._heap)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            self._now = time
+            callback(time)
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a livelock in the modelled kernel"
+                )
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)

@@ -1,0 +1,127 @@
+"""Fair-share DRAM bandwidth model with fixed access latency.
+
+Each memory segment of a warp first pays a fixed latency (the DRAM round
+trip) and then streams its bytes.  All in-flight transfers on an SM share
+that SM's bandwidth slice equally (processor sharing), which is how the
+*implicit* memory-subsystem contention of Section V-A slows both
+components of a fused kernel.
+
+The implementation is an exact event-driven processor-sharing queue:
+whenever the set of active transfers changes, the remaining bytes of all
+transfers are advanced at the old rate and the next completion is
+rescheduled at the new rate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from .engine import EventQueue
+
+_EPS = 1e-9
+
+
+class _Transfer:
+    """One in-flight transfer: remaining bytes and a completion callback."""
+
+    __slots__ = ("remaining", "callback")
+
+    def __init__(self, nbytes: float, callback: Callable[[float], None]):
+        self.remaining = float(nbytes)
+        self.callback = callback
+
+
+class MemorySystem:
+    """Processor-sharing bandwidth server attached to an event queue.
+
+    Parameters
+    ----------
+    queue:
+        The simulation's event queue.
+    bandwidth:
+        Bytes per cycle available to this SM.
+    latency:
+        Fixed cycles paid before a transfer starts streaming.
+    """
+
+    def __init__(self, queue: EventQueue, bandwidth: float, latency: float):
+        if bandwidth <= 0:
+            raise SimulationError("memory bandwidth must be positive")
+        if latency < 0:
+            raise SimulationError("memory latency cannot be negative")
+        self._queue = queue
+        self._bandwidth = bandwidth
+        self._latency = latency
+        self._active: list[_Transfer] = []
+        self._last_update = 0.0
+        self._completion_handle: Optional[int] = None
+        #: total bytes served, for bandwidth-utilization statistics
+        self.bytes_served = 0.0
+        #: busy time accumulator (at least one active transfer)
+        self.busy_cycles = 0.0
+
+    @property
+    def active_transfers(self) -> int:
+        """Number of transfers currently sharing the bandwidth."""
+        return len(self._active)
+
+    def request(self, nbytes: float, callback: Callable[[float], None]) -> None:
+        """Issue a memory access of ``nbytes``; ``callback(t)`` fires when done.
+
+        Zero-byte requests complete after the fixed latency alone.
+        """
+        if nbytes < 0:
+            raise SimulationError("cannot transfer a negative byte count")
+        start = self._queue.now + self._latency
+        if nbytes <= _EPS:
+            self._queue.schedule(start, callback)
+            return
+        self._queue.schedule(start, lambda t: self._begin(t, nbytes, callback))
+
+    # -- internal machinery -------------------------------------------------
+
+    def _rate(self) -> float:
+        """Per-transfer service rate under equal sharing."""
+        return self._bandwidth / len(self._active)
+
+    def _advance(self, now: float) -> None:
+        """Drain bytes from all active transfers for the elapsed interval."""
+        elapsed = now - self._last_update
+        if elapsed > 0 and self._active:
+            rate = self._rate()
+            drained = rate * elapsed
+            for transfer in self._active:
+                transfer.remaining -= drained
+            self.bytes_served += drained * len(self._active)
+            self.busy_cycles += elapsed
+        self._last_update = now
+
+    def _begin(self, now: float, nbytes: float, callback) -> None:
+        self._advance(now)
+        self._active.append(_Transfer(nbytes, callback))
+        self._reschedule(now)
+
+    def _reschedule(self, now: float) -> None:
+        if self._completion_handle is not None:
+            self._queue.cancel(self._completion_handle)
+            self._completion_handle = None
+        if not self._active:
+            return
+        shortest = min(t.remaining for t in self._active)
+        finish = now + max(shortest, 0.0) / self._rate()
+        self._completion_handle = self._queue.schedule(finish, self._complete)
+
+    def _complete(self, now: float) -> None:
+        self._completion_handle = None
+        self._advance(now)
+        done = [t for t in self._active if t.remaining <= _EPS]
+        if not done:
+            # Numerical shortfall: nudge the nearest transfer over the line.
+            nearest = min(self._active, key=lambda t: t.remaining)
+            nearest.remaining = 0.0
+            done = [nearest]
+        self._active = [t for t in self._active if t.remaining > _EPS]
+        self._reschedule(now)
+        for transfer in done:
+            transfer.callback(now)

@@ -1,0 +1,108 @@
+"""GPU power model (Section V-D's power observation).
+
+The paper measures (via ``nvidia-smi``) that a 2080Ti/V100 already sits
+at its board power limit while running a single Tensor-core kernel, and
+*stays* at that limit when the CUDA cores become active alongside —
+fusion raises utilization, not power.  The mechanism is the power
+limiter: the card clamps at its TDP, and DVFS absorbs any extra demand.
+
+This module provides that model: activity-dependent power draw clamped
+at the board limit, plus the energy-per-work accounting that makes the
+efficiency argument (same power, more work => better energy per task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GPUConfig
+from ..errors import ConfigError
+
+#: Board power limits (W) of the evaluation GPUs.
+BOARD_POWER_LIMITS = {"RTX2080Ti": 250.0, "V100": 300.0}
+
+#: Draw fractions of the limit by activity class.
+_IDLE_FRACTION = 0.22
+_CUDA_ONLY_FRACTION = 0.85
+_TENSOR_FRACTION = 1.0  # TC kernels alone already hit the limit
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """Average power over an interval plus the work accomplished."""
+
+    watts: float
+    duration_ms: float
+    work_ms: float
+
+    @property
+    def energy_mj(self) -> float:
+        return self.watts * self.duration_ms
+
+    @property
+    def energy_per_work(self) -> float:
+        if self.work_ms <= 0:
+            raise ConfigError("no work accomplished in the interval")
+        return self.energy_mj / self.work_ms
+
+
+class PowerModel:
+    """Clamped activity-based power draw for a GPU preset."""
+
+    def __init__(self, gpu: GPUConfig):
+        try:
+            self.limit_watts = BOARD_POWER_LIMITS[gpu.name]
+        except KeyError:
+            raise ConfigError(
+                f"no board power limit known for {gpu.name!r}"
+            ) from None
+
+    def draw_watts(self, tensor_active: bool, cuda_active: bool) -> float:
+        """Instantaneous draw for an activity combination.
+
+        Tensor-core activity alone reaches the board limit; adding CUDA
+        cores cannot exceed it (the clamp), which is the paper's
+        measurement.
+        """
+        if tensor_active:
+            return self.limit_watts * _TENSOR_FRACTION
+        if cuda_active:
+            return self.limit_watts * _CUDA_ONLY_FRACTION
+        return self.limit_watts * _IDLE_FRACTION
+
+    def fused_draw_watts(self) -> float:
+        """Draw with both units active: clamped at the limit."""
+        return min(
+            self.limit_watts,
+            self.draw_watts(True, False) + 0.3 * self.limit_watts,
+        )
+
+    def sample(
+        self,
+        duration_ms: float,
+        tensor_busy_ms: float,
+        cuda_busy_ms: float,
+        work_ms: float,
+    ) -> PowerSample:
+        """Average power over an interval from per-unit busy times.
+
+        Overlapped busy time (fusion) draws the clamped fused power;
+        the disjoint remainders draw their unit's power; the rest idles.
+        """
+        if duration_ms <= 0:
+            raise ConfigError("interval must be positive")
+        overlap = max(0.0, tensor_busy_ms + cuda_busy_ms - duration_ms)
+        tensor_solo = tensor_busy_ms - overlap
+        cuda_solo = cuda_busy_ms - overlap
+        idle = duration_ms - tensor_solo - cuda_solo - overlap
+        energy = (
+            overlap * self.fused_draw_watts()
+            + tensor_solo * self.draw_watts(True, False)
+            + cuda_solo * self.draw_watts(False, True)
+            + idle * self.draw_watts(False, False)
+        )
+        return PowerSample(
+            watts=energy / duration_ms,
+            duration_ms=duration_ms,
+            work_ms=work_ms,
+        )

@@ -1,0 +1,130 @@
+"""SM occupancy accounting.
+
+Occupancy — how many thread blocks an SM can host at once — is the
+quantity that makes or breaks kernel fusion in the paper.  A fused block
+consumes the *sum* of its component blocks' explicit resources (threads,
+registers, shared memory), so direct 1:1 fusion often halves the number
+of resident blocks and erases the benefit of using both pipes (Fig. 3,
+Section V-A).  Flexible fusion (Section V-C) exists precisely to keep
+this number high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import WARP_SIZE, SMConfig
+from ..errors import OccupancyError
+
+
+@dataclass(frozen=True)
+class BlockResources:
+    """Explicit per-block resource demand of a kernel.
+
+    Attributes
+    ----------
+    threads:
+        Threads per block (``blockDim.x`` in the paper's kernels).
+    regs_per_thread:
+        Registers consumed by each thread.
+    shared_mem_bytes:
+        Static shared memory per block.
+    """
+
+    threads: int
+    regs_per_thread: int
+    shared_mem_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise OccupancyError("a block needs at least one thread")
+        if self.regs_per_thread < 0 or self.shared_mem_bytes < 0:
+            raise OccupancyError("resource demands cannot be negative")
+
+    @property
+    def warps(self) -> int:
+        """Warps per block (threads rounded up to warp granularity)."""
+        return -(-self.threads // WARP_SIZE)
+
+    @property
+    def registers(self) -> int:
+        """Registers per block.
+
+        The hardware allocates registers at warp granularity, so partially
+        filled warps still pay for 32 threads.
+        """
+        return self.warps * WARP_SIZE * self.regs_per_thread
+
+    def combined(self, other: "BlockResources") -> "BlockResources":
+        """Resource demand of a block fusing this block with ``other``.
+
+        Thread counts and shared memory add; the register *rate* of the
+        fused block is the worse of the two because the compiler allocates
+        one register frame for the whole fused kernel.
+        """
+        return BlockResources(
+            threads=self.threads + other.threads,
+            regs_per_thread=max(self.regs_per_thread, other.regs_per_thread),
+            shared_mem_bytes=self.shared_mem_bytes + other.shared_mem_bytes,
+        )
+
+    def scaled(self, copies: int) -> "BlockResources":
+        """Resource demand of ``copies`` blocks folded into one block."""
+        if copies <= 0:
+            raise OccupancyError("copies must be positive")
+        return BlockResources(
+            threads=self.threads * copies,
+            regs_per_thread=self.regs_per_thread,
+            shared_mem_bytes=self.shared_mem_bytes * copies,
+        )
+
+
+def blocks_per_sm(res: BlockResources, sm: SMConfig) -> int:
+    """Number of blocks with demand ``res`` that fit on one SM.
+
+    Returns the minimum over the four hardware limits (thread slots,
+    block slots, registers, shared memory).  Raises
+    :class:`OccupancyError` when not even one block fits — launching such
+    a kernel on real hardware fails the same way.
+    """
+    limits = [
+        sm.max_threads // res.threads,
+        sm.max_blocks,
+    ]
+    if res.registers > 0:
+        limits.append(sm.registers // res.registers)
+    if res.shared_mem_bytes > 0:
+        limits.append(sm.shared_mem_bytes // res.shared_mem_bytes)
+    count = min(limits)
+    if count < 1:
+        raise OccupancyError(
+            f"block demand {res} exceeds SM capacity "
+            f"(threads={sm.max_threads}, regs={sm.registers}, "
+            f"shmem={sm.shared_mem_bytes})"
+        )
+    return count
+
+
+def fits(res: BlockResources, sm: SMConfig) -> bool:
+    """Whether at least one block with demand ``res`` fits on the SM."""
+    try:
+        blocks_per_sm(res, sm)
+    except OccupancyError:
+        return False
+    return True
+
+
+def occupancy_report(res: BlockResources, sm: SMConfig) -> dict[str, float]:
+    """Detailed occupancy breakdown, mirroring Table III's columns.
+
+    Returns per-resource utilization fractions at the achieved occupancy,
+    which the cuDNN resource-usage experiment (Table III) prints.
+    """
+    count = blocks_per_sm(res, sm)
+    return {
+        "blocks_per_sm": count,
+        "thread_util": count * res.threads / sm.max_threads,
+        "register_util": count * res.registers / sm.registers,
+        "shared_mem_util": count * res.shared_mem_bytes / sm.shared_mem_bytes,
+        "block_slot_util": count / sm.max_blocks,
+    }

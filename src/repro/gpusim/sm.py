@@ -1,0 +1,258 @@
+"""Simulation of one streaming multiprocessor.
+
+An SM is modelled as:
+
+* two issue **pipes** — ``"cuda"`` (the FP32/INT CUDA cores) and
+  ``"tensor"`` (the Tensor cores) — each a FIFO server with a fixed
+  number of slots (how many warps can occupy the unit concurrently);
+* a fair-share **memory system** (:class:`~repro.gpusim.memory.MemorySystem`);
+* block-local **barriers** implementing partial ``bar.sync id, cnt``;
+* resident **blocks**, each a set of warps executing
+  :class:`~repro.gpusim.warp.WarpProgram` loops.
+
+Warp scheduling follows the deterministic switch-on-event policy the
+paper leans on (Section VI-B): a warp runs until it issues a memory
+access, blocks on a full pipe, or reaches a barrier, at which point
+another ready warp proceeds.  FIFO pipe queues make the simulation fully
+deterministic.
+
+The key emergent behaviour: a fused block whose TC warps queue on the
+tensor pipe while its CD warps queue on the cuda pipe keeps *both* pipes
+busy simultaneously — the parallelism Tacker exploits — whereas any
+single-kernel block leaves one pipe idle (the false high utilization
+problem of Fig. 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..config import SMConfig
+from ..errors import SimulationError
+from .engine import EventQueue
+from .memory import MemorySystem
+from .trace import Timeline
+from .warp import ComputeSegment, MemorySegment, SyncSegment, WarpProgram
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """A resident block: warp groups that may run different programs.
+
+    ``warp_groups`` maps a group label (e.g. ``"tc"`` / ``"cd"`` in a
+    fused block, or ``"main"`` for a plain kernel) to a list of warp
+    programs, one entry per warp.
+    """
+
+    warp_groups: dict[str, tuple[WarpProgram, ...]]
+
+    @property
+    def total_warps(self) -> int:
+        return sum(len(progs) for progs in self.warp_groups.values())
+
+
+@dataclass
+class SMResult:
+    """Outcome of simulating one SM to completion."""
+
+    finish_time: float
+    #: per-pipe busy timelines (intervals where >= 1 slot is occupied)
+    pipe_timelines: dict[str, Timeline]
+    #: per-pipe total slot-cycles consumed (for utilization statistics)
+    pipe_slot_cycles: dict[str, float]
+    #: finish time of every warp group, keyed by (block index, group label)
+    group_finish: dict[tuple[int, str], float]
+    bytes_served: float
+
+    def group_finish_time(self, group: str) -> float:
+        """Latest finish time across blocks for one warp-group label."""
+        times = [t for (_, g), t in self.group_finish.items() if g == group]
+        if not times:
+            raise SimulationError(f"no warp group labelled {group!r}")
+        return max(times)
+
+    def pipe_busy_cycles(self, pipe: str) -> float:
+        """Cycles during which the pipe had at least one busy slot."""
+        return self.pipe_timelines[pipe].total()
+
+
+class _Pipe:
+    """FIFO issue pipe with ``width`` concurrent slots."""
+
+    def __init__(self, name: str, width: int, queue: EventQueue):
+        self.name = name
+        self.width = width
+        self._queue = queue
+        self._busy = 0
+        self._waiting: deque = deque()
+        self.timeline = Timeline()
+        self.slot_cycles = 0.0
+
+    def acquire(self, cycles: float, callback) -> None:
+        """Run a compute segment; ``callback(t)`` fires at completion."""
+        if self._busy < self.width:
+            self._start(self._queue.now, cycles, callback)
+        else:
+            self._waiting.append((cycles, callback))
+
+    def _start(self, now: float, cycles: float, callback) -> None:
+        if self._busy == 0:
+            self.timeline.open(now)
+        self._busy += 1
+        self.slot_cycles += cycles
+        self._queue.schedule(now + cycles, lambda t: self._finish(t, callback))
+
+    def _finish(self, now: float, callback) -> None:
+        self._busy -= 1
+        if self._waiting:
+            cycles, next_callback = self._waiting.popleft()
+            self._start(now, cycles, next_callback)
+        if self._busy == 0:
+            self.timeline.close(now)
+        callback(now)
+
+
+class _Barrier:
+    """One block-local ``bar.sync`` instance."""
+
+    def __init__(self, count: int):
+        self.count = count
+        self.waiting: list = []
+
+    def arrive(self, count: int, callback) -> list:
+        """Register an arrival; returns callbacks to release (possibly empty)."""
+        if count != self.count:
+            raise SimulationError(
+                "warps disagree on bar.sync count "
+                f"({count} vs {self.count}); fused-kernel codegen bug"
+            )
+        self.waiting.append(callback)
+        if len(self.waiting) >= self.count:
+            released, self.waiting = self.waiting, []
+            return released
+        return []
+
+
+@dataclass
+class _WarpState:
+    """Execution cursor of one resident warp."""
+
+    block_index: int
+    group: str
+    program: WarpProgram
+    iteration: int = 0
+    segment_index: int = 0
+    done: bool = False
+
+    def current_segment(self):
+        return self.program.segments[self.segment_index]
+
+    def step(self) -> bool:
+        """Advance the cursor; returns True while work remains."""
+        self.segment_index += 1
+        if self.segment_index >= len(self.program.segments):
+            self.segment_index = 0
+            self.iteration += 1
+        if self.iteration >= self.program.iterations:
+            self.done = True
+        return not self.done
+
+
+class SMSimulation:
+    """Simulate a set of resident blocks on one SM to completion."""
+
+    def __init__(self, sm: SMConfig, bandwidth_bytes_per_cycle: float):
+        self._sm = sm
+        self._bandwidth = bandwidth_bytes_per_cycle
+
+    def run(self, blocks: list[BlockSpec]) -> SMResult:
+        """Run all blocks' warps to completion and collect statistics."""
+        total_warps = sum(b.total_warps for b in blocks)
+        if total_warps > self._sm.max_warps:
+            raise SimulationError(
+                f"{total_warps} resident warps exceed the SM's "
+                f"{self._sm.max_warps} warp slots; occupancy bug upstream"
+            )
+        queue = EventQueue()
+        memory = MemorySystem(
+            queue, self._bandwidth, self._sm.mem_latency_cycles
+        )
+        pipes = {
+            "cuda": _Pipe("cuda", self._sm.cuda_pipe_width, queue),
+            "tensor": _Pipe("tensor", self._sm.tensor_pipe_width, queue),
+        }
+        barriers: dict[tuple[int, int], _Barrier] = {}
+        group_finish: dict[tuple[int, str], float] = {}
+        group_pending: dict[tuple[int, str], int] = {}
+
+        warps: list[_WarpState] = []
+        for block_index, block in enumerate(blocks):
+            for group, programs in block.warp_groups.items():
+                key = (block_index, group)
+                group_pending[key] = len(programs)
+                group_finish[key] = 0.0
+                for program in programs:
+                    warps.append(
+                        _WarpState(block_index, group, program)
+                    )
+                    if program.iterations == 0 or not program.segments:
+                        warps[-1].done = True
+                        group_pending[key] -= 1
+
+        def retire(warp: _WarpState, now: float) -> None:
+            key = (warp.block_index, warp.group)
+            group_pending[key] -= 1
+            group_finish[key] = max(group_finish[key], now)
+
+        def advance(warp: _WarpState, now: float) -> None:
+            if warp.done:
+                retire(warp, now)
+                return
+            segment = warp.current_segment()
+            if isinstance(segment, ComputeSegment):
+                pipes[segment.pipe].acquire(
+                    segment.cycles, lambda t: proceed(warp, t)
+                )
+            elif isinstance(segment, MemorySegment):
+                memory.request(segment.nbytes, lambda t: proceed(warp, t))
+            elif isinstance(segment, SyncSegment):
+                key = (warp.block_index, segment.barrier_id)
+                barrier = barriers.get(key)
+                if barrier is None:
+                    barrier = _Barrier(segment.count)
+                    barriers[key] = barrier
+                released = barrier.arrive(
+                    segment.count, lambda t, w=warp: proceed(w, t)
+                )
+                for callback in released:
+                    queue.schedule_now(callback)
+            else:  # pragma: no cover - exhaustive over Segment union
+                raise SimulationError(f"unknown segment {segment!r}")
+
+        def proceed(warp: _WarpState, now: float) -> None:
+            if warp.step():
+                advance(warp, now)
+            else:
+                retire(warp, now)
+
+        for warp in warps:
+            if not warp.done:
+                queue.schedule(0.0, lambda t, w=warp: advance(w, t))
+
+        finish = queue.run()
+        stuck = [key for key, pending in group_pending.items() if pending > 0]
+        if stuck:
+            raise SimulationError(
+                f"warp groups never finished: {stuck}; "
+                "a barrier is unsatisfiable (deadlocked fused kernel)"
+            )
+        for pipe in pipes.values():
+            pipe.timeline.close(finish)
+        return SMResult(
+            finish_time=finish,
+            pipe_timelines={n: p.timeline for n, p in pipes.items()},
+            pipe_slot_cycles={n: p.slot_cycles for n, p in pipes.items()},
+            group_finish=group_finish,
+            bytes_served=memory.bytes_served,
+        )

@@ -1,0 +1,147 @@
+"""Simulator self-checks for new GPU presets.
+
+Section VIII-F: deploying Tacker on another GPU only requires updating
+the prediction models.  In this reproduction, "another GPU" is a
+:class:`~repro.config.GPUConfig`; this module verifies that a preset
+behaves sanely before the full pipeline is trusted on it, by checking
+the simulator's closed-form invariants:
+
+* pipe capacity: N equal compute warps on a width-W pipe take
+  ``ceil(N / W)`` batches;
+* memory bandwidth: a lone transfer takes ``latency + bytes/bandwidth``
+  cycles;
+* work conservation: doubling a PTB kernel's work doubles its duration;
+* fusion capability: a reference TC/CD pair overlaps on both pipes.
+
+Run all checks with :func:`run_checks`; each returns a
+:class:`CheckResult` rather than raising, so a report can show every
+failure at once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..config import GPUConfig
+from .engine import EventQueue
+from .gpu import KernelLaunch, simulate_launch
+from .memory import MemorySystem
+from .resources import BlockResources
+from .sm import BlockSpec, SMSimulation
+from .warp import ComputeSegment, MemorySegment, WarpProgram
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+def _check_pipe_capacity(gpu: GPUConfig) -> CheckResult:
+    width = gpu.sm.cuda_pipe_width
+    warps = min(gpu.sm.max_warps, width * 3)
+    program = WarpProgram((ComputeSegment("cuda", 100.0),), 1)
+    sim = SMSimulation(gpu.sm, gpu.bytes_per_cycle_per_sm)
+    result = sim.run([BlockSpec({"m": (program,) * warps})])
+    expected = math.ceil(warps / width) * 100.0
+    passed = abs(result.finish_time - expected) < 1e-6
+    return CheckResult(
+        "pipe-capacity", passed,
+        f"{warps} warps on width-{width} pipe: "
+        f"{result.finish_time:.1f} vs expected {expected:.1f} cycles",
+    )
+
+
+def _check_memory_formula(gpu: GPUConfig) -> CheckResult:
+    queue = EventQueue()
+    memory = MemorySystem(
+        queue, gpu.bytes_per_cycle_per_sm, gpu.sm.mem_latency_cycles
+    )
+    nbytes = 4096.0
+    memory.request(nbytes, lambda t: None)
+    end = queue.run()
+    expected = gpu.sm.mem_latency_cycles + nbytes / gpu.bytes_per_cycle_per_sm
+    passed = abs(end - expected) < 1e-6
+    return CheckResult(
+        "memory-formula", passed,
+        f"4 KB transfer: {end:.1f} vs expected {expected:.1f} cycles",
+    )
+
+
+def _reference_launch(gpu: GPUConfig, grid_scale: int) -> KernelLaunch:
+    program = WarpProgram(
+        (ComputeSegment("tensor", 200.0), MemorySegment(128.0)), 8
+    )
+    return KernelLaunch(
+        "validate_tc", "tc", BlockResources(256, 48, 8 * 1024),
+        grid_blocks=2 * gpu.num_sms * grid_scale,
+        block_template={"tc": (program,) * 8},
+        persistent_blocks_per_sm=2,
+    )
+
+
+def _check_work_scaling(gpu: GPUConfig) -> CheckResult:
+    one = simulate_launch(_reference_launch(gpu, 8), gpu).duration_cycles
+    two = simulate_launch(_reference_launch(gpu, 16), gpu).duration_cycles
+    ratio = two / one
+    passed = 1.9 <= ratio <= 2.1
+    return CheckResult(
+        "work-scaling", passed,
+        f"2x work takes {ratio:.3f}x time (expected ~2)",
+    )
+
+
+def _check_fusion_overlap(gpu: GPUConfig) -> CheckResult:
+    tc_prog = WarpProgram(
+        (ComputeSegment("tensor", 200.0), MemorySegment(64.0)), 24
+    )
+    cd_prog = WarpProgram(
+        (ComputeSegment("cuda", 400.0), MemorySegment(32.0)), 24
+    )
+    fused = KernelLaunch(
+        "validate_fused", "mixed", BlockResources(512, 48, 16 * 1024),
+        grid_blocks=2 * gpu.num_sms,
+        block_template={"tc": (tc_prog,) * 8, "cd": (cd_prog,) * 8},
+        persistent_blocks_per_sm=2,
+    )
+    result = simulate_launch(fused, gpu)
+    tc_busy = result.pipe_timeline("tensor")
+    cd_busy = result.pipe_timeline("cuda")
+    overlap = tc_busy.intersection(cd_busy).total()
+    passed = overlap > 0.5 * min(tc_busy.total(), cd_busy.total())
+    return CheckResult(
+        "fusion-overlap", passed,
+        f"both pipes concurrently busy for {overlap:.0f} cycles",
+    )
+
+
+_CHECKS: tuple[Callable[[GPUConfig], CheckResult], ...] = (
+    _check_pipe_capacity,
+    _check_memory_formula,
+    _check_work_scaling,
+    _check_fusion_overlap,
+)
+
+
+def run_checks(gpu: GPUConfig) -> list[CheckResult]:
+    """Run every self-check against a GPU preset."""
+    return [check(gpu) for check in _CHECKS]
+
+
+def assert_valid(gpu: GPUConfig) -> None:
+    """Raise if any self-check fails (for use in setup code)."""
+    from ..errors import SimulationError
+
+    failures = [c for c in run_checks(gpu) if not c.passed]
+    if failures:
+        raise SimulationError(
+            "GPU preset failed self-checks: "
+            + "; ".join(str(f) for f in failures)
+        )

@@ -1,0 +1,124 @@
+"""Warps as instruction-segment loops.
+
+The paper's duration model (Section VI-B, Fig. 12) rests on an
+observation about warp behaviour: each warp of a PTB kernel executes a
+short *instruction loop* — compute on one pipe, a memory access, maybe a
+barrier — over and over, once per assigned original block.  We model a
+warp exactly that way: a tuple of segments executed for a given number of
+iterations.
+
+Segment kinds
+-------------
+``ComputeSegment(pipe, cycles)``
+    Occupies one slot of the named issue pipe (``"cuda"`` or ``"tensor"``)
+    for ``cycles``.
+``MemorySegment(nbytes)``
+    Pays the DRAM latency, then streams ``nbytes`` through the SM's
+    fair-share bandwidth.
+``SyncSegment(barrier_id, count)``
+    Arrives at block-local barrier ``barrier_id``; the warp resumes when
+    ``count`` warps have arrived — the simulation-level twin of the
+    ``bar.sync id, cnt`` instruction Tacker emits for fused kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import SimulationError
+
+#: Issue pipes an SM exposes.
+PIPES = ("cuda", "tensor")
+
+
+@dataclass(frozen=True)
+class ComputeSegment:
+    """Occupy a pipe slot for a fixed number of cycles."""
+
+    pipe: str
+    cycles: float
+
+    def __post_init__(self) -> None:
+        if self.pipe not in PIPES:
+            raise SimulationError(f"unknown pipe {self.pipe!r}; expected {PIPES}")
+        if self.cycles < 0:
+            raise SimulationError("compute cycles cannot be negative")
+
+
+@dataclass(frozen=True)
+class MemorySegment:
+    """Transfer ``nbytes`` through the shared memory system."""
+
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise SimulationError("memory bytes cannot be negative")
+
+
+@dataclass(frozen=True)
+class SyncSegment:
+    """Block-local partial barrier (``bar.sync barrier_id, count*32``)."""
+
+    barrier_id: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.barrier_id < 0 or self.barrier_id > 15:
+            # PTX exposes barriers 0..15 per block.
+            raise SimulationError("bar.sync id must be in [0, 15]")
+        if self.count <= 0:
+            raise SimulationError("barrier count must be positive")
+
+
+Segment = Union[ComputeSegment, MemorySegment, SyncSegment]
+
+
+@dataclass(frozen=True)
+class WarpProgram:
+    """The per-warp instruction loop: ``segments`` repeated ``iterations`` times.
+
+    ``iterations`` is where PTB shows up: a persistent warp assigned ``k``
+    original blocks runs its loop ``k`` times as many iterations as the
+    non-persistent original.
+    """
+
+    segments: tuple[Segment, ...]
+    iterations: int
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise SimulationError("iterations cannot be negative")
+
+    def with_iterations(self, iterations: int) -> "WarpProgram":
+        """The same loop body run a different number of times."""
+        return WarpProgram(self.segments, iterations)
+
+    def scaled_iterations(self, factor: float) -> "WarpProgram":
+        """Scale the iteration count, rounding up (at least one if any)."""
+        if factor < 0:
+            raise SimulationError("iteration scale factor cannot be negative")
+        scaled = int(-(-self.iterations * factor // 1)) if factor else 0
+        return WarpProgram(self.segments, scaled)
+
+    @property
+    def compute_cycles_per_iteration(self) -> float:
+        """Pipe-busy cycles demanded by one loop iteration."""
+        return sum(
+            s.cycles for s in self.segments if isinstance(s, ComputeSegment)
+        )
+
+    @property
+    def bytes_per_iteration(self) -> float:
+        """DRAM bytes demanded by one loop iteration."""
+        return sum(
+            s.nbytes for s in self.segments if isinstance(s, MemorySegment)
+        )
+
+    @property
+    def pipes_used(self) -> frozenset[str]:
+        """Which issue pipes the loop body touches."""
+        return frozenset(
+            s.pipe for s in self.segments if isinstance(s, ComputeSegment)
+        )

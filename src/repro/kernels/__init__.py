@@ -1,0 +1,34 @@
+"""Kernel models: the programs Tacker schedules and fuses.
+
+A kernel is described twice, and the two descriptions travel together:
+
+* a :class:`~repro.kernels.source.KernelSource` — a miniature CUDA-like
+  source form on which the PTB and fusion transforms operate textually,
+  exactly as the paper's source-to-source compiler does;
+* a :class:`~repro.kernels.ir.KernelIR` — the execution semantics (block
+  resources, per-warp segment loop) that the simulator runs.
+
+Concrete kernels:
+
+* :mod:`~repro.kernels.parboil` — the Parboil benchmark kernels used as
+  BE applications (mriq, fft, mrif, cutcp, cp, sgemm, lbm, tpacf,
+  stencil, regtil);
+* :mod:`~repro.kernels.gemm` — Tensor-core GEMM kernels (the CUTLASS /
+  cuda-samples style implementations the paper substitutes for cuDNN);
+* :mod:`~repro.kernels.dnn_ops` — the CUDA-core DNN operators (ReLU,
+  BatchNorm, Scale, Pooling, im2col);
+* :mod:`~repro.kernels.library` — a name-indexed registry.
+"""
+
+from .ir import KernelIR
+from .source import KernelSource, SourceLine, SyncPoint
+from .library import KernelLibrary, default_library
+
+__all__ = [
+    "KernelIR",
+    "KernelSource",
+    "SourceLine",
+    "SyncPoint",
+    "KernelLibrary",
+    "default_library",
+]

@@ -1,0 +1,135 @@
+"""CUDA-core DNN operator kernels.
+
+Between the GEMM-lowered convolutions, DNN inference and training run a
+stream of CUDA-core kernels: activation functions, batch normalization,
+pooling, scaling, the im2col unfold, and (for training) weight-gradient
+accumulation.  The paper uses four of them (ReLU, Scale, BN, Pooling) as
+representative PTB-prediction targets in Fig. 17 and fuses them with TC
+kernels at runtime.
+
+All of these operators are elementwise or small-window kernels: almost
+pure memory streaming with a light arithmetic sprinkle, which is why the
+paper counts DNN training jobs among the *memory-intensive* BE
+applications.
+
+Sizes: the ``_s`` suffix denotes the smaller feature-map variant used by
+deep layers; the unsuffixed kernels are the large early-layer variants.
+"""
+
+from __future__ import annotations
+
+from .ir import KernelIR, make_kernel
+from .source import elementwise_source, tiled_source
+
+
+def relu(name: str = "relu", grid: int = 1088) -> KernelIR:
+    """ReLU activation: one read, one write, a comparison per element."""
+    return make_kernel(
+        name, "cd",
+        threads=256, regs=16, shared_mem=0,
+        compute_cycles=40.0, mem_bytes=512.0,
+        iters_per_block=8, default_grid=grid,
+        source=elementwise_source(name, "fmaxf(in[i], 0.f)"),
+        tags=frozenset({"dnn-op"}),
+    )
+
+
+def scale(name: str = "scale", grid: int = 1088) -> KernelIR:
+    """Scale (channel-wise multiply-add), as in Caffe's Scale layer."""
+    return make_kernel(
+        name, "cd",
+        threads=256, regs=18, shared_mem=0,
+        compute_cycles=48.0, mem_bytes=512.0,
+        iters_per_block=8, default_grid=grid,
+        source=elementwise_source(name, "in[i] * gamma[c] + beta[c]"),
+        tags=frozenset({"dnn-op"}),
+    )
+
+
+def batchnorm(name: str = "bn", grid: int = 1088) -> KernelIR:
+    """Inference-mode batch normalization: normalize with running stats.
+
+    Slightly more arithmetic per element than ReLU/Scale (subtract,
+    multiply by rsqrt, scale, shift)."""
+    return make_kernel(
+        name, "cd",
+        threads=256, regs=24, shared_mem=0,
+        compute_cycles=80.0, mem_bytes=512.0,
+        iters_per_block=8, default_grid=grid,
+        source=elementwise_source(
+            name, "(in[i] - mean[c]) * rsqrt_var[c] * gamma[c] + beta[c]"
+        ),
+        tags=frozenset({"dnn-op"}),
+    )
+
+
+def pooling(name: str = "pooling", grid: int = 1632) -> KernelIR:
+    """Max pooling over a small window staged through shared memory."""
+    return make_kernel(
+        name, "cd",
+        threads=256, regs=28, shared_mem=4 * 1024,
+        compute_cycles=96.0, mem_bytes=640.0,
+        iters_per_block=4, default_grid=grid,
+        source=tiled_source(
+            name, ("float* in", "float* out"),
+            ("out_val = fmaxf(out_val, window[lane]);",),
+        ),
+        tags=frozenset({"dnn-op"}),
+    )
+
+
+def im2col(name: str = "im2col", grid: int = 1088) -> KernelIR:
+    """The im2col unfold that lowers a convolution to GEMM.
+
+    Pure data movement with overlapping reads — the CD kernel the paper
+    inserts when replacing ``cudnnConvolutionForward`` with
+    ``cudnnIm2col`` + GEMM (Section VIII-H)."""
+    return make_kernel(
+        name, "cd",
+        threads=256, regs=20, shared_mem=0,
+        compute_cycles=32.0, mem_bytes=768.0,
+        iters_per_block=8, default_grid=grid,
+        source=elementwise_source(
+            name, "image[unfold_index(i, kh, kw, stride)]"
+        ),
+        tags=frozenset({"dnn-op"}),
+    )
+
+
+def weight_update(name: str = "weight_update", grid: int = 1632) -> KernelIR:
+    """SGD weight update used by the training BE jobs: stream the full
+    parameter + gradient arrays, write parameters back."""
+    return make_kernel(
+        name, "cd",
+        threads=256, regs=20, shared_mem=0,
+        compute_cycles=44.0, mem_bytes=896.0,
+        iters_per_block=10, default_grid=grid,
+        source=elementwise_source(name, "w[i] - lr * g[i]"),
+        tags=frozenset({"dnn-op"}),
+    )
+
+
+#: Small-feature-map variants for deep layers.
+def relu_s() -> KernelIR:
+    return relu("relu_s", grid=272)
+
+
+def batchnorm_s() -> KernelIR:
+    return batchnorm("bn_s", grid=272)
+
+
+def pooling_s() -> KernelIR:
+    return pooling("pooling_s", grid=136)
+
+
+def im2col_s() -> KernelIR:
+    return im2col("im2col_s", grid=272)
+
+
+def all_dnn_ops() -> dict[str, KernelIR]:
+    """Every DNN operator kernel, keyed by name."""
+    ops = [
+        relu(), scale(), batchnorm(), pooling(), im2col(), weight_update(),
+        relu_s(), batchnorm_s(), pooling_s(), im2col_s(),
+    ]
+    return {op.name: op for op in ops}

@@ -1,0 +1,134 @@
+"""Tensor-core GEMM kernels.
+
+The paper replaces cuDNN's black-box convolution kernels with the open
+Nvidia GEMM implementations (CUTLASS / the cuda-samples WMMA example,
+refs [4], [11]) so it can fuse them.  We model that family: a
+half-precision GEMM whose blocks compute an output tile, looping over K
+in shared-memory staged steps — one ``wmma`` issue to the tensor pipe
+plus a tile load per step, with a block barrier between stage load and
+compute (the classic double-buffered structure).
+
+Canonical shapes
+----------------
+DNN convolutions lower (via im2col) to GEMMs of widely varying (M, N, K);
+four canonical shapes cover the range that appears in the six evaluated
+networks.  Keeping the shape set small lets the runtime reuse fused-
+kernel artifacts and duration models across layers, exactly as Tacker
+shares a fused kernel between all call sites with the same launch
+configuration (the PTB transform makes the grid static, so one artifact
+serves every input size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .ir import KernelIR, make_kernel
+from .source import KernelSource, SourceLine, SyncPoint
+
+#: Output tile computed by one block (M × N elements).
+TILE_M = 128
+TILE_N = 64
+#: K depth consumed per loop iteration.
+TILE_K = 16
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Problem size of one GEMM call."""
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) <= 0:
+            raise ConfigError("GEMM dimensions must be positive")
+
+    @property
+    def grid_blocks(self) -> int:
+        return -(-self.m // TILE_M) * (-(-self.n // TILE_N))
+
+    @property
+    def k_iterations(self) -> int:
+        return -(-self.k // TILE_K)
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+
+def _gemm_source(name: str) -> KernelSource:
+    return KernelSource(
+        name=name,
+        params=("half* a", "half* b", "float* c", "int m", "int n", "int k"),
+        body=(
+            SourceLine("int tile_row = blockIdx.x / (n / 64);"),
+            SourceLine("int tile_col = blockIdx.x % (n / 64);"),
+            SourceLine("int warp_id = threadIdx.x / 32;"),
+            SourceLine("for (int kk = 0; kk < k; kk += 16) {"),
+            SourceLine("    stage_tiles_to_shared(tile_row, tile_col, kk);"),
+            SyncPoint(),
+            SourceLine("    wmma::mma_sync(acc, a_frag, b_frag, acc);"),
+            SyncPoint(),
+            SourceLine("}"),
+            SourceLine("store_accumulators(c, tile_row, tile_col, warp_id);"),
+        ),
+    )
+
+
+def tensor_gemm(name: str, shape: GemmShape) -> KernelIR:
+    """Build the TC GEMM kernel model for one canonical shape.
+
+    Per K-step each warp issues one tensor-pipe MMA burst and streams its
+    share of the A/B tiles; two barriers bracket the staged load, as in
+    the double-buffered CUTLASS main loop.
+    """
+    return make_kernel(
+        name, "tc",
+        threads=256, regs=64, shared_mem=16 * 1024,
+        compute_cycles=420.0, mem_bytes=256.0,
+        iters_per_block=shape.k_iterations,
+        default_grid=shape.grid_blocks,
+        source=_gemm_source(name),
+        tags=frozenset({"gemm"}),
+        syncs_per_iter=1,
+    )
+
+
+#: Canonical GEMM shapes covering the evaluated networks' convolutions.
+#: Multiplicative spacing of ~2-8x keeps the relative duration error of
+#: bucketing small across the whole conv range.
+CANONICAL_SHAPES = {
+    "tgemm_s": GemmShape(m=1024, n=512, k=256),
+    "tgemm_m": GemmShape(m=2048, n=1024, k=512),
+    "tgemm_l": GemmShape(m=4096, n=2048, k=512),
+    "tgemm_xl": GemmShape(m=4096, n=2048, k=1024),
+    "tgemm_xxl": GemmShape(m=8192, n=2048, k=1024),
+}
+
+
+def canonical_gemms() -> dict[str, KernelIR]:
+    """The four canonical TC GEMM kernels, keyed by name."""
+    return {
+        name: tensor_gemm(name, shape)
+        for name, shape in CANONICAL_SHAPES.items()
+    }
+
+
+def wmma_gemm(name: str = "wmma_gemm") -> KernelIR:
+    """The cuda-samples WMMA GEMM — the second "Nvidia GEMM
+    implementation" co-run in Fig. 20.  Smaller tiles (more blocks, less
+    shared memory per block) and a lighter tensor burst per step."""
+    shape = GemmShape(m=4096, n=4096, k=512)
+    return make_kernel(
+        name, "tc",
+        threads=128, regs=56, shared_mem=8 * 1024,
+        compute_cycles=280.0, mem_bytes=128.0,
+        iters_per_block=shape.k_iterations,
+        default_grid=(shape.m // 64) * (shape.n // 64),
+        source=_gemm_source(name),
+        tags=frozenset({"gemm"}),
+        syncs_per_iter=1,
+    )

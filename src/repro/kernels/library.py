@@ -1,0 +1,80 @@
+"""Name-indexed kernel registry.
+
+The runtime, the fuser and the experiments all look kernels up by name;
+the library is the single place that instantiates the full roster
+(Parboil + canonical GEMMs + DNN operators).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import ConfigError
+from .dnn_ops import all_dnn_ops
+from .gemm import canonical_gemms, wmma_gemm
+from .ir import COMPUTE_INTENSIVE, MEMORY_INTENSIVE, KernelIR
+from .parboil import all_parboil
+
+
+class KernelLibrary:
+    """A registry of kernel models, keyed by unique name."""
+
+    def __init__(self, kernels: Iterable[KernelIR] = ()):
+        self._kernels: dict[str, KernelIR] = {}
+        for kernel in kernels:
+            self.register(kernel)
+
+    def register(self, kernel: KernelIR) -> None:
+        if kernel.name in self._kernels:
+            raise ConfigError(f"kernel {kernel.name!r} already registered")
+        self._kernels[kernel.name] = kernel
+
+    def get(self, name: str) -> KernelIR:
+        try:
+            return self._kernels[name]
+        except KeyError:
+            known = ", ".join(sorted(self._kernels))
+            raise ConfigError(
+                f"unknown kernel {name!r}; known kernels: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
+    def __iter__(self) -> Iterator[KernelIR]:
+        return iter(self._kernels.values())
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._kernels)
+
+    def tensor_kernels(self) -> list[KernelIR]:
+        return [k for k in self if k.kind == "tc"]
+
+    def cuda_kernels(self) -> list[KernelIR]:
+        return [k for k in self if k.kind == "cd"]
+
+    def tagged(self, tag: str) -> list[KernelIR]:
+        return [k for k in self if tag in k.tags]
+
+    def compute_intensive(self) -> list[KernelIR]:
+        return self.tagged(COMPUTE_INTENSIVE)
+
+    def memory_intensive(self) -> list[KernelIR]:
+        return self.tagged(MEMORY_INTENSIVE)
+
+
+def default_library() -> KernelLibrary:
+    """The full kernel roster used by the evaluation."""
+    library = KernelLibrary()
+    for kernel in all_parboil().values():
+        library.register(kernel)
+    for kernel in canonical_gemms().values():
+        library.register(kernel)
+    library.register(wmma_gemm())
+    for kernel in all_dnn_ops().values():
+        library.register(kernel)
+    return library

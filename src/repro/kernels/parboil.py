@@ -1,0 +1,255 @@
+"""Models of the Parboil benchmark kernels used as BE applications.
+
+The paper (Table II) draws its best-effort applications from the Parboil
+suite and classifies them as compute-intensive (mriq, fft, mrif, cutcp,
+cp) or memory-intensive (sgemm, lbm, tpacf); stencil and regtil
+additionally appear in the direct-fusion and co-running-interface studies
+(Figs. 3 and 20).
+
+Each model captures the properties that drive the paper's results:
+
+* per-block resource footprint (threads, registers, shared memory) —
+  this is what decides whether a kernel can co-reside with a GEMM and
+  what a fused block costs;
+* the per-warp instruction loop balance between CUDA-core cycles and
+  DRAM bytes — this is what separates the compute-intensive kernels
+  (large fusion gains) from the memory-intensive ones (bandwidth
+  contention, smaller gains);
+* whether the kernel synchronizes its block (tiled kernels), which the
+  fuser must rewrite into partial barriers.
+
+The cycle/byte constants are calibrated so that each kernel's solo
+duration on the simulated 2080Ti sits in the sub-millisecond range
+Parboil kernels exhibit on the real card; the *ratios* between kernels
+follow their real compute/memory character.
+"""
+
+from __future__ import annotations
+
+from .ir import COMPUTE_INTENSIVE, MEMORY_INTENSIVE, KernelIR, make_kernel
+from .source import elementwise_source, tiled_source
+
+
+def _plain_source(name: str, flavor: str) -> "KernelSource":
+    return elementwise_source(name, f"{flavor}(in[i])")
+
+
+def mriq() -> KernelIR:
+    """MRI-Q: gridding kernel of MRI reconstruction — pure trigonometric
+    accumulation per sample point; compute-bound, negligible memory."""
+    return make_kernel(
+        "mriq", "cd",
+        threads=256, regs=28, shared_mem=0,
+        compute_cycles=400.0, mem_bytes=32.0,
+        iters_per_block=24, default_grid=8704,
+        source=_plain_source("mriq", "sincos_accum"),
+        tags=frozenset({COMPUTE_INTENSIVE}),
+    )
+
+
+def fft() -> KernelIR:
+    """FFT: radix stages over shared-memory tiles; compute-bound with a
+    block-wide barrier between butterfly stages."""
+    return make_kernel(
+        "fft", "cd",
+        threads=256, regs=32, shared_mem=8 * 1024,
+        compute_cycles=300.0, mem_bytes=128.0,
+        iters_per_block=16, default_grid=17408,
+        source=tiled_source(
+            "fft", ("float2* data", "int n"),
+            ("butterfly(lane, tile);",),
+        ),
+        tags=frozenset({COMPUTE_INTENSIVE}),
+    )
+
+
+def mrif() -> KernelIR:
+    """MRI-FHD: the FHd computation of MRI reconstruction; compute-bound
+    like mriq with slightly more streaming."""
+    return make_kernel(
+        "mrif", "cd",
+        threads=256, regs=30, shared_mem=0,
+        compute_cycles=360.0, mem_bytes=48.0,
+        iters_per_block=20, default_grid=10880,
+        source=_plain_source("mrif", "fhd_accum"),
+        tags=frozenset({COMPUTE_INTENSIVE}),
+    )
+
+
+def cutcp() -> KernelIR:
+    """CUTCP: cutoff Coulomb potential on a lattice; compute-bound but
+    with a large shared-memory lattice region per block, so only one
+    block fits per SM — the footprint that trips the Stream interface in
+    Fig. 20."""
+    return make_kernel(
+        "cutcp", "cd",
+        threads=128, regs=40, shared_mem=36 * 1024,
+        compute_cycles=340.0, mem_bytes=64.0,
+        iters_per_block=20, default_grid=10880,
+        source=tiled_source(
+            "cutcp", ("float4* atoms", "float* lattice"),
+            ("accumulate_potential(lane, tile);",),
+        ),
+        tags=frozenset({COMPUTE_INTENSIVE}),
+    )
+
+
+def cp() -> KernelIR:
+    """CP: direct Coulomb potential summation; the most purely
+    compute-bound kernel of the suite."""
+    return make_kernel(
+        "cp", "cd",
+        threads=128, regs=24, shared_mem=0,
+        compute_cycles=420.0, mem_bytes=16.0,
+        iters_per_block=28, default_grid=14144,
+        source=_plain_source("cp", "coulomb_accum"),
+        tags=frozenset({COMPUTE_INTENSIVE}),
+    )
+
+
+def sgemm() -> KernelIR:
+    """SGEMM: FP32 GEMM on the CUDA cores with shared-memory tiling.
+    The paper classifies it memory-intensive: its tile loads keep DRAM
+    busier than its FP32 pipe."""
+    return make_kernel(
+        "sgemm", "cd",
+        threads=128, regs=56, shared_mem=16 * 1024,
+        compute_cycles=160.0, mem_bytes=768.0,
+        iters_per_block=12, default_grid=26112,
+        source=tiled_source(
+            "sgemm", ("float* a", "float* b", "float* c", "int k"),
+            ("c_frag += a_tile[lane] * b_tile[lane];",),
+        ),
+        tags=frozenset({MEMORY_INTENSIVE}),
+        syncs_per_iter=1,
+    )
+
+
+def lbm() -> KernelIR:
+    """LBM: lattice-Boltzmann fluid step; streaming reads/writes of the
+    full lattice each step — the archetypal bandwidth-bound kernel."""
+    return make_kernel(
+        "lbm", "cd",
+        threads=128, regs=44, shared_mem=0,
+        compute_cycles=60.0, mem_bytes=1024.0,
+        iters_per_block=10, default_grid=26112,
+        source=_plain_source("lbm", "collide_stream"),
+        tags=frozenset({MEMORY_INTENSIVE}),
+    )
+
+
+def tpacf() -> KernelIR:
+    """TPACF: two-point angular correlation; privatizes a large histogram
+    in shared memory (one block per SM) and streams point pairs."""
+    return make_kernel(
+        "tpacf", "cd",
+        threads=256, regs=36, shared_mem=48 * 1024,
+        compute_cycles=260.0, mem_bytes=1536.0,
+        iters_per_block=10, default_grid=8704,
+        source=tiled_source(
+            "tpacf", ("float3* points", "long long* bins"),
+            ("bin_angular_distance(lane, tile);",),
+        ),
+        tags=frozenset({MEMORY_INTENSIVE}),
+    )
+
+
+def stencil() -> KernelIR:
+    """STENCIL: 7-point 3D Jacobi stencil with a large shared-memory
+    halo region; bandwidth-leaning with a heavy per-block footprint."""
+    return make_kernel(
+        "stencil", "cd",
+        threads=128, regs=28, shared_mem=40 * 1024,
+        compute_cycles=120.0, mem_bytes=512.0,
+        iters_per_block=12, default_grid=16320,
+        source=tiled_source(
+            "stencil", ("float* grid_in", "float* grid_out"),
+            ("out = c0 * center + c1 * neighbours;",),
+        ),
+        tags=frozenset({MEMORY_INTENSIVE}),
+    )
+
+
+def regtil() -> KernelIR:
+    """REGTIL: the register-tiled dense kernel used in Figs. 3/20
+    ("regtil"); compute-bound with a heavy register footprint and no
+    shared memory."""
+    return make_kernel(
+        "regtil", "cd",
+        threads=256, regs=72, shared_mem=0,
+        compute_cycles=380.0, mem_bytes=24.0,
+        iters_per_block=24, default_grid=8704,
+        source=_plain_source("regtil", "register_tile_mac"),
+        tags=frozenset({COMPUTE_INTENSIVE}),
+    )
+
+
+def histo() -> KernelIR:
+    """HISTO: saturating histogram; shared-memory privatized bins with
+    atomic merges — memory-heavy with a block barrier per tile."""
+    return make_kernel(
+        "histo", "cd",
+        threads=256, regs=24, shared_mem=16 * 1024,
+        compute_cycles=90.0, mem_bytes=896.0,
+        iters_per_block=10, default_grid=8704,
+        source=tiled_source(
+            "histo", ("unsigned* img", "unsigned* bins"),
+            ("atomicAdd(&s_bins[img[lane]], 1);",),
+        ),
+        tags=frozenset({MEMORY_INTENSIVE}),
+    )
+
+
+def spmv() -> KernelIR:
+    """SPMV: sparse matrix-vector product (JDS layout); irregular,
+    bandwidth-dominated gathers."""
+    return make_kernel(
+        "spmv", "cd",
+        threads=192, regs=28, shared_mem=0,
+        compute_cycles=70.0, mem_bytes=768.0,
+        iters_per_block=12, default_grid=8160,
+        source=_plain_source("spmv", "gather_multiply"),
+        tags=frozenset({MEMORY_INTENSIVE}),
+    )
+
+
+def bfs() -> KernelIR:
+    """BFS: frontier expansion over a graph — the intro's archetypal
+    no-deadline best-effort task; pointer-chasing, latency-exposed."""
+    return make_kernel(
+        "bfs", "cd",
+        threads=128, regs=20, shared_mem=2 * 1024,
+        compute_cycles=50.0, mem_bytes=640.0,
+        iters_per_block=8, default_grid=8704,
+        source=_plain_source("bfs", "expand_frontier"),
+        tags=frozenset({MEMORY_INTENSIVE}),
+    )
+
+
+def sad() -> KernelIR:
+    """SAD: sum-of-absolute-differences block matching (video encode);
+    compute-dense with modest streaming."""
+    return make_kernel(
+        "sad", "cd",
+        threads=256, regs=36, shared_mem=4 * 1024,
+        compute_cycles=320.0, mem_bytes=96.0,
+        iters_per_block=20, default_grid=10880,
+        source=tiled_source(
+            "sad", ("uchar4* frame", "uchar4* ref", "unsigned* out"),
+            ("acc += __sad(frame[lane], ref[lane], 0);",),
+        ),
+        tags=frozenset({COMPUTE_INTENSIVE}),
+    )
+
+
+#: All Parboil kernel constructors; the first ten are the paper's
+#: evaluation roster, the rest round out the suite.
+PARBOIL_KERNELS = (
+    mriq, fft, mrif, cutcp, cp, sgemm, lbm, tpacf, stencil, regtil,
+    histo, spmv, bfs, sad,
+)
+
+
+def all_parboil() -> dict[str, KernelIR]:
+    """Instantiate every Parboil kernel model, keyed by name."""
+    return {factory.__name__: factory() for factory in PARBOIL_KERNELS}

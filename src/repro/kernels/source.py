@@ -1,0 +1,136 @@
+"""Miniature CUDA-like kernel source form.
+
+The paper's kernel fuser is a *source-to-source compiler*: it rewrites
+CUDA C into a PTB version and then splices two kernels into one fused
+kernel (Figs. 5, 7, 9).  We reproduce the transforms on a miniature
+source representation: a kernel body is a sequence of statements, where
+ordinary statements are text lines that may reference ``blockIdx.x`` /
+``threadIdx.x`` and synchronization is an explicit :class:`SyncPoint`
+marker (the ``__syncthreads()`` of the original code) that the fuser must
+rewrite into partial ``bar.sync`` barriers.
+
+Rendering produces compilable-looking CUDA text, which the tests inspect
+for the structural properties the paper describes: the PTB loop over
+``block_pos``, the thread-id rebasing of the CD branch, and deadlock-free
+``bar.sync`` id allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import FusionError
+
+#: Identifier rewritten by the PTB transform.
+BLOCK_IDX = "blockIdx.x"
+#: Identifier rebased by the fusion transform.
+THREAD_IDX = "threadIdx.x"
+
+
+@dataclass(frozen=True)
+class SourceLine:
+    """One ordinary statement of kernel code."""
+
+    text: str
+
+    def substituted(self, old: str, new: str) -> "SourceLine":
+        return SourceLine(self.text.replace(old, new))
+
+
+@dataclass(frozen=True)
+class SyncPoint:
+    """A ``__syncthreads()`` in the original kernel.
+
+    Kept symbolic so the fuser can rewrite it into
+    ``asm volatile("bar.sync id, cnt;")`` with a branch-local barrier id
+    (Section V-D).
+    """
+
+
+Stmt = Union[SourceLine, SyncPoint]
+
+
+@dataclass(frozen=True)
+class KernelSource:
+    """A kernel's source: name, parameter list, and statement body."""
+
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise FusionError(f"kernel name {self.name!r} is not an identifier")
+
+    @property
+    def uses_sync(self) -> bool:
+        return any(isinstance(s, SyncPoint) for s in self.body)
+
+    @property
+    def sync_count(self) -> int:
+        return sum(1 for s in self.body if isinstance(s, SyncPoint))
+
+    def substituted(self, old: str, new: str) -> "KernelSource":
+        """A copy with ``old`` textually replaced by ``new`` in every line."""
+        body = tuple(
+            s.substituted(old, new) if isinstance(s, SourceLine) else s
+            for s in self.body
+        )
+        return KernelSource(self.name, self.params, body)
+
+    def renamed(self, name: str) -> "KernelSource":
+        return KernelSource(name, self.params, self.body)
+
+    def render(self, indent: str = "    ") -> str:
+        """Emit CUDA-style text for inspection and artifact storage."""
+        lines = [f"__global__ void {self.name}({', '.join(self.params)}) {{"]
+        for stmt in self.body:
+            if isinstance(stmt, SyncPoint):
+                lines.append(f"{indent}__syncthreads();")
+            else:
+                lines.append(f"{indent}{stmt.text}")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def render_body(self, indent: str, sync_text: str) -> list[str]:
+        """Body lines with every sync point rendered as ``sync_text``.
+
+        Used by the fuser, which replaces ``__syncthreads()`` with partial
+        barriers whose id/count it allocates.
+        """
+        rendered = []
+        for stmt in self.body:
+            if isinstance(stmt, SyncPoint):
+                rendered.append(f"{indent}{sync_text}")
+            else:
+                rendered.append(f"{indent}{stmt.text}")
+        return rendered
+
+
+def elementwise_source(name: str, expression: str) -> KernelSource:
+    """Source skeleton of a memory-streaming elementwise kernel."""
+    return KernelSource(
+        name=name,
+        params=("float* in", "float* out", "int n"),
+        body=(
+            SourceLine(f"int i = {BLOCK_IDX} * blockDim.x + {THREAD_IDX};"),
+            SourceLine("if (i >= n) return;"),
+            SourceLine(f"out[i] = {expression};"),
+        ),
+    )
+
+
+def tiled_source(name: str, params: tuple[str, ...],
+                 compute_lines: tuple[str, ...]) -> KernelSource:
+    """Source skeleton of a shared-memory-tiled kernel with two syncs."""
+    body: list[Stmt] = [
+        SourceLine(f"int tile = {BLOCK_IDX};"),
+        SourceLine(f"int lane = {THREAD_IDX};"),
+        SourceLine("load_tile_to_shared(tile, lane);"),
+        SyncPoint(),
+    ]
+    body.extend(SourceLine(line) for line in compute_lines)
+    body.append(SyncPoint())
+    body.append(SourceLine("store_tile(tile, lane);"))
+    return KernelSource(name=name, params=params, body=tuple(body))

@@ -1,0 +1,38 @@
+"""DNN workload models: the LC services and DNN-training BE jobs.
+
+* :mod:`~repro.models.layers` — layer shapes and their lowering to the
+  canonical kernel roster (conv -> im2col + TC GEMM, etc.);
+* :mod:`~repro.models.zoo` — the six latency-critical inference services
+  of Table II (Resnet50, ResNext, VGG16, VGG19, Inception, Densenet) as
+  kernel sequences;
+* :mod:`~repro.models.training` — the four DNN-training best-effort jobs
+  (Resnet50-T, VGG16-T, Inception-T, Densenet-T);
+* :mod:`~repro.models.cudnn` — the cuDNN convolution implementations of
+  Table III and the im2col+GEMM conversion policy of Section VIII-H.
+"""
+
+from .layers import ConvShape, lower_conv, lower_op
+from .zoo import LC_MODELS, ModelSpec, QueryKernel, model_by_name
+from .training import TRAINING_JOBS, training_job
+from .cudnn import (
+    CUDNN_IMPLEMENTATIONS,
+    CudnnConvImpl,
+    conversion_report,
+    resnet50_conv_gaps,
+)
+
+__all__ = [
+    "ConvShape",
+    "lower_conv",
+    "lower_op",
+    "LC_MODELS",
+    "ModelSpec",
+    "QueryKernel",
+    "model_by_name",
+    "TRAINING_JOBS",
+    "training_job",
+    "CUDNN_IMPLEMENTATIONS",
+    "CudnnConvImpl",
+    "conversion_report",
+    "resnet50_conv_gaps",
+]

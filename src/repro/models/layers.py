@@ -1,0 +1,117 @@
+"""Layer shapes and their lowering onto the canonical kernel roster.
+
+A convolution with batch ``b``, spatial output ``h x w``, ``cin`` input
+channels, ``cout`` filters and a ``k x k`` window lowers (via im2col) to
+a GEMM of
+
+    M = b * h * w,   N = cout,   K = cin * k * k
+
+as in Section VIII-H.  Rather than instantiating one GEMM kernel per
+distinct layer shape, we bucket each layer onto the nearest canonical
+GEMM (by FLOP count) — the same artifact-sharing PTB enables in Tacker:
+one fused binary serves every call site with the same launch
+configuration.  Pointwise layers lower to the elementwise operator
+kernels sized by their tensor volume.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..kernels.gemm import CANONICAL_SHAPES
+
+#: Elements one launch of the large elementwise ops covers (by
+#: construction of their default grids: 1088 blocks * 256 threads * 8).
+_ELEMENTWISE_CAPACITY = 1088 * 256 * 8
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """One convolution layer's shape."""
+
+    batch: int
+    height: int
+    width: int
+    cin: int
+    cout: int
+    kernel: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.batch, self.height, self.width, self.cin,
+               self.cout, self.kernel, self.stride) <= 0:
+            raise ConfigError("conv shape dimensions must be positive")
+
+    @property
+    def out_height(self) -> int:
+        return -(-self.height // self.stride)
+
+    @property
+    def out_width(self) -> int:
+        return -(-self.width // self.stride)
+
+    @property
+    def gemm_m(self) -> int:
+        return self.batch * self.out_height * self.out_width
+
+    @property
+    def gemm_n(self) -> int:
+        return self.cout
+
+    @property
+    def gemm_k(self) -> int:
+        return self.cin * self.kernel * self.kernel
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.gemm_m * self.gemm_n * self.gemm_k
+
+    @property
+    def output_elements(self) -> int:
+        return self.batch * self.out_height * self.out_width * self.cout
+
+    @property
+    def needs_im2col(self) -> bool:
+        """1x1 stride-1 convolutions are GEMMs already."""
+        return self.kernel > 1
+
+
+def lower_conv(shape: ConvShape) -> str:
+    """Canonical GEMM kernel name for one convolution layer.
+
+    Nearest canonical shape in log-FLOP space: GEMM durations scale
+    multiplicatively with problem size, so the multiplicative (not
+    additive) distance picks the bucket with the smallest relative
+    duration error.
+    """
+    target = math.log(shape.flops)
+    best_name, best_gap = None, float("inf")
+    for name, canonical in CANONICAL_SHAPES.items():
+        gap = abs(math.log(canonical.flops) - target)
+        if gap < best_gap:
+            best_name, best_gap = name, gap
+    return best_name
+
+
+def lower_im2col(shape: ConvShape) -> str:
+    """im2col kernel variant for one convolution (sized by its input)."""
+    elements = shape.batch * shape.height * shape.width * shape.cin
+    return "im2col" if elements >= _ELEMENTWISE_CAPACITY else "im2col_s"
+
+
+def lower_op(op: str, elements: int) -> str:
+    """Elementwise/pooling operator variant for a tensor volume.
+
+    ``op`` is one of ``relu``, ``bn``, ``scale``, ``pooling``.
+    """
+    if op not in ("relu", "bn", "scale", "pooling"):
+        raise ConfigError(f"unknown pointwise op {op!r}")
+    if op == "scale":
+        return "scale"  # a single variant suffices for Scale layers
+    large = elements >= _ELEMENTWISE_CAPACITY
+    if op == "pooling":
+        return "pooling" if large else "pooling_s"
+    return op if large else f"{op}_s"

@@ -1,0 +1,90 @@
+"""DNN training jobs: the memory-intensive best-effort applications.
+
+Table II lists four training tasks — Resnet50-T, VGG16-T, Inception-T,
+Densenet-T — among the BE applications, and classifies them (like the
+streaming Parboil kernels) as memory-intensive.  One training iteration
+is modelled as:
+
+* the forward GEMMs of the network (Tensor-core kernels);
+* the backward pass: roughly twice the forward GEMM work (dgrad +
+  wgrad);
+* the memory-streaming CUDA-core tail: activation-gradient elementwise
+  kernels and the SGD weight update.
+
+Training kernels therefore offer the runtime *both* TC and CD kernels,
+which is what lets Tacker fuse a BE training GEMM under an LC model's
+CUDA-core kernels ("the LC kernels and BE kernels are not limited to a
+specified type", Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .zoo import ModelSpec, QueryKernel, model_by_name
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """A best-effort training task: an endlessly repeated iteration."""
+
+    name: str
+    base_model: str
+    #: the kernel sequence of one training iteration
+    kernels: tuple[QueryKernel, ...]
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def memory_intensive(self) -> bool:
+        """The paper treats all DNN training jobs as memory-intensive."""
+        return True
+
+
+def _training_iteration(spec: ModelSpec) -> tuple[QueryKernel, ...]:
+    """Expand one inference sequence into one training iteration."""
+    forward = list(spec.kernels)
+    gemms = [k for k in forward if k.is_tc]
+    backward: list[QueryKernel] = []
+    for gemm in gemms:
+        # dgrad + wgrad: two more GEMMs of the same shape.  Training
+        # kernels are compiled from open source, so they stay fusable.
+        backward.append(QueryKernel(gemm.kernel, fusable=True))
+        backward.append(QueryKernel(gemm.kernel, fusable=True))
+        # Activation-gradient elementwise kernel.
+        backward.append(QueryKernel("relu"))
+    updates = [QueryKernel("weight_update") for _ in range(len(gemms) // 4 + 1)]
+    return tuple(forward + backward + updates)
+
+
+#: (display name, base inference model) per Table II.
+_TRAINING_SPECS = (
+    ("Res-T", "resnet50"),
+    ("VGG-T", "vgg16"),
+    ("Incep-T", "inception"),
+    ("Dense-T", "densenet"),
+)
+
+TRAINING_JOBS = tuple(name for name, _ in _TRAINING_SPECS)
+
+
+def training_job(name: str) -> TrainingJob:
+    """Build one of the four training BE jobs by display name."""
+    for job_name, base in _TRAINING_SPECS:
+        if name.lower() == job_name.lower():
+            spec = model_by_name(base)
+            return TrainingJob(
+                name=job_name,
+                base_model=base,
+                kernels=_training_iteration(spec),
+            )
+    raise ConfigError(
+        f"unknown training job {name!r}; known: {TRAINING_JOBS}"
+    )
+
+
+def all_training_jobs() -> dict[str, TrainingJob]:
+    return {name: training_job(name) for name in TRAINING_JOBS}

@@ -1,0 +1,31 @@
+"""Duration prediction for original and fused kernels (Section VI).
+
+Tacker must know, *before* launching, how long a kernel will run — QoS
+enforcement is built on those predictions.  Two model families:
+
+* :mod:`~repro.predictor.kernel_model` — per-kernel linear regression
+  from block count to duration, as in Prophet/GDP/HSM (refs [18], [32],
+  [65]); accurate because PTB execution is repetitive (Fig. 12).
+* :mod:`~repro.predictor.fused_model` — the paper's contribution: a
+  two-stage linear regression over the *load ratio*
+  ``Xori_cd / Xori_tc`` (Eq. 1), with the inflection at the opportune
+  ratio where both branches finish together (Fig. 10).
+
+:mod:`~repro.predictor.online` adds the paper's online maintenance rule:
+whenever a model's error exceeds 10%, it is refreshed from the observed
+co-running data.
+"""
+
+from .linear import LinearModel
+from .kernel_model import KernelDurationModel, ProfileNoise
+from .fused_model import FusedDurationModel, PROFILE_LOAD_RATIOS
+from .online import OnlineModelManager
+
+__all__ = [
+    "LinearModel",
+    "KernelDurationModel",
+    "ProfileNoise",
+    "FusedDurationModel",
+    "PROFILE_LOAD_RATIOS",
+    "OnlineModelManager",
+]

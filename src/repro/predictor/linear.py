@@ -1,0 +1,79 @@
+"""Ordinary least-squares linear regression on one feature.
+
+The paper's predictors are deliberately simple — single-feature linear
+regressions — because PTB kernels behave linearly in their block count
+and fused kernels behave piecewise-linearly in their load ratio.  We
+implement OLS directly (closed form) rather than pulling in a learning
+framework; the model is two floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import PredictionError
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """``y = slope * x + intercept`` fitted by least squares."""
+
+    slope: float
+    intercept: float
+
+    @classmethod
+    def fit(cls, x: Sequence[float], y: Sequence[float]) -> "LinearModel":
+        """Fit from samples; requires >= 2 points with distinct x."""
+        xs = np.asarray(x, dtype=float)
+        ys = np.asarray(y, dtype=float)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise PredictionError("x and y must be equal-length 1-D sequences")
+        if xs.size < 2:
+            raise PredictionError("need at least two samples to fit a line")
+        if float(np.ptp(xs)) == 0.0:
+            raise PredictionError("all x values identical; slope undefined")
+        # Closed-form OLS around the means: numerically stable without
+        # the SVD machinery of polyfit/lstsq.
+        x_mean = float(xs.mean())
+        y_mean = float(ys.mean())
+        dx = xs - x_mean
+        variance = float(np.dot(dx, dx))
+        if variance == 0.0:
+            raise PredictionError("x values too close; slope undefined")
+        slope = float(np.dot(dx, ys - y_mean)) / variance
+        return cls(slope=slope, intercept=y_mean - slope * x_mean)
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def predict_many(self, x: Sequence[float]) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+    def mean_abs_pct_error(
+        self, x: Sequence[float], y: Sequence[float]
+    ) -> float:
+        """Mean |predicted - actual| / actual over a sample set."""
+        ys = np.asarray(y, dtype=float)
+        if np.any(ys == 0):
+            raise PredictionError("actual durations must be non-zero")
+        predicted = self.predict_many(x)
+        return float(np.mean(np.abs(predicted - ys) / np.abs(ys)))
+
+    def max_abs_pct_error(
+        self, x: Sequence[float], y: Sequence[float]
+    ) -> float:
+        """Worst-case |predicted - actual| / actual over a sample set."""
+        ys = np.asarray(y, dtype=float)
+        if np.any(ys == 0):
+            raise PredictionError("actual durations must be non-zero")
+        predicted = self.predict_many(x)
+        return float(np.max(np.abs(predicted - ys) / np.abs(ys)))
+
+    def intersection_x(self, other: "LinearModel") -> float:
+        """x where two fitted lines cross (the two-stage inflection)."""
+        if abs(self.slope - other.slope) < 1e-12:
+            raise PredictionError("parallel lines have no intersection")
+        return (other.intercept - self.intercept) / (self.slope - other.slope)

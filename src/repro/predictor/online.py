@@ -1,0 +1,147 @@
+"""Model bookkeeping for the runtime (Section VI-C's maintenance rule).
+
+The kernel manager owns one duration model per kernel and one per fused
+pair; this module centralizes their construction, training and online
+refresh, and records the (modelled) training overhead the paper reports
+in Section VIII-I (~20 ms per fused-kernel model).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import GPUConfig
+from ..errors import PredictionError
+from ..fusion.fuser import FusedKernel
+from ..kernels.ir import KernelIR
+from .fused_model import FusedDurationModel
+from .kernel_model import KernelDurationModel, ProfileNoise
+
+#: Wall time to train one fused-kernel duration model (Section VIII-I).
+FUSED_MODEL_TRAIN_MS = 20.0
+
+
+class OnlineModelManager:
+    """Owns and maintains all duration models used by the runtime."""
+
+    def __init__(self, gpu: GPUConfig, noise: Optional[ProfileNoise] = None):
+        self._gpu = gpu
+        self._noise = noise
+        self._kernel_models: dict[str, KernelDurationModel] = {}
+        self._fused_models: dict[tuple[str, str], FusedDurationModel] = {}
+        #: accumulated modelled training time (overhead experiment)
+        self.total_training_ms = 0.0
+
+    # -- per-kernel models ------------------------------------------------------
+
+    def kernel_model(self, kernel: KernelIR) -> KernelDurationModel:
+        """The (lazily trained) duration model of one kernel."""
+        model = self._kernel_models.get(kernel.name)
+        if model is None:
+            model = KernelDurationModel(kernel, noise=self._noise)
+            model.train(self._gpu)
+            self._kernel_models[kernel.name] = model
+        return model
+
+    def predict_kernel(self, kernel: KernelIR, grid: int) -> float:
+        return self.kernel_model(kernel).predict(grid)
+
+    # -- fused models -------------------------------------------------------------
+
+    def fused_model(self, fused: FusedKernel) -> FusedDurationModel:
+        """The (lazily trained) two-stage model of one fused kernel."""
+        key = (fused.tc.ir.name, fused.cd.ir.name)
+        model = self._fused_models.get(key)
+        if model is None:
+            model = FusedDurationModel(
+                fused,
+                tc_model=self.kernel_model(fused.tc.ir),
+                cd_model=self.kernel_model(fused.cd.ir),
+                noise=self._noise,
+            )
+            model.train(self._gpu)
+            self._fused_models[key] = model
+            self.total_training_ms += FUSED_MODEL_TRAIN_MS
+        return model
+
+    def predict_fused(
+        self, fused: FusedKernel, xori_tc: float, xori_cd: float
+    ) -> float:
+        return self.fused_model(fused).predict(xori_tc, xori_cd)
+
+    def observe_fused(
+        self,
+        fused: FusedKernel,
+        xori_tc: float,
+        xori_cd: float,
+        actual_cycles: float,
+    ) -> float:
+        key = (fused.tc.ir.name, fused.cd.ir.name)
+        model = self._fused_models.get(key)
+        if model is None:
+            raise PredictionError(
+                f"no trained fused model for {key}; predict before observing"
+            )
+        return model.observe(xori_tc, xori_cd, actual_cycles)
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def trained_kernel_models(self) -> int:
+        return len(self._kernel_models)
+
+    @property
+    def trained_fused_models(self) -> int:
+        return len(self._fused_models)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path: str) -> str:
+        """Export every trained model to a JSON bundle at ``path``."""
+        from .persistence import save_bundle
+
+        return save_bundle(path, self._kernel_models, self._fused_models)
+
+    def load(self, path: str, fused_kernels: dict) -> int:
+        """Restore models from a bundle written by :meth:`save`.
+
+        ``fused_kernels`` maps (TC name, CD name) to the matching
+        :class:`FusedKernel` artifacts (models attach to artifacts).
+        Returns the number of models restored; kernels or pairs not
+        present in this deployment are skipped.
+        """
+        from .persistence import (
+            import_fused_model,
+            import_kernel_model,
+            load_bundle,
+        )
+
+        bundle = load_bundle(path)
+        restored = 0
+        kernel_irs = {
+            fused.tc.ir.name: fused.tc.ir for fused in fused_kernels.values()
+        }
+        kernel_irs.update(
+            (fused.cd.ir.name, fused.cd.ir)
+            for fused in fused_kernels.values()
+        )
+        for name, data in bundle["kernels"].items():
+            if name in kernel_irs:
+                self._kernel_models[name] = import_kernel_model(
+                    kernel_irs[name], data, noise=self._noise
+                )
+                restored += 1
+        for data in bundle["fused"]:
+            key = tuple(data["pair"])
+            fused = fused_kernels.get(key)
+            if fused is None:
+                continue
+            tc_model = self._kernel_models.get(fused.tc.ir.name)
+            cd_model = self._kernel_models.get(fused.cd.ir.name)
+            if tc_model is None or cd_model is None:
+                continue
+            self._fused_models[key] = import_fused_model(
+                fused, tc_model, cd_model, data
+            )
+            restored += 1
+        return restored

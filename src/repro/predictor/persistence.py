@@ -1,0 +1,146 @@
+"""Serialization of trained duration models.
+
+A Tacker deployment trains its models offline ("we use historical data
+to train the LR model", Section VI-C) and ships them with the fused
+kernels; the runtime must be able to load them without re-profiling.
+This module round-trips both model families through plain JSON-safe
+dictionaries:
+
+* per-kernel LR models — two floats each;
+* fused two-stage models — the per-stage samples and fitted lines plus
+  the inflection, so a loaded model continues online refinement exactly
+  where the exported one stopped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..errors import PredictionError
+from ..fusion.fuser import FusedKernel
+from ..kernels.ir import KernelIR
+from .fused_model import FusedDurationModel, _Stage
+from .kernel_model import KernelDurationModel, ProfileNoise
+from .linear import LinearModel
+
+#: Format tag guarding against loading an incompatible export.
+FORMAT = "tacker-duration-models/1"
+
+
+def _export_line(line: Optional[LinearModel]) -> Optional[dict]:
+    if line is None:
+        return None
+    return {"slope": line.slope, "intercept": line.intercept}
+
+
+def _import_line(data: Optional[dict]) -> Optional[LinearModel]:
+    if data is None:
+        return None
+    return LinearModel(slope=data["slope"], intercept=data["intercept"])
+
+
+def export_kernel_model(model: KernelDurationModel) -> dict:
+    """Serialize one trained per-kernel LR model."""
+    return {
+        "kernel": model.kernel.name,
+        "line": _export_line(model.model),
+    }
+
+
+def import_kernel_model(
+    kernel: KernelIR, data: dict, noise: Optional[ProfileNoise] = None
+) -> KernelDurationModel:
+    """Rebuild a per-kernel model; the kernel must match the export."""
+    if data["kernel"] != kernel.name:
+        raise PredictionError(
+            f"model exported for {data['kernel']!r}, not {kernel.name!r}"
+        )
+    model = KernelDurationModel(kernel, noise=noise)
+    model._model = _import_line(data["line"])
+    return model
+
+
+def _export_stage(stage: _Stage) -> dict:
+    return {
+        "ratios": list(stage.ratios),
+        "norm_durations": list(stage.norm_durations),
+        "line": _export_line(stage.line),
+    }
+
+
+def _import_stage(data: dict) -> _Stage:
+    stage = _Stage(
+        ratios=list(data["ratios"]),
+        norm_durations=list(data["norm_durations"]),
+    )
+    stage.line = _import_line(data["line"])
+    return stage
+
+
+def export_fused_model(model: FusedDurationModel) -> dict:
+    """Serialize one trained two-stage fused model."""
+    if not model.is_trained:
+        raise PredictionError("cannot export an untrained fused model")
+    return {
+        "pair": [model.fused.tc.ir.name, model.fused.cd.ir.name],
+        "before": _export_stage(model._before),
+        "after": _export_stage(model._after),
+        "inflection": model.opportune_load_ratio,
+        "update_count": model.update_count,
+    }
+
+
+def import_fused_model(
+    fused: FusedKernel,
+    tc_model: KernelDurationModel,
+    cd_model: KernelDurationModel,
+    data: dict,
+) -> FusedDurationModel:
+    """Rebuild a fused model onto a matching fused-kernel artifact."""
+    expected = [fused.tc.ir.name, fused.cd.ir.name]
+    if data["pair"] != expected:
+        raise PredictionError(
+            f"model exported for pair {data['pair']}, not {expected}"
+        )
+    model = FusedDurationModel(fused, tc_model, cd_model)
+    model._before = _import_stage(data["before"])
+    model._after = _import_stage(data["after"])
+    model._inflection = data["inflection"]
+    model.update_count = data["update_count"]
+    return model
+
+
+def export_bundle(
+    kernel_models: dict[str, KernelDurationModel],
+    fused_models: dict[tuple[str, str], FusedDurationModel],
+) -> dict:
+    """One JSON-safe bundle holding every trained model."""
+    return {
+        "format": FORMAT,
+        "kernels": {
+            name: export_kernel_model(model)
+            for name, model in kernel_models.items()
+        },
+        "fused": [
+            export_fused_model(model) for model in fused_models.values()
+        ],
+    }
+
+
+def save_bundle(path: str, kernel_models, fused_models) -> str:
+    """Write the bundle to ``path``; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(export_bundle(kernel_models, fused_models), handle)
+    return path
+
+
+def load_bundle(path: str) -> dict:
+    """Read and validate a bundle written by :func:`save_bundle`."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("format") != FORMAT:
+        raise PredictionError(
+            f"unsupported model bundle format {data.get('format')!r}"
+        )
+    return data

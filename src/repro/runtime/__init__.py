@@ -1,0 +1,58 @@
+"""The Tacker runtime: QoS-aware online kernel scheduling (Section VII).
+
+Pieces:
+
+* :mod:`~repro.runtime.query` — LC queries as kernel sequences and BE
+  applications as endless kernel streams;
+* :mod:`~repro.runtime.workload` — Poisson query arrivals at a fraction
+  of each service's peak load (Section VIII-B);
+* :mod:`~repro.runtime.oracle` — ground-truth durations from the GPU
+  simulator, memoized (the role real silicon plays in the paper);
+* :mod:`~repro.runtime.headroom` — the QoS headroom algebra of
+  Eqs. 7 and 9;
+* :mod:`~repro.runtime.policies` — the Tacker kernel manager (fusion +
+  reorder, Eq. 8, Tgain selection) and the baselines (Baymax reorder,
+  solo);
+* :mod:`~repro.runtime.server` — the non-preemptive co-location engine
+  that plays a policy forward and records latencies, throughput and the
+  two pipes' active timelines;
+* :mod:`~repro.runtime.system` — offline preparation (PTB transforms,
+  fusion search, artifact compilation, model training) + experiment glue;
+* :mod:`~repro.runtime.metrics` — Eq. 10 throughput improvement, tail
+  latencies, Eq. 11 overlap rates.
+"""
+
+from .query import BEApplication, KernelInstance, Query
+from .workload import PoissonArrivals, be_application, peak_load_qps
+from .oracle import DurationOracle
+from .headroom import HeadroomTracker
+from .policies import BaymaxPolicy, SchedulingPolicy, TackerPolicy
+from .server import ColocationServer, ServerResult
+from .system import TackerSystem, PairOutcome
+from .metrics import latency_stats, throughput_improvement
+from .cluster import ClusterManager, ClusterNode
+from .trace_export import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "BEApplication",
+    "KernelInstance",
+    "Query",
+    "PoissonArrivals",
+    "be_application",
+    "peak_load_qps",
+    "DurationOracle",
+    "HeadroomTracker",
+    "SchedulingPolicy",
+    "BaymaxPolicy",
+    "TackerPolicy",
+    "ColocationServer",
+    "ServerResult",
+    "TackerSystem",
+    "PairOutcome",
+    "latency_stats",
+    "throughput_improvement",
+    "ClusterManager",
+    "ClusterNode",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,153 @@
+"""Cluster-level deployment (Section IV).
+
+Beyond a single private-datacenter GPU, the paper sketches two wider
+deployment modes:
+
+* on clouds, fuse an application's kernels only once its *occurrence*
+  exceeds an adjustable threshold — compiling fused kernels for one-off
+  tenants would waste the 0.9 s/pair offline cost;
+* at the cluster level, identify the long-running applications centrally,
+  prepare the fused kernels once, and distribute the shared libraries to
+  the GPUs "based on the BE applications' location".
+
+``ClusterManager`` implements both: it counts application occurrences
+across nodes, triggers the offline fusion pipeline when a pair of
+co-resident applications crosses the threshold, and records which nodes
+receive which artifact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SchedulingError
+from ..models.zoo import ModelSpec, model_by_name
+from .query import BEApplication
+from .system import TackerSystem
+from .workload import be_application
+
+#: Default occurrence threshold before a workload earns fused kernels.
+DEFAULT_OCCURRENCE_THRESHOLD = 3
+
+
+@dataclass
+class ClusterNode:
+    """One GPU node: which LC service and BE applications it hosts."""
+
+    name: str
+    lc_service: Optional[str] = None
+    be_apps: set[str] = field(default_factory=set)
+
+
+class ClusterManager:
+    """Tracks workloads across nodes and stages fused kernels for them."""
+
+    def __init__(
+        self,
+        system: TackerSystem,
+        occurrence_threshold: int = DEFAULT_OCCURRENCE_THRESHOLD,
+    ):
+        if occurrence_threshold < 1:
+            raise SchedulingError("occurrence threshold must be >= 1")
+        self.system = system
+        self.occurrence_threshold = occurrence_threshold
+        self._nodes: dict[str, ClusterNode] = {}
+        self._occurrences: Counter[str] = Counter()
+        #: node name -> artifact library names staged there
+        self.distributed: dict[str, set[str]] = {}
+
+    # -- placement bookkeeping ---------------------------------------------------
+
+    def add_node(self, name: str) -> ClusterNode:
+        if name in self._nodes:
+            raise SchedulingError(f"node {name!r} already registered")
+        node = ClusterNode(name=name)
+        self._nodes[name] = node
+        self.distributed[name] = set()
+        return node
+
+    def node(self, name: str) -> ClusterNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SchedulingError(f"unknown node {name!r}") from None
+
+    def place_lc(self, node_name: str, lc_name: str) -> None:
+        """Record an LC service deployment (one occurrence)."""
+        node = self.node(node_name)
+        node.lc_service = lc_name
+        self._occurrences[f"lc:{lc_name}"] += 1
+        self._refresh()
+
+    def place_be(self, node_name: str, be_name: str) -> None:
+        """Record a BE application landing on a node (one occurrence)."""
+        node = self.node(node_name)
+        node.be_apps.add(be_name)
+        self._occurrences[f"be:{be_name}"] += 1
+        self._refresh()
+
+    def _refresh(self) -> None:
+        """Re-evaluate every node: a workload crossing the threshold can
+        unlock fusion staging on *other* nodes hosting the same pair."""
+        for node in self._nodes.values():
+            self._maybe_prepare(node)
+
+    def occurrences(self, kind: str, name: str) -> int:
+        return self._occurrences[f"{kind}:{name}"]
+
+    def is_long_running(self, kind: str, name: str) -> bool:
+        """Whether a workload has crossed the occurrence threshold."""
+        return self.occurrences(kind, name) >= self.occurrence_threshold
+
+    # -- fusion staging -------------------------------------------------------------
+
+    def _maybe_prepare(self, node: ClusterNode) -> None:
+        """Prepare + distribute fused kernels for co-resident pairs whose
+        workloads are both long-running."""
+        if node.lc_service is None:
+            return
+        if not self.is_long_running("lc", node.lc_service):
+            return
+        model = self._model(node.lc_service)
+        for be_name in sorted(node.be_apps):
+            if not self.is_long_running("be", be_name):
+                continue
+            self._prepare_and_distribute(node, model, be_name)
+
+    def _model(self, lc_name: str) -> ModelSpec:
+        return model_by_name(lc_name)
+
+    def _be(self, be_name: str) -> BEApplication:
+        return be_application(be_name, self.system.library)
+
+    def _prepare_and_distribute(
+        self, node: ClusterNode, model: ModelSpec, be_name: str
+    ) -> None:
+        be_app = self._be(be_name)
+        self.system.prepare_pair(model, be_app)
+        libraries = {
+            artifact.library_name
+            for artifact in self.system.compiler
+            if self._relevant(artifact, model, be_app)
+        }
+        self.distributed[node.name] |= libraries
+
+    @staticmethod
+    def _relevant(artifact, model: ModelSpec, be_app: BEApplication) -> bool:
+        lc_kernels = {k.kernel for k in model.kernels}
+        be_kernels = {i.name for i in be_app.sequence}
+        tc, cd = artifact.key
+        return (tc in lc_kernels and cd in be_kernels) or (
+            tc in be_kernels and cd in lc_kernels
+        )
+
+    # -- reporting -------------------------------------------------------------------
+
+    def staging_report(self) -> dict[str, int]:
+        """Libraries staged per node (what the distribution step ships)."""
+        return {
+            name: len(libraries)
+            for name, libraries in self.distributed.items()
+        }

@@ -1,0 +1,82 @@
+"""QoS headroom accounting (Eqs. 7 and 9).
+
+A query ``Q`` meets its QoS target iff
+
+    T_queue + T_lc + T_fuse + T_be  <=  T_qos                      (Eq. 7)
+
+so the *headroom* — GPU time the scheduler may hand to best-effort work
+while ``Q`` is in flight — is what remains of the target after the time
+already spent and the query's own predicted remaining work.  With
+several active queries, each earlier query's remaining GPU time is also
+reserved (Eq. 9), and the binding constraint is the minimum slack over
+all of them: serving FIFO, query ``i`` can only finish after every
+earlier query's remaining kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..errors import SchedulingError
+from .query import KernelInstance, Query
+
+#: Predicted duration of one kernel instance, in milliseconds.
+Predictor = Callable[[KernelInstance], float]
+
+
+class HeadroomTracker:
+    """Computes the schedulable BE headroom at a point in time."""
+
+    def __init__(self, qos_ms: float, predictor: Predictor):
+        if qos_ms <= 0:
+            raise SchedulingError("QoS target must be positive")
+        self.qos_ms = qos_ms
+        self._predict = predictor
+        # Suffix sums of predicted durations per kernel sequence.  The
+        # per-kernel LR models are static after training, and queries of
+        # one service share their instance tuple, so the remaining-time
+        # query becomes O(1) instead of O(sequence length).
+        self._suffix: dict[tuple, list[float]] = {}
+
+    def _sequence_key(self, query: Query) -> tuple:
+        instances = query.instances
+        return (
+            query.model.name,
+            len(instances),
+            instances[0].name if instances else "",
+            instances[-1].name if instances else "",
+        )
+
+    def predicted_remaining_ms(self, query: Query) -> float:
+        """LR-predicted GPU time of a query's unexecuted kernels."""
+        key = self._sequence_key(query)
+        suffix = self._suffix.get(key)
+        if suffix is None:
+            suffix = [0.0]
+            for instance in reversed(query.instances):
+                suffix.append(suffix[-1] + self._predict(instance))
+            suffix.reverse()
+            self._suffix[key] = suffix
+        return suffix[query.cursor]
+
+    def headroom_ms(self, now_ms: float, active: Sequence[Query]) -> float:
+        """BE headroom given the FIFO set of active queries (Eq. 9).
+
+        Returns ``+inf`` when no query is active (pure best-effort
+        periods are unconstrained) and can go negative when a query is
+        already doomed — the scheduler then launches LC kernels back to
+        back ("If the Thr of the new query is close to 0, Tacker
+        directly launches all the kernels").
+        """
+        if not active:
+            return float("inf")
+        slack = float("inf")
+        reserved_ahead = 0.0
+        for query in active:
+            remaining = self.predicted_remaining_ms(query)
+            elapsed = now_ms - query.arrival_ms
+            slack = min(
+                slack, self.qos_ms - elapsed - reserved_ahead - remaining
+            )
+            reserved_ahead += remaining
+        return slack

@@ -1,0 +1,68 @@
+"""Evaluation metrics (Eqs. 10 and 11; Fig. 16's latency statistics)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SchedulingError
+from .server import ServerResult
+
+
+def throughput_improvement(
+    tacker: ServerResult, baseline: ServerResult
+) -> float:
+    """Eq. 10: relative BE throughput gain of Tacker over the baseline.
+
+    Both runs must cover the same horizon (same arrival trace), so the
+    work comparison is a throughput comparison.
+    """
+    if abs(tacker.horizon_ms - baseline.horizon_ms) > 1e-6:
+        raise SchedulingError(
+            "cannot compare runs over different horizons "
+            f"({tacker.horizon_ms} vs {baseline.horizon_ms})"
+        )
+    base_work = baseline.total_be_work_ms
+    if base_work <= 0:
+        raise SchedulingError("baseline completed no BE work")
+    return (tacker.total_be_work_ms - base_work) / base_work
+
+
+def latency_stats(result: ServerResult) -> dict[str, float]:
+    """Fig. 16's per-pair numbers: average and 99th-percentile latency."""
+    latencies = np.asarray(result.latencies_ms)
+    return {
+        "mean_ms": float(latencies.mean()),
+        "p99_ms": float(np.percentile(latencies, 99)),
+        "max_ms": float(latencies.max()),
+        "qos_ms": result.qos_ms,
+        "violation_rate": result.qos_violation_rate,
+    }
+
+
+def active_time_breakdown(result: ServerResult) -> dict[str, float]:
+    """Fig. 2's stacked bars: TC and CD active time over the run window.
+
+    Values are normalized to the run's span so that a fully busy GPU
+    with no overlap sums to 1.0, and overlap pushes the sum above 1.0.
+    """
+    span = result.end_ms
+    if span <= 0:
+        raise SchedulingError("empty run")
+    tc = result.tc_timeline.total()
+    cd = result.cd_timeline.total()
+    both = result.tc_timeline.intersection(result.cd_timeline).total()
+    return {
+        "tc_active": tc / span,
+        "cd_active": cd / span,
+        "both_active": both / span,
+        "stacked": (tc + cd) / span,
+    }
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    arr = np.asarray(values, dtype=float)
+    if np.any(arr <= 0):
+        raise SchedulingError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,66 @@
+"""Ground-truth kernel durations, memoized.
+
+In the paper, real silicon decides how long every launch takes; here the
+GPU simulator does.  The oracle memoizes simulations — PTB makes every
+launch of a given (kernel, grid) identical, and fused launches repeat
+for a given (artifact, tc grid, cd grid) — so a long co-location run
+costs one simulation per distinct launch shape, not per launch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import GPUConfig
+from ..fusion.fuser import FusedKernel
+from ..gpusim.gpu import CoRunResult, corun_fused_launch, simulate_launch
+from ..kernels.ir import KernelIR
+
+
+class DurationOracle:
+    """Memoized simulator frontend used by the co-location server."""
+
+    def __init__(self, gpu: GPUConfig):
+        self.gpu = gpu
+        self._solo_ms: dict[tuple[str, int], float] = {}
+        self._fused: dict[tuple[str, int, int], CoRunResult] = {}
+        #: simulator invocations, for cache-effectiveness reporting
+        self.misses = 0
+
+    def solo_ms(self, kernel: KernelIR, grid: Optional[int] = None) -> float:
+        """Actual solo duration of one launch, in milliseconds."""
+        grid = kernel.default_grid if grid is None else grid
+        key = (kernel.name, grid)
+        cached = self._solo_ms.get(key)
+        if cached is None:
+            self.misses += 1
+            result = simulate_launch(kernel.launch(grid), self.gpu)
+            cached = result.duration_ms(self.gpu)
+            self._solo_ms[key] = cached
+        return cached
+
+    def fused(
+        self, fused: FusedKernel, tc_grid: int, cd_grid: int
+    ) -> CoRunResult:
+        """Actual co-run outcome of one fused launch."""
+        key = (fused.name, tc_grid, cd_grid)
+        cached = self._fused.get(key)
+        if cached is None:
+            self.misses += 1
+            solo_tc = self.solo_ms(fused.tc.ir, tc_grid)
+            solo_cd = self.solo_ms(fused.cd.ir, cd_grid)
+            cached = corun_fused_launch(
+                fused.launch(tc_grid, cd_grid),
+                self.gpu,
+                self.gpu.ms_to_cycles(solo_tc),
+                self.gpu.ms_to_cycles(solo_cd),
+            )
+            self._fused[key] = cached
+        return cached
+
+    def fused_ms(
+        self, fused: FusedKernel, tc_grid: int, cd_grid: int
+    ) -> float:
+        return self.gpu.cycles_to_ms(
+            self.fused(fused, tc_grid, cd_grid).duration_cycles
+        )

@@ -1,0 +1,267 @@
+"""The non-preemptive co-location engine.
+
+Plays a scheduling policy forward over a Poisson query trace and an
+always-backlogged set of BE applications, on a GPU that runs exactly one
+kernel at a time (the non-preemptive premise of the paper — and of the
+false-high-utilization problem).  Produces per-query latencies, BE
+progress, and the two core types' active timelines (the signal behind
+Figs. 1, 2 and 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..config import GPUConfig
+from ..errors import SchedulingError
+from ..gpusim.trace import Timeline
+from .oracle import DurationOracle
+from .policies import Action, SchedulingPolicy
+from .query import BEApplication, Query
+
+
+@dataclass
+class ExecutedKernel:
+    """One executed launch, for fine-grained trace consumers (Fig. 15)."""
+
+    start_ms: float
+    end_ms: float
+    kind: str       # "lc" | "be" | "fused"
+    name: str
+    tc_end_ms: float
+    cd_end_ms: float
+
+
+@dataclass
+class ServerResult:
+    """Outcome of one co-location run."""
+
+    qos_ms: float
+    horizon_ms: float
+    end_ms: float
+    latencies_ms: list[float]
+    be_work_ms: dict[str, float]
+    tc_timeline: Timeline
+    cd_timeline: Timeline
+    n_lc_kernels: int = 0
+    n_be_kernels: int = 0
+    n_fused_kernels: int = 0
+    executed: list[ExecutedKernel] = field(default_factory=list)
+    #: per-LC-service latencies (useful under multi-tenant runs)
+    latencies_by_model: dict[str, list[float]] = field(default_factory=dict)
+
+    def p99_by_model(self) -> dict[str, float]:
+        """99th-percentile latency per LC service."""
+        return {
+            name: float(np.percentile(values, 99))
+            for name, values in self.latencies_by_model.items()
+        }
+
+    @property
+    def total_be_work_ms(self) -> float:
+        return sum(self.be_work_ms.values())
+
+    @property
+    def be_throughput(self) -> float:
+        """BE work completed per wall millisecond within the horizon."""
+        if self.horizon_ms <= 0:
+            raise SchedulingError("horizon must be positive")
+        return self.total_be_work_ms / self.horizon_ms
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return float(np.mean(self.latencies_ms))
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return float(np.percentile(self.latencies_ms, 99))
+
+    @property
+    def qos_violation_rate(self) -> float:
+        violations = sum(1 for l in self.latencies_ms if l > self.qos_ms)
+        return violations / len(self.latencies_ms)
+
+    @property
+    def qos_satisfied(self) -> bool:
+        """The paper's criterion: the 99th percentile meets the target."""
+        return self.p99_latency_ms <= self.qos_ms * 1.0001
+
+
+class ColocationServer:
+    """Executes a policy over one query trace."""
+
+    def __init__(
+        self,
+        gpu: GPUConfig,
+        oracle: DurationOracle,
+        policy: SchedulingPolicy,
+        qos_ms: float,
+        record_kernels: bool = False,
+    ):
+        self.gpu = gpu
+        self.oracle = oracle
+        self.policy = policy
+        self.qos_ms = qos_ms
+        self.record_kernels = record_kernels
+
+    def run(
+        self,
+        queries: Sequence[Query],
+        be_apps: Sequence[BEApplication],
+        horizon_ms: Optional[float] = None,
+    ) -> ServerResult:
+        """Run until every query completes.
+
+        BE work is credited only for completions within the horizon
+        (default: last arrival + QoS target), so throughput comparisons
+        between policies cover identical wall-clock windows.
+        """
+        if not queries:
+            raise SchedulingError("need at least one query")
+        pending = sorted(queries, key=lambda q: q.arrival_ms)
+        if horizon_ms is None:
+            horizon_ms = pending[-1].arrival_ms + self.qos_ms
+        result = ServerResult(
+            qos_ms=self.qos_ms,
+            horizon_ms=horizon_ms,
+            end_ms=0.0,
+            latencies_ms=[],
+            be_work_ms={app.name: 0.0 for app in be_apps},
+            tc_timeline=Timeline(),
+            cd_timeline=Timeline(),
+        )
+        now = 0.0
+        next_arrival = 0
+        active: list[Query] = []
+
+        while True:
+            while (
+                next_arrival < len(pending)
+                and pending[next_arrival].arrival_ms <= now
+            ):
+                active.append(pending[next_arrival])
+                next_arrival += 1
+
+            action = self.policy.decide(now, active, be_apps)
+            if action is None:
+                if next_arrival < len(pending):
+                    now = pending[next_arrival].arrival_ms
+                    continue
+                break
+
+            now = self._execute(action, now, active, result)
+
+            if not active and next_arrival >= len(pending):
+                break
+        result.end_ms = now
+        return result
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(
+        self,
+        action: Action,
+        now: float,
+        active: list[Query],
+        result: ServerResult,
+    ) -> float:
+        if action.kind == "lc":
+            return self._run_lc(action, now, active, result)
+        if action.kind == "be":
+            return self._run_be(action, now, result)
+        if action.kind == "fused":
+            return self._run_fused(action, now, active, result)
+        raise SchedulingError(f"unknown action kind {action.kind!r}")
+
+    def _finish_query_kernel(
+        self, query: Query, end: float, active: list[Query],
+        result: ServerResult,
+    ) -> None:
+        query.advance(end)
+        if query.done:
+            active.remove(query)
+            result.latencies_ms.append(query.latency_ms)
+            result.latencies_by_model.setdefault(
+                query.model.name, []
+            ).append(query.latency_ms)
+
+    def _record(self, result: ServerResult, start: float, end: float,
+                kind: str, name: str, tc_end: float, cd_end: float) -> None:
+        if tc_end > start:
+            result.tc_timeline.add(start, tc_end)
+        if cd_end > start:
+            result.cd_timeline.add(start, cd_end)
+        if self.record_kernels:
+            result.executed.append(
+                ExecutedKernel(start, end, kind, name, tc_end, cd_end)
+            )
+
+    def _run_lc(self, action, now, active, result) -> float:
+        query = action.query
+        instance = query.current
+        duration = self.oracle.solo_ms(instance.kernel, instance.grid)
+        end = now + duration
+        tc_end = end if instance.kind == "tc" else now
+        cd_end = end if instance.kind == "cd" else now
+        self._record(result, now, end, "lc", instance.name, tc_end, cd_end)
+        result.n_lc_kernels += 1
+        self._finish_query_kernel(query, end, active, result)
+        return end
+
+    def _run_be(self, action, now, result) -> float:
+        app = action.be_app
+        instance = app.head
+        duration = self.oracle.solo_ms(instance.kernel, instance.grid)
+        end = now + duration
+        tc_end = end if instance.kind == "tc" else now
+        cd_end = end if instance.kind == "cd" else now
+        self._record(result, now, end, "be", instance.name, tc_end, cd_end)
+        result.n_be_kernels += 1
+        app.complete_head(duration)
+        if end <= result.horizon_ms:
+            result.be_work_ms[app.name] += duration
+        return end
+
+    def _run_fused(self, action, now, active, result) -> float:
+        query = action.query
+        app = action.be_app
+        fused = action.fused
+        lc_instance = query.current
+        be_instance = app.head
+        if lc_instance.kind == "tc":
+            tc_grid, cd_grid = lc_instance.grid, be_instance.grid
+        else:
+            tc_grid, cd_grid = be_instance.grid, lc_instance.grid
+        corun = self.oracle.fused(fused, tc_grid, cd_grid)
+        duration = self.gpu.cycles_to_ms(corun.duration_cycles)
+        end = now + duration
+        tc_end = now + self.gpu.cycles_to_ms(corun.finish_a_cycles)
+        cd_end = now + self.gpu.cycles_to_ms(corun.finish_b_cycles)
+        self._record(result, now, end, "fused", fused.name, tc_end, cd_end)
+        result.n_fused_kernels += 1
+
+        # Online model maintenance (Section VI-C).
+        self.policy.models.observe_fused(
+            fused,
+            self.gpu.ms_to_cycles(
+                action.predicted_lc_ms
+                if lc_instance.kind == "tc"
+                else action.predicted_be_ms
+            ),
+            self.gpu.ms_to_cycles(
+                action.predicted_be_ms
+                if lc_instance.kind == "tc"
+                else action.predicted_lc_ms
+            ),
+            corun.duration_cycles,
+        )
+
+        be_solo = self.oracle.solo_ms(be_instance.kernel, be_instance.grid)
+        app.complete_head(be_solo)
+        if end <= result.horizon_ms:
+            result.be_work_ms[app.name] += be_solo
+        self._finish_query_kernel(query, end, active, result)
+        return end

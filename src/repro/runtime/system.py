@@ -1,0 +1,289 @@
+"""End-to-end system glue: offline preparation + co-location runs.
+
+``TackerSystem`` owns everything that persists across experiments, the
+way the paper's deployment does in a private datacenter (Section IV):
+
+* the kernel library and the duration oracle (the "hardware");
+* PTB transforms of every fusable kernel (cached);
+* the fusion search results and compiled artifacts per (TC, CD) pair
+  (cached — one artifact serves every co-location that meets the pair);
+* the trained duration models (kernel LR + fused two-stage LR).
+
+``run_pair`` then evaluates one LC service co-located with one BE
+application under Tacker and under Baymax on identical arrival traces,
+yielding the per-pair numbers behind Figs. 14, 16 and 19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..config import GPUConfig, RTX2080TI
+from ..errors import OccupancyError, SchedulingError
+from ..fusion.compiler import FusionCompiler
+from ..fusion.fuser import FusedKernel
+from ..fusion.ptb import PTBKernel, transform as ptb_transform
+from ..fusion.search import FusionSearch
+from ..kernels.library import KernelLibrary, default_library
+from ..models.zoo import ModelSpec, model_by_name
+from ..predictor.online import OnlineModelManager
+from .oracle import DurationOracle
+from .policies import BaymaxPolicy, SchedulingPolicy, TackerPolicy
+from .query import BEApplication
+from .server import ColocationServer, ServerResult
+from .workload import PoissonArrivals, be_application
+from .metrics import throughput_improvement
+
+#: The paper's QoS target (Section VIII-B).
+DEFAULT_QOS_MS = 50.0
+#: Queries per co-location run: enough for a stable 99th percentile.
+DEFAULT_QUERIES = 200
+
+
+@dataclass
+class PairOutcome:
+    """One co-location pair's evaluation (a Fig. 14 bar)."""
+
+    lc_name: str
+    be_name: str
+    tacker: ServerResult
+    baymax: ServerResult
+
+    @property
+    def improvement(self) -> float:
+        """Eq. 10 throughput improvement of Tacker over Baymax."""
+        return throughput_improvement(self.tacker, self.baymax)
+
+    @property
+    def qos_satisfied(self) -> bool:
+        return self.tacker.qos_satisfied
+
+
+class TackerSystem:
+    """The full Tacker deployment over the simulated GPU."""
+
+    def __init__(
+        self,
+        gpu: GPUConfig = RTX2080TI,
+        qos_ms: float = DEFAULT_QOS_MS,
+        load: float = 0.8,
+        seed: int = 2022,
+        library: Optional[KernelLibrary] = None,
+    ):
+        self.gpu = gpu
+        self.qos_ms = qos_ms
+        self.load = load
+        self.seed = seed
+        self.library = library if library is not None else default_library()
+        self.oracle = DurationOracle(gpu)
+        self.models = OnlineModelManager(gpu)
+        self.compiler = FusionCompiler()
+        self._search = FusionSearch(gpu)
+        self._ptb: dict[str, PTBKernel] = {}
+        self.artifacts: dict[tuple[str, str], FusedKernel] = {}
+        self._searched: set[tuple[str, str]] = set()
+
+    # -- offline preparation -----------------------------------------------------
+
+    def ptb(self, kernel_name: str) -> PTBKernel:
+        """PTB transform of a kernel, cached."""
+        cached = self._ptb.get(kernel_name)
+        if cached is None:
+            cached = ptb_transform(self.library.get(kernel_name), self.gpu)
+            self._ptb[kernel_name] = cached
+        return cached
+
+    def prepare_fusion(self, tc_name: str, cd_name: str) -> Optional[FusedKernel]:
+        """Search + compile + train models for one (TC, CD) pair, cached.
+
+        Returns the fused kernel, or None when the offline search found
+        sequential execution faster (the pair is never fused online).
+        """
+        key = (tc_name, cd_name)
+        if key in self._searched:
+            return self.artifacts.get(key)
+        self._searched.add(key)
+        try:
+            decision = self._search.search(self.ptb(tc_name), self.ptb(cd_name))
+        except OccupancyError:
+            return None
+        artifact = self.compiler.compile(decision)
+        if artifact is None:
+            return None
+        self.artifacts[key] = artifact.fused
+        # Train the two-stage duration model now, as the paper does
+        # offline with the four canonical load ratios.
+        self.models.fused_model(artifact.fused)
+        return artifact.fused
+
+    def _candidate_pairs(
+        self, model: ModelSpec, be_app: BEApplication
+    ) -> set[tuple[str, str]]:
+        """All (TC, CD) kernel-name pairs this co-location could fuse."""
+        pairs: set[tuple[str, str]] = set()
+        lc_tc = {k.kernel for k in model.kernels if k.is_tc and k.fusable}
+        lc_cd = {k.kernel for k in model.kernels if not k.is_tc}
+        be_tc = {
+            i.name for i in be_app.sequence
+            if i.kind == "tc" and i.fusable
+        }
+        be_cd = {i.name for i in be_app.sequence if i.kind == "cd"}
+        pairs.update((t, c) for t in lc_tc for c in be_cd)
+        pairs.update((t, c) for t in be_tc for c in lc_cd)
+        return pairs
+
+    def prepare_pair(self, model: ModelSpec, be_app: BEApplication) -> int:
+        """Prepare every fusion candidate of one co-location pair.
+
+        Returns the number of usable fused artifacts.
+        """
+        usable = 0
+        for tc_name, cd_name in sorted(self._candidate_pairs(model, be_app)):
+            if self.prepare_fusion(tc_name, cd_name) is not None:
+                usable += 1
+        return usable
+
+    # -- model persistence ------------------------------------------------------------
+
+    def save_models(self, path: str) -> str:
+        """Export every trained duration model to a JSON bundle.
+
+        A deployment ships this bundle alongside the fused libraries so
+        restarted runtimes skip the profiling passes.
+        """
+        return self.models.save(path)
+
+    def load_models(self, path: str) -> int:
+        """Restore duration models for the fusion pairs prepared so far.
+
+        Returns the number of models restored.
+        """
+        return self.models.load(path, self.artifacts)
+
+    # -- co-location runs -----------------------------------------------------------
+
+    def _make_policy(self, name: str) -> SchedulingPolicy:
+        if name == "tacker":
+            return TackerPolicy(
+                self.gpu, self.models, self.qos_ms, self.artifacts
+            )
+        if name == "baymax":
+            return BaymaxPolicy(self.gpu, self.models, self.qos_ms)
+        raise SchedulingError(f"unknown policy {name!r}")
+
+    def run_custom(
+        self,
+        model: ModelSpec,
+        be_names: Sequence[str],
+        policy: SchedulingPolicy,
+        n_queries: int = DEFAULT_QUERIES,
+        record_kernels: bool = False,
+    ) -> ServerResult:
+        """Run an arbitrary policy instance over a standard trace.
+
+        The arrival trace depends only on (model, seed, load, QoS), so
+        runs with different policies are directly comparable.
+        """
+        arrivals = PoissonArrivals(
+            model, self.library, self.oracle,
+            load=self.load, seed=self.seed, qos_ms=self.qos_ms,
+        )
+        queries = arrivals.queries(n_queries)
+        be_apps = [be_application(name, self.library) for name in be_names]
+        server = ColocationServer(
+            self.gpu, self.oracle, policy, self.qos_ms,
+            record_kernels=record_kernels,
+        )
+        return server.run(queries, be_apps)
+
+    def _run_policy(
+        self,
+        policy_name: str,
+        model: ModelSpec,
+        be_names: Sequence[str],
+        n_queries: int,
+        record_kernels: bool,
+    ) -> ServerResult:
+        return self.run_custom(
+            model, be_names, self._make_policy(policy_name),
+            n_queries=n_queries, record_kernels=record_kernels,
+        )
+
+    def run_multi(
+        self,
+        lc_names: Sequence[str],
+        be_names: Sequence[str],
+        n_queries: int = DEFAULT_QUERIES,
+        policy_name: str = "tacker",
+        load_split: Optional[Sequence[float]] = None,
+    ) -> ServerResult:
+        """Co-locate several LC services and BE applications on one GPU.
+
+        Each service keeps its own arrival process; since the GPU is
+        shared, every service runs at a *fraction* of its solo-calibrated
+        load (default: an equal split), mirroring how a multi-tenant
+        deployment divides capacity.  Queries from all services merge
+        into one FIFO trace; the Eq. 9 headroom already reserves earlier
+        queries' remaining time regardless of which service they belong
+        to.
+        """
+        if not lc_names:
+            raise SchedulingError("need at least one LC service")
+        if load_split is None:
+            load_split = [1.0 / len(lc_names)] * len(lc_names)
+        if len(load_split) != len(lc_names) or sum(load_split) > 1.0 + 1e-9:
+            raise SchedulingError(
+                "load_split must match lc_names and sum to at most 1"
+            )
+        queries: list = []
+        for index, (lc_name, share) in enumerate(
+            zip(lc_names, load_split)
+        ):
+            model = model_by_name(lc_name)
+            for be_name in be_names:
+                self.prepare_pair(
+                    model, be_application(be_name, self.library)
+                )
+            arrivals = PoissonArrivals(
+                model, self.library, self.oracle,
+                load=self.load * share,
+                seed=self.seed + index,
+                qos_ms=self.qos_ms,
+            )
+            queries.extend(arrivals.queries(n_queries))
+        be_apps = [be_application(name, self.library) for name in be_names]
+        server = ColocationServer(
+            self.gpu, self.oracle, self._make_policy(policy_name),
+            self.qos_ms,
+        )
+        return server.run(queries, be_apps)
+
+    def run_pair(
+        self,
+        lc_name: "str | ModelSpec",
+        be_name: str,
+        n_queries: int = DEFAULT_QUERIES,
+        record_kernels: bool = False,
+    ) -> PairOutcome:
+        """Evaluate one LC x BE co-location under Tacker and Baymax.
+
+        ``lc_name`` is a model name from the zoo, or a ready-made
+        :class:`ModelSpec` (e.g. a custom-batch variant).
+        """
+        model = (
+            lc_name if isinstance(lc_name, ModelSpec)
+            else model_by_name(lc_name)
+        )
+        be_app = be_application(be_name, self.library)
+        self.prepare_pair(model, be_app)
+        tacker = self._run_policy(
+            "tacker", model, [be_name], n_queries, record_kernels
+        )
+        baymax = self._run_policy(
+            "baymax", model, [be_name], n_queries, record_kernels
+        )
+        return PairOutcome(
+            lc_name=model.name, be_name=be_app.name,
+            tacker=tacker, baymax=baymax,
+        )

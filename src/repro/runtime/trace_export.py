@@ -1,0 +1,97 @@
+"""Export co-location execution traces to the Chrome trace format.
+
+The paper's Figs. 1 and 15 are timeline plots produced from profiler
+traces.  This module exports a :class:`ServerResult`'s kernel-level
+trace as Chrome ``chrome://tracing`` / Perfetto JSON, with one row per
+execution unit (Tensor cores / CUDA cores), so the reproduction's
+timelines can be inspected with the same kind of tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..errors import SchedulingError
+from .server import ExecutedKernel, ServerResult
+
+#: Synthetic pid/tids for the two execution units.
+_PID = 1
+_TENSOR_TID = 1
+_CUDA_TID = 2
+
+_COLOURS = {"lc": "thread_state_running", "be": "thread_state_iowait",
+            "fused": "thread_state_runnable"}
+
+
+def _event(name: str, tid: int, start_ms: float, end_ms: float,
+           kind: str) -> dict:
+    return {
+        "name": name,
+        "cat": kind,
+        "ph": "X",  # complete event
+        "pid": _PID,
+        "tid": tid,
+        "ts": start_ms * 1000.0,   # Chrome wants microseconds
+        "dur": (end_ms - start_ms) * 1000.0,
+        "cname": _COLOURS.get(kind, "generic_work"),
+        "args": {"kind": kind},
+    }
+
+
+def _unit_events(kernel: ExecutedKernel) -> list[dict]:
+    events = []
+    if kernel.tc_end_ms > kernel.start_ms:
+        events.append(_event(
+            kernel.name, _TENSOR_TID, kernel.start_ms, kernel.tc_end_ms,
+            kernel.kind,
+        ))
+    if kernel.cd_end_ms > kernel.start_ms:
+        events.append(_event(
+            kernel.name, _CUDA_TID, kernel.start_ms, kernel.cd_end_ms,
+            kernel.kind,
+        ))
+    return events
+
+
+def to_chrome_trace(result: ServerResult,
+                    limit: Optional[int] = None) -> dict:
+    """Build the Chrome trace object for one run.
+
+    Requires the run to have been recorded with ``record_kernels=True``.
+    """
+    if not result.executed:
+        raise SchedulingError(
+            "no kernel trace recorded; run the server with "
+            "record_kernels=True"
+        )
+    kernels = result.executed[:limit] if limit else result.executed
+    events: list[dict] = [
+        {
+            "name": "thread_name", "ph": "M", "pid": _PID,
+            "tid": _TENSOR_TID, "args": {"name": "Tensor cores"},
+        },
+        {
+            "name": "thread_name", "ph": "M", "pid": _PID,
+            "tid": _CUDA_TID, "args": {"name": "CUDA cores"},
+        },
+    ]
+    for kernel in kernels:
+        events.extend(_unit_events(kernel))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "qos_ms": result.qos_ms,
+            "n_fused": result.n_fused_kernels,
+        },
+    }
+
+
+def write_chrome_trace(result: ServerResult, path: str,
+                       limit: Optional[int] = None) -> str:
+    """Write the trace JSON to ``path``; returns the path."""
+    trace = to_chrome_trace(result, limit=limit)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return path

@@ -1,0 +1,34 @@
+"""Shared fixtures.
+
+Heavy objects (kernel library, simulators' result caches, PTB
+transforms) are session-scoped: they are immutable or append-only
+caches, so sharing them across tests only saves time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RTX2080TI, V100
+from repro.kernels.library import default_library
+from repro.runtime.oracle import DurationOracle
+
+
+@pytest.fixture(scope="session")
+def gpu():
+    return RTX2080TI
+
+
+@pytest.fixture(scope="session")
+def v100():
+    return V100
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def oracle(gpu):
+    return DurationOracle(gpu)

@@ -1,0 +1,139 @@
+"""Tests for direct and flexible kernel fusion."""
+
+import pytest
+
+from repro.errors import FusionError
+from repro.fusion.fuser import direct_fuse, flexible_fuse
+from repro.fusion.ptb import transform
+from repro.gpusim.gpu import simulate_launch
+from repro.kernels.gemm import canonical_gemms
+from repro.kernels.parboil import fft, mriq, tpacf
+
+
+@pytest.fixture(scope="module")
+def tc_ptb(gpu):
+    return transform(canonical_gemms()["tgemm_l"], gpu)
+
+
+@pytest.fixture(scope="module")
+def cd_ptb(gpu):
+    return transform(fft(), gpu)
+
+
+class TestFlexibleFusion:
+    def test_kind_check(self, gpu, tc_ptb, cd_ptb):
+        with pytest.raises(FusionError):
+            flexible_fuse(cd_ptb, tc_ptb, gpu, 1, 1)
+
+    def test_copy_counts_positive(self, gpu, tc_ptb, cd_ptb):
+        with pytest.raises(FusionError):
+            flexible_fuse(tc_ptb, cd_ptb, gpu, 0, 1)
+
+    def test_resource_overflow_rejected(self, gpu, tc_ptb):
+        fat = transform(tpacf(), gpu)
+        with pytest.raises(FusionError, match="exceeds SM resources"):
+            flexible_fuse(tc_ptb, fat, gpu, 2, 1)  # 32K + 48K > 64K
+
+    def test_fused_resources_are_summed(self, gpu, tc_ptb, cd_ptb):
+        fused = flexible_fuse(tc_ptb, cd_ptb, gpu, 2, 1)
+        assert fused.resources.threads == 2 * 256 + 256
+        assert fused.resources.shared_mem_bytes == 2 * 16384 + 8192
+
+    def test_warp_groups_sized_by_copies(self, gpu, tc_ptb, cd_ptb):
+        fused = flexible_fuse(tc_ptb, cd_ptb, gpu, 2, 1)
+        assert len(fused.tc_programs) == 2 * 8
+        assert len(fused.cd_programs) == 8
+
+    def test_barrier_ids_distinct_across_copies(self, gpu, tc_ptb, cd_ptb):
+        from repro.gpusim.warp import SyncSegment
+
+        fused = flexible_fuse(tc_ptb, cd_ptb, gpu, 2, 1)
+        ids_copy0 = {
+            s.barrier_id for s in fused.tc_programs[0].segments
+            if isinstance(s, SyncSegment)
+        }
+        ids_copy1 = {
+            s.barrier_id for s in fused.tc_programs[8].segments
+            if isinstance(s, SyncSegment)
+        }
+        assert ids_copy0.isdisjoint(ids_copy1)
+
+    def test_fused_source_structure(self, gpu, tc_ptb, cd_ptb):
+        fused = flexible_fuse(tc_ptb, cd_ptb, gpu, 2, 1)
+        text = fused.source.render()
+        assert "bar.sync" in text
+        assert "__syncthreads" not in text
+        assert "} else if (threadIdx.x < 512)" in text
+        assert "int thread_id = threadIdx.x - 512;" in text
+
+    def test_launch_folds_grids_into_iterations(self, gpu, tc_ptb, cd_ptb):
+        fused = flexible_fuse(tc_ptb, cd_ptb, gpu, 2, 1)
+        small = fused.launch(fused.tc_workers, fused.cd_workers)
+        big = fused.launch(fused.tc_workers * 4, fused.cd_workers * 4)
+        iters_small = small.block_template["tc"][0].iterations
+        iters_big = big.block_template["tc"][0].iterations
+        assert iters_big == 4 * iters_small
+
+    def test_launch_rejects_negative_grids(self, gpu, tc_ptb, cd_ptb):
+        fused = flexible_fuse(tc_ptb, cd_ptb, gpu, 2, 1)
+        with pytest.raises(FusionError):
+            fused.launch(-1, 10)
+
+    def test_corun_uses_both_pipes_and_beats_serial(
+        self, gpu, tc_ptb, cd_ptb
+    ):
+        fused = flexible_fuse(tc_ptb, cd_ptb, gpu, 2, 2)
+        corun = fused.corun(
+            gpu, tc_ptb.ir.default_grid, cd_ptb.ir.default_grid
+        )
+        serial = corun.solo_a_cycles + corun.solo_b_cycles
+        assert corun.duration_cycles < serial
+        assert corun.overlap > 0.2
+
+
+class TestDirectFusion:
+    def test_kind_check(self):
+        with pytest.raises(FusionError):
+            direct_fuse(mriq(), mriq())
+
+    def test_source_has_both_branches(self):
+        tc = canonical_gemms()["tgemm_l"]
+        fusion = direct_fuse(tc, fft())
+        text = fusion.source.render()
+        assert "if (threadIdx.x < 256)" in text
+        assert "} else if (threadIdx.x < 512)" in text
+
+    def test_resource_sum_halves_occupancy(self, gpu):
+        tc = canonical_gemms()["tgemm_l"]
+        fusion = direct_fuse(tc, fft())
+        from repro.gpusim.resources import blocks_per_sm
+
+        fused_occ = blocks_per_sm(fusion.resources, gpu.sm)
+        solo_occ = blocks_per_sm(tc.resources, gpu.sm)
+        assert fused_occ < solo_occ
+
+    def test_direct_fusion_brings_no_benefit(self, gpu):
+        """Fig. 3: the 1:1 direct fusion runs in about the serial time."""
+        tc = canonical_gemms()["tgemm_l"]
+        cd = fft()
+        fusion = direct_fuse(tc, cd)
+        # Equal-duration components, as in the Fig. 3 experiment setup.
+        solo_tc = simulate_launch(tc.launch(), gpu).duration_cycles
+        cd_grid = round(
+            cd.default_grid
+            * solo_tc
+            / simulate_launch(cd.launch(), gpu).duration_cycles
+        )
+        result = fusion.simulate(gpu, tc.default_grid, cd_grid)
+        norm = result.duration_cycles / (
+            result.solo_a_cycles + result.solo_b_cycles
+        )
+        assert norm > 0.8  # barely better than serial
+
+    def test_uneven_grids_run_tail(self, gpu):
+        tc = canonical_gemms()["tgemm_l"]
+        fusion = direct_fuse(tc, fft())
+        balanced = fusion.simulate(gpu, 1000, 1000)
+        lopsided = fusion.simulate(gpu, 1000, 3000)
+        assert lopsided.duration_cycles > balanced.duration_cycles
+        assert lopsided.finish_b_cycles == lopsided.duration_cycles

@@ -1,0 +1,140 @@
+"""Property-based tests over the fusion machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RTX2080TI
+from repro.errors import FusionError
+from repro.fusion.fuser import flexible_fuse
+from repro.fusion.ptb import transform
+from repro.gpusim.gpu import simulate_launch
+from repro.gpusim.resources import fits
+from repro.gpusim.warp import ComputeSegment, SyncSegment
+from repro.kernels.ir import make_kernel
+from repro.kernels.source import elementwise_source, tiled_source
+
+GPU = RTX2080TI
+
+tc_kernels = st.builds(
+    lambda threads, regs, shmem_kb, cycles, iters, grid: make_kernel(
+        "prop_tc", "tc",
+        threads=threads, regs=regs, shared_mem=shmem_kb * 1024,
+        compute_cycles=float(cycles), mem_bytes=128.0,
+        iters_per_block=iters, default_grid=grid,
+        source=tiled_source("prop_tc", ("half* a",), ("mma;",)),
+        syncs_per_iter=1,
+    ),
+    threads=st.sampled_from([128, 256]),
+    regs=st.integers(24, 64),
+    shmem_kb=st.integers(4, 20),
+    cycles=st.integers(100, 500),
+    iters=st.integers(4, 24),
+    grid=st.integers(500, 4000),
+)
+
+cd_kernels = st.builds(
+    lambda threads, regs, shmem_kb, cycles, nbytes, iters, grid: make_kernel(
+        "prop_cd", "cd",
+        threads=threads, regs=regs, shared_mem=shmem_kb * 1024,
+        compute_cycles=float(cycles), mem_bytes=float(nbytes),
+        iters_per_block=iters, default_grid=grid,
+        source=elementwise_source("prop_cd", "f(in[i])"),
+    ),
+    threads=st.sampled_from([64, 128, 256]),
+    regs=st.integers(16, 56),
+    shmem_kb=st.integers(0, 24),
+    cycles=st.integers(50, 500),
+    nbytes=st.integers(16, 1024),
+    iters=st.integers(4, 24),
+    grid=st.integers(500, 4000),
+)
+
+copy_counts = st.tuples(st.integers(1, 3), st.integers(1, 3))
+
+
+@given(tc_kernels, cd_kernels, copy_counts)
+@settings(max_examples=25, deadline=None)
+def test_fused_block_respects_sm_and_barriers(tc_ir, cd_ir, copies):
+    tc_copies, cd_copies = copies
+    tc = transform(tc_ir, GPU, persistent_blocks_per_sm=1)
+    cd = transform(cd_ir, GPU, persistent_blocks_per_sm=1)
+    try:
+        fused = flexible_fuse(tc, cd, GPU, tc_copies, cd_copies)
+    except FusionError:
+        # Must only refuse when the combined block genuinely overflows.
+        combined = tc_ir.resources.scaled(tc_copies).combined(
+            cd_ir.resources.scaled(cd_copies)
+        )
+        assert not fits(combined, GPU.sm)
+        return
+    # Fused block fits, and per-copy barriers never collide.
+    assert fits(fused.resources, GPU.sm)
+    barrier_ids = [
+        seg.barrier_id
+        for program in fused.tc_programs + fused.cd_programs
+        for seg in program.segments
+        if isinstance(seg, SyncSegment)
+    ]
+    per_copy = {}
+    for program_index, program in enumerate(fused.tc_programs):
+        copy = program_index // tc.ir.warps_per_block
+        for seg in program.segments:
+            if isinstance(seg, SyncSegment):
+                per_copy.setdefault(("tc", copy), set()).add(seg.barrier_id)
+    groups = list(per_copy.values())
+    for i, a in enumerate(groups):
+        for b in groups[i + 1:]:
+            assert a.isdisjoint(b)
+    assert all(0 <= b <= 15 for b in barrier_ids)
+
+
+@given(tc_kernels, cd_kernels)
+@settings(max_examples=15, deadline=None)
+def test_fused_duration_bounded_by_pipe_work(tc_ir, cd_ir):
+    """The fused kernel can never beat the issue-pipe work lower bound."""
+    tc = transform(tc_ir, GPU, persistent_blocks_per_sm=1)
+    cd = transform(cd_ir, GPU, persistent_blocks_per_sm=1)
+    try:
+        fused = flexible_fuse(tc, cd, GPU, 1, 1)
+    except FusionError:
+        return
+    launch = fused.launch(tc_ir.default_grid, cd_ir.default_grid)
+    duration = simulate_launch(launch, GPU).duration_cycles
+
+    def pipe_work(template_progs, width):
+        total = 0.0
+        for program in template_progs:
+            per_iter = sum(
+                s.cycles for s in program.segments
+                if isinstance(s, ComputeSegment)
+            )
+            total += per_iter * program.iterations
+        return total / width
+
+    tc_bound = pipe_work(
+        launch.block_template["tc"], GPU.sm.tensor_pipe_width
+    )
+    cd_bound = pipe_work(
+        launch.block_template["cd"], GPU.sm.cuda_pipe_width
+    )
+    assert duration >= max(tc_bound, cd_bound) - 1e-6
+
+
+@given(tc_kernels, cd_kernels, st.integers(1, 4))
+@settings(max_examples=15, deadline=None)
+def test_fused_launch_work_scaling(tc_ir, cd_ir, factor):
+    """Scaling both grids scales the fused duration proportionally."""
+    tc = transform(tc_ir, GPU, persistent_blocks_per_sm=1)
+    cd = transform(cd_ir, GPU, persistent_blocks_per_sm=1)
+    try:
+        fused = flexible_fuse(tc, cd, GPU, 1, 1)
+    except FusionError:
+        return
+    base_tc = fused.tc_workers * 4
+    base_cd = fused.cd_workers * 4
+    one = simulate_launch(fused.launch(base_tc, base_cd), GPU)
+    many = simulate_launch(
+        fused.launch(base_tc * factor, base_cd * factor), GPU
+    )
+    assert many.duration_cycles >= one.duration_cycles * factor * 0.8
+    assert many.duration_cycles <= one.duration_cycles * factor * 1.3

@@ -1,0 +1,87 @@
+"""Tests for the PTB transformation."""
+
+import pytest
+
+from repro.errors import FusionError
+from repro.fusion.ptb import (
+    PTB_PARAMS,
+    profile_persistent_blocks,
+    ptb_source,
+    transform,
+)
+from repro.gpusim.gpu import simulate_launch
+from repro.gpusim.resources import blocks_per_sm
+from repro.kernels.parboil import fft, mriq
+from repro.kernels.source import BLOCK_IDX, SourceLine, SyncPoint
+
+
+class TestSourceTransform:
+    def test_loop_structure_of_fig7(self):
+        src = ptb_source(mriq().source)
+        text = src.render()
+        assert "for (int block_pos = blockIdx.x;" in text
+        assert "block_pos < original_block_num;" in text
+        assert "block_pos += issued_block_num)" in text
+
+    def test_block_idx_rewritten_inside_loop(self):
+        src = ptb_source(mriq().source)
+        inner = [
+            s.text for s in src.body
+            if isinstance(s, SourceLine) and s.text.startswith("    ")
+        ]
+        assert all(BLOCK_IDX not in line for line in inner)
+
+    def test_new_parameters_appended(self):
+        src = ptb_source(mriq().source)
+        assert src.params[-2:] == PTB_PARAMS
+
+    def test_name_prefixed(self):
+        assert ptb_source(mriq().source).name == "ptb_mriq"
+
+    def test_sync_points_preserved(self):
+        src = ptb_source(fft().source)
+        assert src.sync_count == fft().source.sync_count
+        assert any(isinstance(s, SyncPoint) for s in src.body)
+
+
+class TestProfiling:
+    def test_profiled_count_is_feasible(self, gpu):
+        kernel = mriq()
+        count = profile_persistent_blocks(kernel, gpu)
+        assert 1 <= count <= blocks_per_sm(kernel.resources, gpu.sm)
+
+    def test_profiled_count_not_worse_than_one_block(self, gpu):
+        kernel = mriq()
+        best = transform(kernel, gpu)
+        single = transform(kernel, gpu, persistent_blocks_per_sm=1)
+        d_best = simulate_launch(best.launch(), gpu).duration_cycles
+        d_single = simulate_launch(single.launch(), gpu).duration_cycles
+        assert d_best <= d_single * 1.0001
+
+
+class TestTransform:
+    def test_explicit_count_respected(self, gpu):
+        ptb = transform(mriq(), gpu, persistent_blocks_per_sm=2)
+        assert ptb.persistent_blocks_per_sm == 2
+        assert ptb.launch().persistent_blocks_per_sm == 2
+
+    def test_infeasible_count_rejected(self, gpu):
+        with pytest.raises(FusionError):
+            transform(mriq(), gpu, persistent_blocks_per_sm=99)
+        with pytest.raises(FusionError):
+            transform(mriq(), gpu, persistent_blocks_per_sm=0)
+
+    def test_ptb_duration_close_to_original(self, gpu):
+        """PTB restructures the grid without changing the work: the
+        transformed kernel should run within ~15% of the original."""
+        kernel = fft()
+        original = simulate_launch(kernel.launch(), gpu).duration_cycles
+        ptb = transform(kernel, gpu)
+        transformed = simulate_launch(ptb.launch(), gpu).duration_cycles
+        assert transformed == pytest.approx(original, rel=0.15)
+
+    def test_launch_covers_custom_grid(self, gpu):
+        ptb = transform(mriq(), gpu)
+        launch = ptb.launch(1234)
+        assert launch.grid_blocks == 1234
+        assert launch.is_persistent

@@ -1,0 +1,73 @@
+"""Tests for the fusion-ratio search."""
+
+import pytest
+
+from repro.fusion.ptb import transform
+from repro.fusion.search import FusionSearch
+from repro.gpusim.resources import fits
+from repro.kernels.gemm import canonical_gemms
+from repro.kernels.parboil import cp, lbm, tpacf
+
+
+@pytest.fixture(scope="module")
+def search(gpu):
+    return FusionSearch(gpu)
+
+
+@pytest.fixture(scope="module")
+def tc_ptb(gpu):
+    return transform(canonical_gemms()["tgemm_l"], gpu)
+
+
+class TestSearch:
+    def test_compute_pair_fuses(self, search, tc_ptb, gpu):
+        decision = search.search(tc_ptb, transform(cp(), gpu))
+        assert decision.should_fuse
+        assert decision.speedup_over_serial > 1.2
+        assert decision.best.corun.overlap > 0.2
+
+    def test_matched_durations_overlap_well(self, search, tc_ptb, gpu):
+        """At a balanced load ratio, a compute pair overlaps >30%."""
+        from repro.gpusim.gpu import simulate_launch
+
+        cd = transform(cp(), gpu)
+        solo_tc = simulate_launch(tc_ptb.launch(), gpu).duration_cycles
+        solo_cd = simulate_launch(cd.launch(), gpu).duration_cycles
+        cd_grid = round(cd.ir.default_grid * solo_tc / solo_cd)
+        decision = search.search(tc_ptb, cd, cd_grid=cd_grid)
+        assert decision.should_fuse
+        assert decision.best.corun.overlap > 0.3
+
+    def test_memory_pair_fuses_with_smaller_gain(self, search, tc_ptb, gpu):
+        compute = search.search(tc_ptb, transform(cp(), gpu))
+        memory = search.search(tc_ptb, transform(lbm(), gpu))
+        assert memory.should_fuse
+        assert memory.best.corun.overlap < compute.best.corun.overlap
+
+    def test_every_candidate_fits_on_sm(self, search, tc_ptb, gpu):
+        decision = search.search(tc_ptb, transform(lbm(), gpu))
+        for candidate in decision.candidates:
+            assert fits(candidate.fused.resources, gpu.sm)
+
+    def test_best_is_fastest_candidate(self, search, tc_ptb, gpu):
+        decision = search.search(tc_ptb, transform(cp(), gpu))
+        fastest = min(
+            c.corun.duration_cycles for c in decision.candidates
+        )
+        assert decision.best.corun.duration_cycles == fastest
+
+    def test_fat_kernel_limited_to_single_copy(self, search, tc_ptb, gpu):
+        decision = search.search(tc_ptb, transform(tpacf(), gpu))
+        if decision.should_fuse:
+            assert decision.best.ratio == (1, 1)
+
+    def test_unfusable_speedup_is_one(self, search, tc_ptb, gpu):
+        decision = search.search(tc_ptb, transform(cp(), gpu))
+        if not decision.should_fuse:
+            assert decision.speedup_over_serial == 1.0
+
+    def test_candidate_ratio_exposed(self, search, tc_ptb, gpu):
+        decision = search.search(tc_ptb, transform(cp(), gpu))
+        for candidate in decision.candidates:
+            tc_copies, cd_copies = candidate.ratio
+            assert tc_copies >= 1 and cd_copies >= 1

@@ -1,0 +1,70 @@
+"""Tests for bar.sync barrier allocation."""
+
+import pytest
+
+from repro.errors import BarrierAllocationError
+from repro.fusion.sync import MAX_BARRIERS, BarrierAllocator
+from repro.gpusim.warp import ComputeSegment, SyncSegment
+
+
+class TestAllocation:
+    def test_idempotent_per_key(self):
+        alloc = BarrierAllocator()
+        a = alloc.allocate("tc", 0, 0)
+        assert alloc.allocate("tc", 0, 0) == a
+        assert alloc.allocated == 1
+
+    def test_distinct_copies_get_distinct_ids(self):
+        alloc = BarrierAllocator()
+        ids = {alloc.allocate("tc", copy, 0) for copy in range(4)}
+        assert len(ids) == 4
+
+    def test_distinct_branches_get_distinct_ids(self):
+        alloc = BarrierAllocator()
+        assert alloc.allocate("tc", 0, 0) != alloc.allocate("cd", 0, 0)
+
+    def test_exhaustion_raises(self):
+        alloc = BarrierAllocator()
+        for copy in range(MAX_BARRIERS):
+            alloc.allocate("cd", copy, 0)
+        with pytest.raises(BarrierAllocationError):
+            alloc.allocate("cd", MAX_BARRIERS, 0)
+
+    def test_ids_within_hardware_range(self):
+        alloc = BarrierAllocator()
+        ids = [alloc.allocate("cd", c, 0) for c in range(MAX_BARRIERS)]
+        assert all(0 <= i < MAX_BARRIERS for i in ids)
+
+
+class TestSegmentRewriting:
+    def test_syncs_rewritten_with_copy_count(self):
+        alloc = BarrierAllocator()
+        body = (ComputeSegment("cuda", 10.0), SyncSegment(0, 8))
+        out = alloc.rewrite_segments(body, "cd", 1, warps=4)
+        sync = out[1]
+        assert isinstance(sync, SyncSegment)
+        assert sync.count == 4
+
+    def test_non_sync_segments_untouched(self):
+        alloc = BarrierAllocator()
+        body = (ComputeSegment("cuda", 10.0),)
+        assert alloc.rewrite_segments(body, "cd", 0, 4) == body
+
+    def test_same_copy_same_id_across_calls(self):
+        alloc = BarrierAllocator()
+        body = (SyncSegment(0, 8),)
+        first = alloc.rewrite_segments(body, "tc", 0, 8)[0]
+        second = alloc.rewrite_segments(body, "tc", 0, 8)[0]
+        assert first.barrier_id == second.barrier_id
+
+
+class TestSyncText:
+    def test_emits_ptx_barrier(self):
+        alloc = BarrierAllocator()
+        text = alloc.sync_text("tc", 0, 0, warps=8)
+        assert text == 'asm volatile("bar.sync 0, 256;");'
+
+    def test_count_is_threads_not_warps(self):
+        alloc = BarrierAllocator()
+        text = alloc.sync_text("cd", 0, 0, warps=4)
+        assert "128" in text

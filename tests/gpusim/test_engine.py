@@ -1,0 +1,91 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.engine import EventQueue
+
+
+class TestEventOrdering:
+    def test_runs_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(5.0, lambda t: seen.append(("b", t)))
+        queue.schedule(1.0, lambda t: seen.append(("a", t)))
+        queue.schedule(9.0, lambda t: seen.append(("c", t)))
+        end = queue.run()
+        assert [s[0] for s in seen] == ["a", "b", "c"]
+        assert end == 9.0
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        seen = []
+        for label in "abc":
+            queue.schedule(2.0, lambda t, l=label: seen.append(l))
+        queue.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_clock_advances_during_run(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(3.0, lambda t: times.append(queue.now))
+        queue.run()
+        assert times == [3.0]
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        seen = []
+
+        def first(t):
+            queue.schedule(t + 1.0, lambda t2: seen.append(t2))
+
+        queue.schedule(1.0, first)
+        assert queue.run() == 2.0
+        assert seen == [2.0]
+
+    def test_schedule_now_runs_at_current_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(4.0, lambda t: queue.schedule_now(
+            lambda t2: seen.append(t2)))
+        queue.run()
+        assert seen == [4.0]
+
+
+class TestGuards:
+    def test_rejects_past_events(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda t: queue.schedule(1.0, lambda t2: None))
+        with pytest.raises(SimulationError, match="before current time"):
+            queue.run()
+
+    def test_livelock_guard(self):
+        queue = EventQueue()
+
+        def rearm(t):
+            queue.schedule(t, rearm)
+
+        queue.schedule(0.0, rearm)
+        with pytest.raises(SimulationError, match="exceeded"):
+            queue.run(max_events=1000)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        queue = EventQueue()
+        seen = []
+        handle = queue.schedule(1.0, lambda t: seen.append("x"))
+        queue.cancel(handle)
+        queue.run()
+        assert seen == []
+
+    def test_len_reflects_cancellations(self):
+        queue = EventQueue()
+        h = queue.schedule(1.0, lambda t: None)
+        queue.schedule(2.0, lambda t: None)
+        assert len(queue) == 2
+        queue.cancel(h)
+        assert len(queue) == 1
+
+    def test_empty_run_returns_zero(self):
+        assert EventQueue().run() == 0.0

@@ -1,0 +1,166 @@
+"""Tests for kernel launches and co-run policies."""
+
+import pytest
+
+from repro.config import RTX2080TI
+from repro.errors import SimulationError
+from repro.gpusim.gpu import (
+    KernelLaunch,
+    corun_concurrent,
+    corun_fused_launch,
+    corun_serial,
+    corun_spatial,
+    simulate_launch,
+)
+from repro.gpusim.resources import BlockResources
+from repro.gpusim.warp import ComputeSegment, MemorySegment, WarpProgram
+
+GPU = RTX2080TI
+
+
+def tc_launch(grid=68 * 2 * 40, persistent=2):
+    prog = WarpProgram(
+        (ComputeSegment("tensor", 200.0), MemorySegment(256.0)), 4
+    )
+    return KernelLaunch(
+        "tc_test", "tc", BlockResources(256, 64, 16 * 1024), grid,
+        {"tc": (prog,) * 8}, persistent_blocks_per_sm=persistent,
+    )
+
+
+def cd_launch(grid=68 * 4 * 40, persistent=4, shmem=8 * 1024):
+    prog = WarpProgram(
+        (ComputeSegment("cuda", 200.0), MemorySegment(64.0)), 4
+    )
+    return KernelLaunch(
+        "cd_test", "cd", BlockResources(256, 32, shmem), grid,
+        {"cd": (prog,) * 8}, persistent_blocks_per_sm=persistent,
+    )
+
+
+class TestLaunchValidation:
+    def test_rejects_bad_kind(self):
+        with pytest.raises(SimulationError):
+            KernelLaunch("x", "fp64", BlockResources(32, 0, 0), 1,
+                         {"m": ()})
+
+    def test_rejects_empty_template(self):
+        with pytest.raises(SimulationError):
+            KernelLaunch("x", "cd", BlockResources(32, 0, 0), 1, {})
+
+    def test_rejects_negative_grid(self):
+        with pytest.raises(SimulationError):
+            KernelLaunch("x", "cd", BlockResources(32, 0, 0), -1,
+                         {"m": ()})
+
+    def test_with_grid(self):
+        launch = tc_launch().with_grid(17)
+        assert launch.grid_blocks == 17
+
+
+class TestSimulateLaunch:
+    def test_zero_grid_zero_duration(self):
+        result = simulate_launch(tc_launch(grid=0), GPU)
+        assert result.duration_cycles == 0.0
+
+    def test_persistent_duration_scales_with_work(self):
+        one = simulate_launch(tc_launch(grid=68 * 2 * 20), GPU)
+        two = simulate_launch(tc_launch(grid=68 * 2 * 40), GPU)
+        assert two.duration_cycles == pytest.approx(
+            2 * one.duration_cycles, rel=0.05
+        )
+
+    def test_streaming_grid_scales_linearly(self):
+        # Non-PTB launches beyond full residency scale continuously.
+        prog = WarpProgram((ComputeSegment("cuda", 100.0),), 4)
+        def launch(grid):
+            return KernelLaunch(
+                "lin", "cd", BlockResources(256, 32, 0), grid,
+                {"m": (prog,) * 8},
+            )
+        base = simulate_launch(launch(68 * 4 * 10), GPU).duration_cycles
+        double = simulate_launch(launch(68 * 4 * 20), GPU).duration_cycles
+        assert double == pytest.approx(2 * base, rel=1e-6)
+
+    def test_sub_residency_simulated_exactly(self):
+        prog = WarpProgram((ComputeSegment("cuda", 100.0),), 2)
+        launch = KernelLaunch(
+            "small", "cd", BlockResources(256, 32, 0), 68,
+            {"m": (prog,) * 8},
+        )
+        result = simulate_launch(launch, GPU)
+        assert result.waves == 1
+        assert result.duration_cycles > 0
+
+    def test_iteration_cap_extrapolates(self):
+        # A very long PTB loop still simulates quickly and scales right.
+        short = simulate_launch(tc_launch(grid=68 * 2 * 48), GPU)
+        long = simulate_launch(tc_launch(grid=68 * 2 * 480), GPU)
+        assert long.duration_cycles == pytest.approx(
+            10 * short.duration_cycles, rel=0.05
+        )
+
+    def test_tc_kernel_leaves_cuda_pipe_idle(self):
+        result = simulate_launch(tc_launch(), GPU)
+        assert result.pipe_timeline("cuda").total() == 0.0
+        assert result.pipe_timeline("tensor").total() > 0.0
+
+
+class TestCoRunPolicies:
+    def test_serial_sum(self):
+        tc, cd = tc_launch(), cd_launch()
+        result = corun_serial(tc, cd, GPU)
+        assert result.duration_cycles == pytest.approx(
+            result.solo_a_cycles + result.solo_b_cycles
+        )
+        assert result.overlap == pytest.approx(0.0)
+
+    def test_spatial_partition_slows_both(self):
+        tc, cd = tc_launch(), cd_launch()
+        result = corun_spatial(tc, cd, GPU)
+        assert result.finish_a_cycles > result.solo_a_cycles
+        assert result.finish_b_cycles > result.solo_b_cycles
+
+    def test_spatial_fraction_bounds(self):
+        with pytest.raises(SimulationError):
+            corun_spatial(tc_launch(), cd_launch(), GPU, fraction_a=0.0)
+
+    def test_concurrent_overlaps_when_resources_fit(self):
+        result = corun_concurrent(tc_launch(), cd_launch(), GPU)
+        assert result.policy == "concurrent"
+        assert result.overlap > 0.2
+
+    def test_concurrent_degrades_to_serial_for_fat_blocks(self):
+        fat = cd_launch(persistent=1, shmem=52 * 1024)
+        result = corun_concurrent(tc_launch(), fat, GPU)
+        assert result.overlap == pytest.approx(0.0, abs=0.02)
+
+    def test_concurrent_requires_ptb(self):
+        plain = KernelLaunch(
+            "plain", "cd", BlockResources(256, 32, 0), 68,
+            {"m": (WarpProgram((ComputeSegment("cuda", 1.0),), 1),) * 8},
+        )
+        with pytest.raises(SimulationError):
+            corun_concurrent(tc_launch(), plain, GPU)
+
+    def test_fused_uses_both_pipes(self):
+        tc_prog = WarpProgram(
+            (ComputeSegment("tensor", 200.0), MemorySegment(256.0)), 4
+        )
+        cd_prog = WarpProgram(
+            (ComputeSegment("cuda", 200.0), MemorySegment(64.0)), 8
+        )
+        fused = KernelLaunch(
+            "fused_test", "mixed",
+            BlockResources(512, 64, 24 * 1024), 68 * 2 * 40,
+            {"tc": (tc_prog,) * 8, "cd": (cd_prog,) * 8},
+            persistent_blocks_per_sm=2,
+        )
+        solo_tc = simulate_launch(tc_launch(), GPU).duration_cycles
+        result = corun_fused_launch(fused, GPU, solo_tc, solo_tc)
+        assert result.policy == "fused"
+        assert result.overlap > 0.3
+
+    def test_fused_rejects_non_mixed(self):
+        with pytest.raises(SimulationError):
+            corun_fused_launch(tc_launch(), GPU, 1.0, 1.0)

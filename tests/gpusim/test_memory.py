@@ -1,0 +1,121 @@
+"""Tests for the fair-share DRAM model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.engine import EventQueue
+from repro.gpusim.memory import MemorySystem
+
+
+def run_transfers(bandwidth, latency, requests):
+    """Issue (start_time, nbytes) requests; return completion times."""
+    queue = EventQueue()
+    memory = MemorySystem(queue, bandwidth, latency)
+    done = {}
+    for index, (start, nbytes) in enumerate(requests):
+        queue.schedule(
+            start,
+            lambda t, i=index, b=nbytes: memory.request(
+                b, lambda t2, i=i: done.__setitem__(i, t2)
+            ),
+        )
+    queue.run()
+    return done, memory
+
+
+class TestSingleTransfer:
+    def test_latency_plus_streaming(self):
+        done, _ = run_transfers(2.0, 100.0, [(0.0, 50.0)])
+        assert done[0] == pytest.approx(100.0 + 25.0)
+
+    def test_zero_bytes_pays_latency_only(self):
+        done, _ = run_transfers(2.0, 100.0, [(0.0, 0.0)])
+        assert done[0] == pytest.approx(100.0)
+
+    def test_no_latency_config(self):
+        done, _ = run_transfers(4.0, 0.0, [(0.0, 40.0)])
+        assert done[0] == pytest.approx(10.0)
+
+
+class TestSharing:
+    def test_two_equal_transfers_halve_bandwidth(self):
+        done, _ = run_transfers(2.0, 0.0, [(0.0, 100.0), (0.0, 100.0)])
+        # Each gets 1 B/cycle while both are active.
+        assert done[0] == pytest.approx(100.0)
+        assert done[1] == pytest.approx(100.0)
+
+    def test_short_transfer_finishes_first_then_rate_recovers(self):
+        done, _ = run_transfers(2.0, 0.0, [(0.0, 20.0), (0.0, 100.0)])
+        # Shared until the short one drains 20 B at 1 B/cyc (t=20);
+        # the long one then has 80 B left at 2 B/cyc -> t = 60.
+        assert done[0] == pytest.approx(20.0)
+        assert done[1] == pytest.approx(60.0)
+
+    def test_late_arrival_slows_in_flight_transfer(self):
+        done, _ = run_transfers(2.0, 0.0, [(0.0, 100.0), (25.0, 100.0)])
+        # First runs alone for 25 cycles (50 B done), then shares.
+        # Remaining 50 B at 1 B/cyc -> finishes at 75.
+        assert done[0] == pytest.approx(75.0)
+        # Second: 50 B shared (until 75), then 50 B alone -> 100.
+        assert done[1] == pytest.approx(100.0)
+
+    def test_work_conservation(self):
+        requests = [(0.0, 64.0), (3.0, 128.0), (7.0, 256.0)]
+        done, memory = run_transfers(4.0, 10.0, requests)
+        total_bytes = sum(b for _, b in requests)
+        assert memory.bytes_served == pytest.approx(total_bytes)
+        # Bandwidth is never exceeded: busy time >= bytes / bandwidth.
+        assert memory.busy_cycles >= total_bytes / 4.0 - 1e-9
+
+    def test_active_count_tracks_transfers(self):
+        queue = EventQueue()
+        memory = MemorySystem(queue, 1.0, 0.0)
+        memory.request(10.0, lambda t: None)
+        queue.schedule(1.0, lambda t: (
+            pytest.approx(1) == memory.active_transfers))
+        queue.run()
+        assert memory.active_transfers == 0
+
+
+class TestValidation:
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(SimulationError):
+            MemorySystem(EventQueue(), 0.0, 1.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(SimulationError):
+            MemorySystem(EventQueue(), 1.0, -1.0)
+
+    def test_rejects_negative_bytes(self):
+        memory = MemorySystem(EventQueue(), 1.0, 0.0)
+        with pytest.raises(SimulationError):
+            memory.request(-5.0, lambda t: None)
+
+
+class TestLatencyPhase:
+    def test_latency_does_not_consume_bandwidth(self):
+        """A transfer in its latency phase must not slow active streams."""
+        done, _ = run_transfers(2.0, 50.0, [(0.0, 100.0), (0.0, 100.0)])
+        # Both start streaming at t=50 and share until done:
+        # 100 B at 1 B/cyc each -> t = 150.
+        assert done[0] == pytest.approx(150.0)
+        assert done[1] == pytest.approx(150.0)
+
+    def test_staggered_latency_windows(self):
+        done, _ = run_transfers(2.0, 100.0, [(0.0, 100.0), (60.0, 100.0)])
+        # T1 streams alone over [100, 150) and finishes before T2's
+        # latency window ends at 160; T2 then streams alone -> 210.
+        assert done[0] == pytest.approx(150.0)
+        assert done[1] == pytest.approx(210.0)
+
+
+class TestManyTransfers:
+    def test_equal_transfers_finish_together(self):
+        n = 8
+        done, memory = run_transfers(
+            4.0, 0.0, [(0.0, 64.0)] * n
+        )
+        times = sorted(done.values())
+        assert times[0] == pytest.approx(times[-1])
+        # Total time = total bytes / bandwidth when fully shared.
+        assert times[-1] == pytest.approx(n * 64.0 / 4.0)

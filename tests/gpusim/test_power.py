@@ -1,0 +1,66 @@
+"""Tests for the power model (Section V-D)."""
+
+import pytest
+
+from repro.config import RTX2080TI, V100, GPUConfig, SMConfig
+from repro.errors import ConfigError
+from repro.gpusim.power import BOARD_POWER_LIMITS, PowerModel, PowerSample
+
+
+class TestDraw:
+    def test_tensor_kernel_hits_board_limit(self):
+        model = PowerModel(RTX2080TI)
+        assert model.draw_watts(True, False) == BOARD_POWER_LIMITS[
+            "RTX2080Ti"
+        ]
+
+    def test_fused_stays_at_limit(self):
+        """The paper's measurement: activating the CUDA cores alongside
+        the Tensor cores does not raise power beyond the limit."""
+        model = PowerModel(RTX2080TI)
+        assert model.fused_draw_watts() == model.draw_watts(True, False)
+
+    def test_cuda_only_below_limit(self):
+        model = PowerModel(V100)
+        assert model.draw_watts(False, True) < model.limit_watts
+
+    def test_idle_far_below_limit(self):
+        model = PowerModel(RTX2080TI)
+        assert model.draw_watts(False, False) < 0.3 * model.limit_watts
+
+    def test_unknown_gpu_rejected(self):
+        bogus = GPUConfig("H100", 100, 1.0, 1000.0, SMConfig())
+        with pytest.raises(ConfigError):
+            PowerModel(bogus)
+
+
+class TestSampling:
+    def test_fully_fused_interval(self):
+        model = PowerModel(RTX2080TI)
+        sample = model.sample(
+            duration_ms=10.0, tensor_busy_ms=10.0, cuda_busy_ms=10.0,
+            work_ms=20.0,
+        )
+        assert sample.watts == pytest.approx(model.limit_watts)
+
+    def test_fusion_improves_energy_per_work(self):
+        """Same power, more work: fusion wins on energy per task."""
+        model = PowerModel(RTX2080TI)
+        serial = model.sample(20.0, tensor_busy_ms=10.0,
+                              cuda_busy_ms=10.0, work_ms=20.0)
+        fused = model.sample(10.5, tensor_busy_ms=10.0,
+                             cuda_busy_ms=10.0, work_ms=20.0)
+        assert fused.energy_per_work < serial.energy_per_work
+
+    def test_sample_validation(self):
+        model = PowerModel(RTX2080TI)
+        with pytest.raises(ConfigError):
+            model.sample(0.0, 0.0, 0.0, 1.0)
+        sample = PowerSample(watts=100.0, duration_ms=5.0, work_ms=0.0)
+        with pytest.raises(ConfigError):
+            _ = sample.energy_per_work
+
+    def test_energy_accounting(self):
+        sample = PowerSample(watts=200.0, duration_ms=10.0, work_ms=5.0)
+        assert sample.energy_mj == pytest.approx(2000.0)
+        assert sample.energy_per_work == pytest.approx(400.0)

@@ -1,0 +1,94 @@
+"""Tests for occupancy accounting."""
+
+import pytest
+
+from repro.config import SMConfig
+from repro.errors import OccupancyError
+from repro.gpusim.resources import (
+    BlockResources,
+    blocks_per_sm,
+    fits,
+    occupancy_report,
+)
+
+SM = SMConfig(
+    max_threads=1024, max_blocks=16, registers=65536,
+    shared_mem_bytes=64 * 1024,
+)
+
+
+class TestBlockResources:
+    def test_warps_round_up(self):
+        assert BlockResources(33, 0, 0).warps == 2
+        assert BlockResources(32, 0, 0).warps == 1
+
+    def test_registers_allocated_per_warp(self):
+        res = BlockResources(threads=40, regs_per_thread=32, shared_mem_bytes=0)
+        # 2 warps x 32 threads x 32 regs, not 40 x 32.
+        assert res.registers == 2 * 32 * 32
+
+    def test_combined_adds_threads_and_shmem(self):
+        a = BlockResources(256, 64, 16 * 1024)
+        b = BlockResources(128, 40, 8 * 1024)
+        c = a.combined(b)
+        assert c.threads == 384
+        assert c.shared_mem_bytes == 24 * 1024
+        assert c.regs_per_thread == 64  # worse of the two
+
+    def test_scaled_multiplies_threads_and_shmem(self):
+        a = BlockResources(256, 64, 16 * 1024)
+        s = a.scaled(2)
+        assert s.threads == 512
+        assert s.shared_mem_bytes == 32 * 1024
+        assert s.regs_per_thread == 64
+
+    def test_invalid_inputs(self):
+        with pytest.raises(OccupancyError):
+            BlockResources(0, 1, 1)
+        with pytest.raises(OccupancyError):
+            BlockResources(1, -1, 1)
+        with pytest.raises(OccupancyError):
+            BlockResources(256, 0, 0).scaled(0)
+
+
+class TestBlocksPerSM:
+    def test_thread_limited(self):
+        res = BlockResources(512, 0, 0)
+        assert blocks_per_sm(res, SM) == 2
+
+    def test_shared_mem_limited(self):
+        res = BlockResources(64, 0, 20 * 1024)
+        assert blocks_per_sm(res, SM) == 3
+
+    def test_register_limited(self):
+        res = BlockResources(256, 64, 0)  # 16384 regs/block
+        assert blocks_per_sm(res, SM) == 4
+
+    def test_block_slot_limited(self):
+        res = BlockResources(32, 1, 1)
+        assert blocks_per_sm(res, SM) == SM.max_blocks
+
+    def test_no_fit_raises(self):
+        res = BlockResources(64, 0, 65 * 1024)
+        with pytest.raises(OccupancyError):
+            blocks_per_sm(res, SM)
+        assert not fits(res, SM)
+
+    def test_fits_true_case(self):
+        assert fits(BlockResources(256, 32, 8 * 1024), SM)
+
+
+class TestOccupancyReport:
+    def test_reports_utilizations(self):
+        res = BlockResources(256, 64, 16 * 1024)
+        report = occupancy_report(res, SM)
+        assert report["blocks_per_sm"] == 4
+        assert report["thread_util"] == pytest.approx(1.0)
+        assert report["shared_mem_util"] == pytest.approx(1.0)
+        assert report["register_util"] == pytest.approx(1.0)
+
+    def test_partial_utilization(self):
+        res = BlockResources(128, 16, 0)
+        report = occupancy_report(res, SM)
+        assert 0 < report["thread_util"] <= 1.0
+        assert report["shared_mem_util"] == 0.0

@@ -1,0 +1,145 @@
+"""Tests for the single-SM simulation: pipes, barriers, scheduling."""
+
+import pytest
+
+from repro.config import SMConfig
+from repro.errors import SimulationError
+from repro.gpusim.sm import BlockSpec, SMSimulation
+from repro.gpusim.warp import (
+    ComputeSegment,
+    MemorySegment,
+    SyncSegment,
+    WarpProgram,
+)
+
+SM = SMConfig(
+    max_threads=1024, max_blocks=16, registers=65536,
+    shared_mem_bytes=64 * 1024, cuda_pipe_width=2, tensor_pipe_width=1,
+    mem_latency_cycles=0.0,
+)
+
+
+def simulate(blocks, sm=SM, bandwidth=8.0):
+    return SMSimulation(sm, bandwidth).run(blocks)
+
+
+def block(program, warps, label="main"):
+    return BlockSpec({label: (program,) * warps})
+
+
+class TestPipeContention:
+    def test_single_warp_compute_time(self):
+        prog = WarpProgram((ComputeSegment("cuda", 100.0),), 3)
+        result = simulate([block(prog, 1)])
+        assert result.finish_time == pytest.approx(300.0)
+
+    def test_pipe_width_limits_parallelism(self):
+        # 4 warps on a width-2 pipe: 2 run at a time -> 2x serial batches.
+        prog = WarpProgram((ComputeSegment("cuda", 100.0),), 1)
+        result = simulate([block(prog, 4)])
+        assert result.finish_time == pytest.approx(200.0)
+
+    def test_warps_within_width_run_concurrently(self):
+        prog = WarpProgram((ComputeSegment("cuda", 100.0),), 1)
+        result = simulate([block(prog, 2)])
+        assert result.finish_time == pytest.approx(100.0)
+
+    def test_pipes_are_independent(self):
+        cuda = WarpProgram((ComputeSegment("cuda", 100.0),), 4)
+        tensor = WarpProgram((ComputeSegment("tensor", 100.0),), 4)
+        both = BlockSpec({"cd": (cuda,) * 2, "tc": (tensor,)})
+        result = simulate([both])
+        # CUDA part: 2 warps x 4 iters on width 2 -> 400.
+        # Tensor part: 1 warp x 4 iters on width 1 -> 400. Parallel.
+        assert result.finish_time == pytest.approx(400.0)
+        assert result.pipe_busy_cycles("cuda") == pytest.approx(400.0)
+        assert result.pipe_busy_cycles("tensor") == pytest.approx(400.0)
+
+    def test_slot_cycles_accumulate(self):
+        prog = WarpProgram((ComputeSegment("cuda", 50.0),), 2)
+        result = simulate([block(prog, 3)])
+        assert result.pipe_slot_cycles["cuda"] == pytest.approx(300.0)
+
+
+class TestMemoryIntegration:
+    def test_memory_overlaps_compute_across_warps(self):
+        # One warp computes while the other streams: with enough
+        # bandwidth the two interleave almost perfectly.
+        prog = WarpProgram(
+            (ComputeSegment("cuda", 100.0), MemorySegment(800.0)), 2
+        )
+        result = simulate([block(prog, 2)], bandwidth=8.0)
+        serial_one_warp = 2 * (100.0 + 100.0)
+        assert result.finish_time < 2 * serial_one_warp
+        assert result.bytes_served == pytest.approx(2 * 2 * 800.0)
+
+
+class TestBarriers:
+    def test_barrier_synchronizes_group(self):
+        fast = WarpProgram(
+            (ComputeSegment("cuda", 10.0), SyncSegment(0, 2)), 1
+        )
+        slow = WarpProgram(
+            (ComputeSegment("cuda", 90.0), SyncSegment(0, 2)), 1
+        )
+        result = simulate([BlockSpec({"main": (fast, slow)})])
+        # The fast warp waits for the slow one at the barrier.
+        assert result.finish_time == pytest.approx(90.0)
+
+    def test_partial_barriers_do_not_cross_groups(self):
+        a = WarpProgram((ComputeSegment("cuda", 10.0), SyncSegment(0, 1)), 2)
+        b = WarpProgram((ComputeSegment("cuda", 500.0), SyncSegment(1, 1)), 1)
+        result = simulate([BlockSpec({"a": (a,), "b": (b,)})])
+        finish_a = result.group_finish[(0, "a")]
+        assert finish_a < 100.0  # never waited for group b
+
+    def test_barriers_are_block_local(self):
+        prog = WarpProgram(
+            (ComputeSegment("cuda", 10.0), SyncSegment(0, 2)), 1
+        )
+        result = simulate([block(prog, 2), block(prog, 2)])
+        assert result.finish_time < 100.0
+
+    def test_mismatched_counts_raise(self):
+        a = WarpProgram((SyncSegment(0, 2),), 1)
+        b = WarpProgram((SyncSegment(0, 3),), 1)
+        with pytest.raises(SimulationError, match="disagree"):
+            simulate([BlockSpec({"main": (a, b)})])
+
+    def test_unsatisfiable_barrier_deadlocks(self):
+        lonely = WarpProgram((SyncSegment(0, 2),), 1)
+        with pytest.raises(SimulationError, match="never finished"):
+            simulate([block(lonely, 1)])
+
+
+class TestBookkeeping:
+    def test_group_finish_times_recorded(self):
+        short = WarpProgram((ComputeSegment("cuda", 10.0),), 1)
+        long = WarpProgram((ComputeSegment("tensor", 100.0),), 1)
+        result = simulate([BlockSpec({"s": (short,), "l": (long,)})])
+        assert result.group_finish[(0, "s")] == pytest.approx(10.0)
+        assert result.group_finish[(0, "l")] == pytest.approx(100.0)
+        assert result.group_finish_time("l") == pytest.approx(100.0)
+
+    def test_unknown_group_raises(self):
+        prog = WarpProgram((ComputeSegment("cuda", 1.0),), 1)
+        result = simulate([block(prog, 1)])
+        with pytest.raises(SimulationError):
+            result.group_finish_time("nope")
+
+    def test_zero_iteration_warps_finish_instantly(self):
+        empty = WarpProgram((ComputeSegment("cuda", 10.0),), 0)
+        result = simulate([block(empty, 2)])
+        assert result.finish_time == 0.0
+
+    def test_warp_slot_overflow_rejected(self):
+        prog = WarpProgram((ComputeSegment("cuda", 1.0),), 1)
+        too_many = [block(prog, 33)]
+        with pytest.raises(SimulationError, match="warp slots"):
+            simulate(too_many)
+
+    def test_timeline_matches_busy_cycles(self):
+        prog = WarpProgram((ComputeSegment("cuda", 100.0),), 2)
+        result = simulate([block(prog, 1)])
+        timeline = result.pipe_timelines["cuda"]
+        assert timeline.total() == pytest.approx(200.0)

@@ -1,0 +1,96 @@
+"""Tests for timelines and overlap metrics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.trace import Interval, Timeline, merge_busy, overlap_rate
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(2.0, 5.0).length == 3.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(SimulationError):
+            Interval(5.0, 2.0)
+
+    def test_intersection(self):
+        a, b = Interval(0, 10), Interval(5, 15)
+        assert a.intersection(b) == Interval(5, 10)
+
+    def test_disjoint_intersection_is_none(self):
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+    def test_shifted(self):
+        assert Interval(1, 2).shifted(10) == Interval(11, 12)
+
+
+class TestTimeline:
+    def test_open_close_records_interval(self):
+        t = Timeline()
+        t.open(1.0)
+        t.close(4.0)
+        assert t.intervals == [Interval(1.0, 4.0)]
+
+    def test_open_is_idempotent_while_open(self):
+        t = Timeline()
+        t.open(1.0)
+        t.open(2.0)
+        t.close(5.0)
+        assert t.total() == pytest.approx(4.0)
+
+    def test_close_without_open_is_noop(self):
+        t = Timeline()
+        t.close(3.0)
+        assert t.intervals == []
+
+    def test_zero_length_intervals_dropped(self):
+        t = Timeline()
+        t.open(2.0)
+        t.close(2.0)
+        assert t.intervals == []
+
+    def test_normalized_merges_overlaps(self):
+        t = Timeline([Interval(0, 5), Interval(3, 8), Interval(10, 12)])
+        merged = t.normalized().intervals
+        assert merged == [Interval(0, 8), Interval(10, 12)]
+        assert t.total() == pytest.approx(10.0)
+
+    def test_intersection_of_timelines(self):
+        a = Timeline([Interval(0, 10), Interval(20, 30)])
+        b = Timeline([Interval(5, 25)])
+        both = a.intersection(b)
+        assert both.total() == pytest.approx(10.0)
+
+    def test_shift_and_span(self):
+        t = Timeline([Interval(1, 3)]).shifted(10.0)
+        assert t.span() == 13.0
+        assert Timeline().span() == 0.0
+
+    def test_extend(self):
+        a = Timeline([Interval(0, 1)])
+        a.extend(Timeline([Interval(2, 3)]))
+        assert a.total() == pytest.approx(2.0)
+
+
+class TestMergeBusy:
+    def test_union_of_units(self):
+        a = Timeline([Interval(0, 5)])
+        b = Timeline([Interval(3, 9)])
+        merged = merge_busy([a, b])
+        assert merged.total() == pytest.approx(9.0)
+
+
+class TestOverlapRate:
+    def test_perfect_overlap_is_half(self):
+        assert overlap_rate(10.0, 10.0, 10.0) == pytest.approx(0.5)
+
+    def test_serial_is_zero(self):
+        assert overlap_rate(10.0, 10.0, 20.0) == pytest.approx(0.0)
+
+    def test_slower_than_serial_clamped(self):
+        assert overlap_rate(10.0, 10.0, 25.0) == 0.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(SimulationError):
+            overlap_rate(0.0, 0.0, 1.0)

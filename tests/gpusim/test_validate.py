@@ -1,0 +1,44 @@
+"""Tests for the GPU-preset self-checks."""
+
+import pytest
+
+from repro.config import RTX2080TI, V100, GPUConfig, SMConfig
+from repro.errors import SimulationError
+from repro.gpusim.validate import CheckResult, assert_valid, run_checks
+
+
+class TestChecks:
+    @pytest.mark.parametrize("gpu", [RTX2080TI, V100],
+                             ids=["rtx2080ti", "v100"])
+    def test_presets_pass_all_checks(self, gpu):
+        results = run_checks(gpu)
+        assert len(results) == 4
+        for result in results:
+            assert result.passed, str(result)
+
+    def test_assert_valid_on_good_preset(self):
+        assert_valid(RTX2080TI)
+
+    def test_check_result_formatting(self):
+        ok = CheckResult("demo", True, "fine")
+        bad = CheckResult("demo", False, "broken")
+        assert str(ok).startswith("[ok]")
+        assert str(bad).startswith("[FAIL]")
+
+    def test_degenerate_preset_fails(self):
+        # A GPU with an absurdly slow memory slice breaks work scaling
+        # assumptions?  No — scaling still holds; instead break the
+        # capacity check with a strange pipe width via monkeypatching
+        # is impossible (frozen).  Use a bandwidth so tiny the memory
+        # formula check still passes but fusion overlap collapses.
+        tiny = GPUConfig(
+            name="RTX2080Ti",  # keep the power table happy
+            num_sms=2,
+            clock_ghz=1.0,
+            dram_bandwidth_gbps=0.02,
+            sm=SMConfig(),
+        )
+        results = {c.name: c for c in run_checks(tiny)}
+        assert not results["fusion-overlap"].passed
+        with pytest.raises(SimulationError):
+            assert_valid(tiny)

@@ -1,0 +1,78 @@
+"""Tests for warp programs and segments."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.warp import (
+    ComputeSegment,
+    MemorySegment,
+    SyncSegment,
+    WarpProgram,
+)
+
+
+class TestSegments:
+    def test_compute_validates_pipe(self):
+        with pytest.raises(SimulationError):
+            ComputeSegment("fp64", 10.0)
+
+    def test_compute_rejects_negative_cycles(self):
+        with pytest.raises(SimulationError):
+            ComputeSegment("cuda", -1.0)
+
+    def test_memory_rejects_negative_bytes(self):
+        with pytest.raises(SimulationError):
+            MemorySegment(-1.0)
+
+    def test_sync_validates_barrier_id_range(self):
+        SyncSegment(0, 4)
+        SyncSegment(15, 4)
+        with pytest.raises(SimulationError):
+            SyncSegment(16, 4)
+        with pytest.raises(SimulationError):
+            SyncSegment(-1, 4)
+
+    def test_sync_rejects_zero_count(self):
+        with pytest.raises(SimulationError):
+            SyncSegment(0, 0)
+
+
+class TestWarpProgram:
+    def make(self, iters=4):
+        return WarpProgram(
+            (ComputeSegment("cuda", 100.0), MemorySegment(64.0),
+             SyncSegment(0, 8)),
+            iterations=iters,
+        )
+
+    def test_per_iteration_aggregates(self):
+        program = self.make()
+        assert program.compute_cycles_per_iteration == 100.0
+        assert program.bytes_per_iteration == 64.0
+        assert program.pipes_used == {"cuda"}
+
+    def test_with_iterations(self):
+        assert self.make().with_iterations(9).iterations == 9
+
+    def test_scaled_iterations_rounds_up(self):
+        assert self.make(iters=4).scaled_iterations(1.5).iterations == 6
+        assert self.make(iters=3).scaled_iterations(0.5).iterations == 2
+
+    def test_scaled_iterations_zero_factor(self):
+        assert self.make(iters=4).scaled_iterations(0).iterations == 0
+
+    def test_scaled_iterations_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            self.make().scaled_iterations(-1.0)
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(SimulationError):
+            WarpProgram((), -1)
+
+    def test_mixed_pipe_program(self):
+        program = WarpProgram(
+            (ComputeSegment("cuda", 10.0), ComputeSegment("tensor", 20.0)),
+            iterations=1,
+        )
+        assert program.pipes_used == {"cuda", "tensor"}
+        assert program.compute_cycles_per_iteration == 30.0

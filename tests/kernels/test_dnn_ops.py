@@ -1,0 +1,48 @@
+"""Tests for the CUDA-core DNN operator kernels."""
+
+import pytest
+
+from repro.gpusim.gpu import simulate_launch
+from repro.kernels.dnn_ops import all_dnn_ops
+
+OPS = all_dnn_ops()
+
+
+class TestRoster:
+    def test_expected_operators(self):
+        assert {"relu", "scale", "bn", "pooling", "im2col",
+                "weight_update"} <= set(OPS)
+
+    def test_small_variants_exist(self):
+        for name in ("relu_s", "bn_s", "pooling_s", "im2col_s"):
+            assert name in OPS
+
+    def test_all_cuda_core(self):
+        assert all(op.kind == "cd" for op in OPS.values())
+
+    def test_all_memory_leaning(self):
+        # Elementwise DNN ops stream far more bytes than they compute.
+        assert all(op.memory_intensity > 2.0 for op in OPS.values())
+
+    def test_small_variants_are_smaller(self, gpu):
+        for big, small in (("relu", "relu_s"), ("bn", "bn_s"),
+                           ("im2col", "im2col_s")):
+            d_big = simulate_launch(OPS[big].launch(), gpu).duration_cycles
+            d_small = simulate_launch(OPS[small].launch(), gpu).duration_cycles
+            assert d_small < d_big
+
+
+class TestCharacter:
+    def test_bn_heavier_than_relu(self):
+        assert (
+            OPS["bn"].compute_cycles_per_block
+            > OPS["relu"].compute_cycles_per_block
+        )
+
+    def test_im2col_is_pure_data_movement(self):
+        assert OPS["im2col"].memory_intensity > OPS["bn"].memory_intensity
+
+    @pytest.mark.parametrize("name", sorted(OPS))
+    def test_sub_millisecond_launches(self, name, gpu):
+        duration = simulate_launch(OPS[name].launch(), gpu).duration_ms(gpu)
+        assert 0 < duration < 1.0

@@ -1,0 +1,77 @@
+"""Tests for the Tensor-core GEMM kernels."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim.gpu import simulate_launch
+from repro.kernels.gemm import (
+    CANONICAL_SHAPES,
+    GemmShape,
+    canonical_gemms,
+    tensor_gemm,
+    wmma_gemm,
+)
+
+
+class TestGemmShape:
+    def test_grid_and_iterations(self):
+        shape = GemmShape(m=256, n=128, k=64)
+        assert shape.grid_blocks == 2 * 2
+        assert shape.k_iterations == 4
+
+    def test_partial_tiles_round_up(self):
+        shape = GemmShape(m=129, n=65, k=17)
+        assert shape.grid_blocks == 2 * 2
+        assert shape.k_iterations == 2
+
+    def test_flops(self):
+        assert GemmShape(2, 3, 4).flops == 48.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            GemmShape(0, 1, 1)
+
+
+class TestCanonicalGemms:
+    def test_shapes_ordered_by_work(self):
+        gemms = canonical_gemms()
+        assert list(gemms) == ["tgemm_s", "tgemm_m", "tgemm_l",
+                               "tgemm_xl", "tgemm_xxl"]
+        flops = [CANONICAL_SHAPES[n].flops for n in gemms]
+        assert flops == sorted(flops)
+
+    def test_all_tensor_kernels_with_paper_footprint(self):
+        for kernel in canonical_gemms().values():
+            assert kernel.kind == "tc"
+            assert kernel.resources.shared_mem_bytes == 16 * 1024
+            assert kernel.source.uses_sync
+
+    def test_durations_ordered_by_shape(self, gpu):
+        durations = [
+            simulate_launch(k.launch(), gpu).duration_cycles
+            for k in canonical_gemms().values()
+        ]
+        assert durations == sorted(durations)
+
+    def test_source_contains_wmma_loop(self):
+        text = canonical_gemms()["tgemm_l"].source.render()
+        assert "wmma::mma_sync" in text
+        assert "for (int kk = 0" in text
+
+
+class TestWmmaGemm:
+    def test_distinct_footprint(self):
+        wmma = wmma_gemm()
+        cutlass = canonical_gemms()["tgemm_l"]
+        assert wmma.resources.shared_mem_bytes \
+            < cutlass.resources.shared_mem_bytes
+        assert wmma.kind == "tc"
+
+    def test_custom_name(self):
+        assert wmma_gemm("gemm2").name == "gemm2"
+
+
+class TestTensorGemmFactory:
+    def test_iterations_follow_k(self):
+        kernel = tensor_gemm("g", GemmShape(1024, 512, 320))
+        assert kernel.iters_per_block == 20

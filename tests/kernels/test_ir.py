@@ -1,0 +1,103 @@
+"""Tests for the kernel IR."""
+
+import pytest
+
+from repro.config import RTX2080TI
+from repro.errors import ConfigError
+from repro.gpusim.warp import ComputeSegment, SyncSegment
+from repro.kernels.ir import (
+    COMPUTE_INTENSIVE,
+    MEMORY_INTENSIVE,
+    KernelIR,
+    make_kernel,
+)
+from repro.kernels.source import elementwise_source
+
+
+def sample(kind="cd", **overrides):
+    params = dict(
+        threads=256, regs=32, shared_mem=4096,
+        compute_cycles=100.0, mem_bytes=64.0,
+        iters_per_block=8, default_grid=680,
+        source=elementwise_source("sample", "in[i]"),
+    )
+    params.update(overrides)
+    return make_kernel("sample", kind, **params)
+
+
+class TestConstruction:
+    def test_kind_validation(self):
+        with pytest.raises(ConfigError):
+            sample(kind="fp64")
+
+    def test_pipe_matches_kind(self):
+        tc = sample(kind="tc")
+        pipes = {
+            s.pipe for s in tc.body if isinstance(s, ComputeSegment)
+        }
+        assert pipes == {"tensor"}
+
+    def test_pipe_mismatch_rejected(self):
+        good = sample()
+        with pytest.raises(ConfigError, match="may only issue"):
+            KernelIR(
+                name="bad", kind="tc", resources=good.resources,
+                warps_per_block=good.warps_per_block, body=good.body,
+                iters_per_block=8, default_grid=680, source=good.source,
+            )
+
+    def test_warps_consistency_enforced(self):
+        good = sample()
+        with pytest.raises(ConfigError, match="disagrees"):
+            KernelIR(
+                name="bad", kind="cd", resources=good.resources,
+                warps_per_block=3, body=good.body,
+                iters_per_block=8, default_grid=680, source=good.source,
+            )
+
+    def test_syncs_per_iter(self):
+        k = sample(syncs_per_iter=2)
+        syncs = [s for s in k.body if isinstance(s, SyncSegment)]
+        assert len(syncs) == 2
+        assert all(s.count == k.warps_per_block for s in syncs)
+        assert k.uses_sync
+
+
+class TestDerived:
+    def test_per_block_aggregates(self):
+        k = sample()
+        assert k.compute_cycles_per_block == 100.0 * 8 * 8
+        assert k.bytes_per_block == 64.0 * 8 * 8
+        assert k.memory_intensity == pytest.approx(64.0 / 100.0)
+
+    def test_tags(self):
+        assert sample(tags=frozenset({MEMORY_INTENSIVE})).is_memory_intensive
+        assert not sample(
+            tags=frozenset({COMPUTE_INTENSIVE})
+        ).is_memory_intensive
+
+    def test_grid_for_scale(self):
+        k = sample()
+        assert k.grid_for_scale(0.5) == 340
+        assert k.grid_for_scale(1e-9) == 1
+        with pytest.raises(ConfigError):
+            k.grid_for_scale(0.0)
+
+    def test_scaled_work(self):
+        assert sample().scaled_work(2.0).default_grid == 1360
+
+
+class TestLaunch:
+    def test_launch_defaults(self):
+        launch = sample().launch()
+        assert launch.grid_blocks == 680
+        assert not launch.is_persistent
+        assert len(launch.block_template["main"]) == 8
+
+    def test_launch_runs_on_simulator(self):
+        result_ms = RTX2080TI.cycles_to_ms(1.0)  # conversion sanity
+        assert result_ms > 0
+        from repro.gpusim.gpu import simulate_launch
+
+        result = simulate_launch(sample().launch(), RTX2080TI)
+        assert result.duration_cycles > 0

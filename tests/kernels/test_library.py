@@ -1,0 +1,52 @@
+"""Tests for the kernel registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels.library import KernelLibrary, default_library
+from repro.kernels.parboil import mriq
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        lib = KernelLibrary([mriq()])
+        assert lib.get("mriq").name == "mriq"
+        assert "mriq" in lib
+        assert len(lib) == 1
+
+    def test_duplicate_rejected(self):
+        lib = KernelLibrary([mriq()])
+        with pytest.raises(ConfigError, match="already registered"):
+            lib.register(mriq())
+
+    def test_unknown_kernel_lists_known(self):
+        lib = KernelLibrary([mriq()])
+        with pytest.raises(ConfigError, match="known kernels"):
+            lib.get("nope")
+
+
+class TestDefaultLibrary:
+    def test_full_roster(self, library):
+        # 14 Parboil + 5 canonical GEMM + wmma + 10 DNN ops.
+        assert len(library) == 30
+
+    def test_kind_partition(self, library):
+        tc = {k.name for k in library.tensor_kernels()}
+        cd = {k.name for k in library.cuda_kernels()}
+        assert tc == {"tgemm_s", "tgemm_m", "tgemm_l", "tgemm_xl",
+                      "tgemm_xxl", "wmma_gemm"}
+        assert tc.isdisjoint(cd)
+        assert len(tc) + len(cd) == len(library)
+
+    def test_tag_queries(self, library):
+        compute = {k.name for k in library.compute_intensive()}
+        memory = {k.name for k in library.memory_intensive()}
+        assert "mriq" in compute
+        assert "lbm" in memory
+        assert compute.isdisjoint(memory)
+
+    def test_names_sorted(self, library):
+        assert library.names == sorted(library.names)
+
+    def test_iteration_yields_kernels(self, library):
+        assert all(hasattr(k, "launch") for k in library)

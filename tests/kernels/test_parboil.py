@@ -1,0 +1,69 @@
+"""Tests for the Parboil kernel models."""
+
+import pytest
+
+from repro.gpusim.gpu import simulate_launch
+from repro.gpusim.resources import blocks_per_sm
+from repro.kernels.ir import COMPUTE_INTENSIVE, MEMORY_INTENSIVE
+from repro.kernels.parboil import all_parboil
+
+KERNELS = all_parboil()
+
+#: the paper's Section VIII-B classification
+PAPER_COMPUTE = {"mriq", "fft", "mrif", "cutcp", "cp"}
+PAPER_MEMORY = {"sgemm", "lbm", "tpacf"}
+
+
+class TestRoster:
+    def test_roster_complete(self):
+        assert set(KERNELS) == {
+            "mriq", "fft", "mrif", "cutcp", "cp",
+            "sgemm", "lbm", "tpacf", "stencil", "regtil",
+            "histo", "spmv", "bfs", "sad",
+        }
+
+    def test_all_are_cuda_core_kernels(self):
+        assert all(k.kind == "cd" for k in KERNELS.values())
+
+    @pytest.mark.parametrize("name", sorted(PAPER_COMPUTE))
+    def test_paper_compute_classification(self, name):
+        assert COMPUTE_INTENSIVE in KERNELS[name].tags
+
+    @pytest.mark.parametrize("name", sorted(PAPER_MEMORY))
+    def test_paper_memory_classification(self, name):
+        assert MEMORY_INTENSIVE in KERNELS[name].tags
+
+    def test_memory_kernels_have_higher_intensity(self):
+        compute = [KERNELS[n].memory_intensity for n in PAPER_COMPUTE]
+        memory = [KERNELS[n].memory_intensity for n in PAPER_MEMORY]
+        assert max(compute) < min(memory)
+
+    def test_extra_suite_kernels_classified(self):
+        from repro.kernels.ir import COMPUTE_INTENSIVE, MEMORY_INTENSIVE
+
+        assert MEMORY_INTENSIVE in KERNELS["histo"].tags
+        assert MEMORY_INTENSIVE in KERNELS["spmv"].tags
+        assert MEMORY_INTENSIVE in KERNELS["bfs"].tags
+        assert COMPUTE_INTENSIVE in KERNELS["sad"].tags
+
+    def test_tiled_kernels_carry_sync_source(self):
+        for name in ("fft", "cutcp", "sgemm", "tpacf", "stencil"):
+            assert KERNELS[name].source.uses_sync
+
+    def test_fat_footprints_single_block_per_sm(self, gpu):
+        # The kernels that break the Stream interface in Fig. 20.
+        for name in ("cutcp", "tpacf", "stencil"):
+            assert blocks_per_sm(KERNELS[name].resources, gpu.sm) == 1
+
+
+class TestDurations:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_default_launch_in_millisecond_range(self, name, gpu):
+        result = simulate_launch(KERNELS[name].launch(), gpu)
+        assert 0.2 < result.duration_ms(gpu) < 10.0
+
+    def test_duration_monotone_in_grid(self, gpu):
+        k = KERNELS["fft"]
+        small = simulate_launch(k.launch(k.default_grid // 2), gpu)
+        large = simulate_launch(k.launch(k.default_grid), gpu)
+        assert small.duration_cycles < large.duration_cycles

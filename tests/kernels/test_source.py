@@ -1,0 +1,73 @@
+"""Tests for the miniature CUDA-like source form."""
+
+import pytest
+
+from repro.errors import FusionError
+from repro.kernels.source import (
+    BLOCK_IDX,
+    KernelSource,
+    SourceLine,
+    SyncPoint,
+    elementwise_source,
+    tiled_source,
+)
+
+
+class TestKernelSource:
+    def test_rejects_bad_name(self):
+        with pytest.raises(FusionError):
+            KernelSource("9bad name", (), ())
+
+    def test_sync_detection(self):
+        src = tiled_source("k", ("float* a",), ("x;",))
+        assert src.uses_sync
+        assert src.sync_count == 2
+        assert not elementwise_source("e", "in[i]").uses_sync
+
+    def test_substitution_hits_every_line(self):
+        src = elementwise_source("e", "in[i]")
+        out = src.substituted(BLOCK_IDX, "block_pos")
+        assert all(
+            BLOCK_IDX not in s.text
+            for s in out.body if isinstance(s, SourceLine)
+        )
+
+    def test_substitution_preserves_sync_points(self):
+        src = tiled_source("k", ("float* a",), ("x;",))
+        out = src.substituted(BLOCK_IDX, "bp")
+        assert out.sync_count == 2
+
+    def test_renamed(self):
+        assert elementwise_source("a", "x").renamed("b").name == "b"
+
+
+class TestRendering:
+    def test_render_produces_cuda_signature(self):
+        src = elementwise_source("relu", "fmaxf(in[i], 0.f)")
+        text = src.render()
+        assert text.startswith("__global__ void relu(")
+        assert "float* in" in text
+        assert text.rstrip().endswith("}")
+
+    def test_render_emits_syncthreads(self):
+        text = tiled_source("k", ("float* a",), ("x;",)).render()
+        assert text.count("__syncthreads();") == 2
+
+    def test_render_body_substitutes_sync_text(self):
+        src = tiled_source("k", ("float* a",), ("x;",))
+        lines = src.render_body("  ", "BAR;")
+        assert sum(1 for l in lines if l.strip() == "BAR;") == 2
+        assert all("__syncthreads" not in l for l in lines)
+
+
+class TestSkeletons:
+    def test_elementwise_references_thread_and_block(self):
+        src = elementwise_source("e", "in[i]")
+        text = src.render()
+        assert "blockIdx.x" in text and "threadIdx.x" in text
+
+    def test_tiled_wraps_compute_with_syncs(self):
+        src = tiled_source("k", ("float* a",), ("compute;",))
+        kinds = [type(s).__name__ for s in src.body]
+        first_sync = kinds.index("SyncPoint")
+        assert "compute;" in src.body[first_sync + 1].text

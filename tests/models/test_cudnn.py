@@ -1,0 +1,104 @@
+"""Tests for the cuDNN implementation model (Table III / Fig. 21)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.cudnn import (
+    CONVERSION_GAP_THRESHOLD,
+    CUDNN_IMPLEMENTATIONS,
+    conv_gap,
+    conversion_fraction,
+    conversion_report,
+    converted_indices,
+    parse_impl_name,
+    resnet50_conv_gaps,
+)
+
+
+class TestTableIII:
+    def test_twelve_implementations(self):
+        assert len(CUDNN_IMPLEMENTATIONS) == 12
+        turing = [i for i in CUDNN_IMPLEMENTATIONS if i.arch == "turing"]
+        volta = [i for i in CUDNN_IMPLEMENTATIONS if i.arch == "volta"]
+        assert len(turing) == 7 and len(volta) == 5
+
+    def test_paper_values_sampled(self):
+        t2 = next(i for i in CUDNN_IMPLEMENTATIONS if i.name == "T2")
+        assert t2.shared_mem_pct == 100.0
+        assert t2.fp32_pct == 0.31
+        v5 = next(i for i in CUDNN_IMPLEMENTATIONS if i.name == "V5")
+        assert v5.shared_mem_pct == 51.2
+        assert v5.dram_bandwidth_pct == 30.2
+
+    def test_paper_observations_hold(self):
+        # "All the implementations have DRAM bandwidth usage lower than
+        # 71%, and do not use FP32 cores."
+        assert all(
+            i.dram_bandwidth_pct < 71.0 for i in CUDNN_IMPLEMENTATIONS
+        )
+        assert all(i.fp32_pct < 1.0 for i in CUDNN_IMPLEMENTATIONS)
+        assert all(i.uses_tensor_cores for i in CUDNN_IMPLEMENTATIONS)
+
+    def test_idle_resources_everywhere_except_full_shmem(self):
+        assert all(
+            i.idle_explicit_resources for i in CUDNN_IMPLEMENTATIONS
+        )
+
+
+class TestNameParsing:
+    def test_fig22_example(self):
+        info = parse_impl_name(
+            "volta_h884cudnn_256x64_ldg8_relu_exp_medium_nhwc_tn_v1"
+        )
+        assert info == {
+            "arch": "volta", "tensor_core": "884", "tile": "256x64"
+        }
+
+    def test_turing_1688_marker(self):
+        info = parse_impl_name("turing_h1688cudnn_128x128_ldg8_nt_v1")
+        assert info["tensor_core"] == "1688"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_impl_name("gemm")
+
+
+class TestGapModel:
+    def test_deterministic(self):
+        assert conv_gap("resnet50", 7) == conv_gap("resnet50", 7)
+
+    def test_fig21_fraction_under_threshold(self):
+        gaps = resnet50_conv_gaps(53)
+        below = sum(1 for g in gaps if g < CONVERSION_GAP_THRESHOLD)
+        # Paper: gap < 15% for 39.6% of Resnet50's convolutions.
+        assert below / 53 == pytest.approx(0.396, abs=0.06)
+
+    def test_gaps_bounded(self):
+        assert all(0 < g < 0.8 for g in resnet50_conv_gaps(53))
+
+
+class TestConversionPolicy:
+    def test_fractions_match_paper(self):
+        assert conversion_fraction("VGG16") == 0.365
+        assert conversion_fraction("vgg19") == 0.365
+        assert conversion_fraction("Resnet50") == 0.554
+        assert conversion_fraction("Inception") == 0.554
+
+    def test_converted_count(self):
+        converted = converted_indices("resnet50", 53)
+        assert len(converted) == round(0.554 * 53)
+
+    def test_lowest_gap_layers_convert_first(self):
+        converted = converted_indices("resnet50", 53)
+        gaps = resnet50_conv_gaps(53)
+        worst_converted = max(gaps[i] for i in converted)
+        best_skipped = min(
+            gaps[i] for i in range(53) if i not in converted
+        )
+        assert worst_converted <= best_skipped
+
+    def test_end_to_end_loss_under_two_percent(self):
+        report = conversion_report("resnet50", 53)
+        assert report["end_to_end_loss"] < 0.02
+        assert report["converted_fraction"] == pytest.approx(0.554,
+                                                             abs=0.01)

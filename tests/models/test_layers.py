@@ -1,0 +1,79 @@
+"""Tests for layer lowering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels.gemm import CANONICAL_SHAPES
+from repro.models.layers import (
+    ConvShape,
+    lower_conv,
+    lower_im2col,
+    lower_op,
+)
+
+
+class TestConvShape:
+    def test_gemm_dimensions(self):
+        conv = ConvShape(batch=8, height=14, width=14, cin=256,
+                         cout=512, kernel=3)
+        assert conv.gemm_m == 8 * 14 * 14
+        assert conv.gemm_n == 512
+        assert conv.gemm_k == 256 * 9
+
+    def test_stride_shrinks_output(self):
+        conv = ConvShape(2, 224, 224, 3, 64, 7, stride=2)
+        assert conv.out_height == 112
+        assert conv.gemm_m == 2 * 112 * 112
+
+    def test_im2col_need(self):
+        assert ConvShape(1, 8, 8, 16, 16, 3).needs_im2col
+        assert not ConvShape(1, 8, 8, 16, 16, 1).needs_im2col
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigError):
+            ConvShape(0, 8, 8, 16, 16, 3)
+
+
+class TestLowerConv:
+    def test_returns_canonical_name(self):
+        conv = ConvShape(32, 56, 56, 64, 64, 1)
+        assert lower_conv(conv) in CANONICAL_SHAPES
+
+    def test_bigger_conv_never_maps_smaller(self):
+        small = ConvShape(1, 7, 7, 32, 32, 1)
+        huge = ConvShape(32, 112, 112, 64, 256, 3)
+        names = list(CANONICAL_SHAPES)
+        assert names.index(lower_conv(huge)) >= names.index(
+            lower_conv(small))
+
+    def test_log_space_choice(self):
+        # A conv exactly at the geometric mean of s and m is ambiguous;
+        # one just above it must map to m.
+        import math
+
+        s = CANONICAL_SHAPES["tgemm_s"].flops
+        m = CANONICAL_SHAPES["tgemm_m"].flops
+        target = math.sqrt(s * m) * 1.2
+        # Construct a 1x1 conv with roughly that flop count.
+        cout = max(1, round(target / (2 * 32 * 28 * 28 * 256)))
+        conv = ConvShape(32, 28, 28, 256, cout, 1)
+        assert lower_conv(conv) == "tgemm_m"
+
+
+class TestLowerOps:
+    def test_im2col_variant_by_volume(self):
+        big = ConvShape(32, 112, 112, 64, 64, 3)
+        tiny = ConvShape(1, 7, 7, 32, 32, 3)
+        assert lower_im2col(big) == "im2col"
+        assert lower_im2col(tiny) == "im2col_s"
+
+    def test_elementwise_variants(self):
+        assert lower_op("relu", 10_000_000) == "relu"
+        assert lower_op("relu", 1_000) == "relu_s"
+        assert lower_op("bn", 1_000) == "bn_s"
+        assert lower_op("pooling", 10_000_000) == "pooling"
+        assert lower_op("scale", 10) == "scale"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigError):
+            lower_op("gelu", 100)

@@ -1,0 +1,54 @@
+"""Tests for the DNN-training BE jobs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.training import (
+    TRAINING_JOBS,
+    all_training_jobs,
+    training_job,
+)
+from repro.models.zoo import model_by_name
+
+
+class TestRoster:
+    def test_four_jobs(self):
+        assert TRAINING_JOBS == ("Res-T", "VGG-T", "Incep-T", "Dense-T")
+
+    def test_lookup_case_insensitive(self):
+        assert training_job("res-t").name == "Res-T"
+        with pytest.raises(ConfigError):
+            training_job("BERT-T")
+
+    def test_all_training_jobs(self):
+        jobs = all_training_jobs()
+        assert set(jobs) == set(TRAINING_JOBS)
+
+
+class TestIterationStructure:
+    def test_backward_roughly_doubles_gemms(self):
+        job = training_job("Res-T")
+        base = model_by_name("resnet50")
+        fwd_gemms = len(base.tc_kernels)
+        total_gemms = sum(1 for k in job.kernels if k.is_tc)
+        assert total_gemms == 3 * fwd_gemms  # fwd + dgrad + wgrad
+
+    def test_training_gemms_are_fusable(self):
+        job = training_job("VGG-T")
+        backward = job.kernels[len(model_by_name("vgg16").kernels):]
+        assert all(k.fusable for k in backward if k.is_tc)
+
+    def test_weight_updates_present(self):
+        job = training_job("Dense-T")
+        assert any(k.kernel == "weight_update" for k in job.kernels)
+
+    def test_memory_intensive_classification(self):
+        # Table II counts DNN training among memory-intensive BE apps.
+        assert all(
+            training_job(name).memory_intensive for name in TRAINING_JOBS
+        )
+
+    def test_iteration_longer_than_inference(self):
+        job = training_job("Incep-T")
+        base = model_by_name("inception")
+        assert job.n_kernels > base.n_kernels

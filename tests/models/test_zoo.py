@@ -1,0 +1,149 @@
+"""Tests for the LC model zoo."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim.gpu import simulate_launch
+from repro.models.cudnn import conversion_fraction
+from repro.models.zoo import (
+    LC_MODEL_FACTORIES,
+    LC_MODELS,
+    QueryKernel,
+    model_by_name,
+)
+
+SPECS = {f.__name__: f() for f in LC_MODEL_FACTORIES}
+
+
+class TestRoster:
+    def test_six_models(self):
+        assert set(LC_MODELS) == {
+            "resnet50", "resnext", "vgg16", "vgg19", "inception",
+            "densenet",
+        }
+
+    def test_paper_batch_sizes(self):
+        batches = {name: spec.batch_size for name, spec in SPECS.items()}
+        assert batches == {
+            "resnet50": 32, "resnext": 24, "vgg16": 24,
+            "vgg19": 16, "inception": 32, "densenet": 16,
+        }
+
+    def test_lookup_by_either_name(self):
+        assert model_by_name("resnet50").name == "Resnet50"
+        assert model_by_name("Resnet50").name == "Resnet50"
+        with pytest.raises(ConfigError):
+            model_by_name("alexnet")
+
+
+class TestSequences:
+    @pytest.mark.parametrize("name", sorted(SPECS))
+    def test_mix_of_tc_and_cd(self, name):
+        spec = SPECS[name]
+        assert len(spec.tc_kernels) > 0
+        assert len(spec.cd_kernels) > 0
+
+    def test_conv_counts_match_architectures(self):
+        def convs(spec):
+            # Every TC kernel except the FC tail GEMMs maps to a conv;
+            # counting GEMMs bounds the conv count from above.
+            return len(spec.tc_kernels)
+
+        assert convs(SPECS["resnet50"]) == 53 + 1  # 53 convs + FC
+        assert convs(SPECS["vgg16"]) == 13 + 3
+        assert convs(SPECS["vgg19"]) == 16 + 3
+        assert convs(SPECS["densenet"]) == 120 + 1
+
+    def test_fusable_fraction_matches_conversion_policy(self):
+        for name, spec in SPECS.items():
+            tc = spec.tc_kernels
+            fusable = sum(1 for k in tc if k.fusable)
+            # FC GEMMs stay on cuBLAS (never fusable); every fusable TC
+            # kernel is a converted convolution, and the converted count
+            # follows the model's conversion fraction exactly.
+            n_fc = sum(
+                1 for k in tc if k.kernel == "tgemm_s" and not k.fusable
+            )
+            n_convs = len(tc) - n_fc
+            expected = round(conversion_fraction(spec.name) * n_convs)
+            assert abs(fusable - expected) <= n_fc + 1
+
+    def test_fc_gemms_never_fusable(self):
+        # The classifier FC layers run on cuBLAS: black box to the fuser.
+        for spec in SPECS.values():
+            tail = spec.kernels[-1]
+            assert tail.is_tc and not tail.fusable
+
+    def test_vggs_convert_fewer(self):
+        assert (
+            SPECS["vgg16"].fusable_tc_fraction
+            < SPECS["resnet50"].fusable_tc_fraction
+        )
+
+    def test_unconverted_convs_have_no_im2col(self):
+        # A non-fusable (black-box cuDNN) conv is not preceded by im2col.
+        for spec in SPECS.values():
+            kernels = spec.kernels
+            for i, qk in enumerate(kernels):
+                if qk.is_tc and not qk.fusable and i > 0:
+                    assert not kernels[i - 1].kernel.startswith("im2col")
+
+
+class TestLatencyBudget:
+    @pytest.mark.parametrize("name", sorted(SPECS))
+    def test_solo_latency_within_qos(self, name, gpu, library, oracle):
+        spec = SPECS[name]
+        total = sum(
+            oracle.solo_ms(library.get(k.kernel))
+            for k in spec.kernels
+        )
+        assert 5.0 < total < 45.0  # leaves headroom under the 50 ms QoS
+
+    def test_tc_time_dominates_for_conv_heavy_models(
+        self, gpu, library, oracle
+    ):
+        for name in ("resnet50", "vgg16", "inception"):
+            spec = SPECS[name]
+            tc = sum(oracle.solo_ms(library.get(k.kernel))
+                     for k in spec.tc_kernels)
+            cd = sum(oracle.solo_ms(library.get(k.kernel))
+                     for k in spec.cd_kernels)
+            assert tc > cd
+
+
+class TestQueryKernel:
+    def test_is_tc_detection(self):
+        assert QueryKernel("tgemm_l").is_tc
+        assert QueryKernel("wmma_gemm").is_tc
+        assert not QueryKernel("relu").is_tc
+
+
+class TestBatchedVariant:
+    def test_resnet50_batched_shapes_shrink(self):
+        from repro.models.zoo import resnet50_batched
+
+        small = resnet50_batched(4)
+        large = resnet50_batched(32)
+        assert small.batch_size == 4
+        assert small.name == "Resnet50-b4"
+        # Same architecture, so same kernel count...
+        assert len(small.tc_kernels) == len(large.tc_kernels)
+        # ...but the small batch lowers onto smaller GEMM buckets.
+        order = ["tgemm_s", "tgemm_m", "tgemm_l", "tgemm_xl", "tgemm_xxl"]
+
+        def rank_sum(spec):
+            return sum(
+                order.index(k.kernel) for k in spec.tc_kernels
+                if k.kernel in order
+            )
+
+        assert rank_sum(small) < rank_sum(large)
+
+    def test_conversion_is_deterministic(self):
+        from repro.models.zoo import model_by_name
+
+        a = model_by_name("resnet50")
+        b = model_by_name("resnet50")
+        assert [k.fusable for k in a.kernels] == [
+            k.fusable for k in b.kernels
+        ]

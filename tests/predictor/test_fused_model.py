@@ -1,0 +1,129 @@
+"""Tests for the two-stage fused-kernel duration model (Section VI)."""
+
+import pytest
+
+from repro.errors import PredictionError
+from repro.fusion.ptb import transform
+from repro.fusion.search import FusionSearch
+from repro.kernels.gemm import canonical_gemms
+from repro.kernels.parboil import fft
+from repro.predictor.fused_model import (
+    PROFILE_LOAD_RATIOS,
+    UPDATE_THRESHOLD,
+    FusedDurationModel,
+)
+from repro.predictor.kernel_model import KernelDurationModel
+
+
+@pytest.fixture(scope="module")
+def fused_kernel(gpu):
+    tc = transform(canonical_gemms()["tgemm_l"], gpu)
+    cd = transform(fft(), gpu)
+    return FusionSearch(gpu).search(tc, cd).best.fused
+
+
+@pytest.fixture(scope="module")
+def trained(gpu, fused_kernel):
+    tc_model = KernelDurationModel(fused_kernel.tc.ir)
+    tc_model.train(gpu)
+    cd_model = KernelDurationModel(fused_kernel.cd.ir)
+    cd_model.train(gpu)
+    model = FusedDurationModel(fused_kernel, tc_model, cd_model)
+    model.train(gpu)
+    return model
+
+
+class TestTraining:
+    def test_profile_ratios_are_papers(self):
+        assert PROFILE_LOAD_RATIOS == (0.10, 0.20, 1.80, 1.90)
+
+    def test_untrained_raises(self, gpu, fused_kernel):
+        tc_model = KernelDurationModel(fused_kernel.tc.ir)
+        cd_model = KernelDurationModel(fused_kernel.cd.ir)
+        model = FusedDurationModel(fused_kernel, tc_model, cd_model)
+        with pytest.raises(PredictionError):
+            model.train(gpu)  # component models untrained
+        with pytest.raises(PredictionError):
+            model.predict(1.0, 1.0)
+
+    def test_trained_exposes_inflection(self, trained):
+        assert trained.is_trained
+        # Both branches finish together somewhere around ratio ~1.
+        assert 0.3 < trained.opportune_load_ratio < 1.8
+
+
+class TestShape:
+    def test_gentle_slope_before_inflection(self, trained):
+        """Fig. 10: before the inflection, CD growth is mostly absorbed
+        by the co-run — the slope is far below the post-inflection 1."""
+        r = trained.opportune_load_ratio
+        slope = (
+            trained.predict_norm(r * 0.9) - trained.predict_norm(r * 0.2)
+        ) / (r * 0.7)
+        assert slope < 0.5
+
+    def test_slope_one_after_inflection(self, trained):
+        """Fig. 10: past the inflection, CD growth converts 1:1 into
+        fused duration growth."""
+        y1 = trained.predict_norm(2.0)
+        y2 = trained.predict_norm(3.0)
+        assert (y2 - y1) == pytest.approx(1.0, abs=0.15)
+
+    def test_never_faster_than_components(self, trained):
+        for ratio in (0.1, 0.5, 1.0, 1.5, 2.5):
+            assert trained.predict_norm(ratio) >= max(1.0, ratio)
+
+    def test_stage_classification(self, trained):
+        r = trained.opportune_load_ratio
+        assert trained.stage_for(r * 0.5) == "before-inflection"
+        assert trained.stage_for(r * 1.5) == "after-inflection"
+
+    def test_prediction_scales_with_tc_duration(self, trained):
+        """Fig. 11: at fixed load ratio, duration is linear in Xori_tc."""
+        one = trained.predict(1000.0, 500.0)
+        two = trained.predict(2000.0, 1000.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_rejects_bad_inputs(self, trained):
+        with pytest.raises(PredictionError):
+            trained.predict(0.0, 1.0)
+        with pytest.raises(PredictionError):
+            trained.predict_norm(-0.5)
+
+
+class TestAccuracy:
+    def test_fig18_error_bound(self, gpu, trained):
+        """Fig. 18: both stages predict within 8%."""
+        tc_grid = trained.fused.tc.ir.default_grid
+        errors = []
+        for ratio in (0.3, 0.6, 0.9, 1.3, 1.6, 2.2):
+            cd_grid = trained._cd_grid_for_ratio(tc_grid, ratio, gpu)
+            actual = trained.measure(gpu, tc_grid, cd_grid)
+            xtc = trained.tc_model.measure(gpu, tc_grid)
+            xcd = trained.cd_model.measure(gpu, cd_grid)
+            predicted = trained.predict(xtc, xcd)
+            errors.append(abs(predicted - actual) / actual)
+        assert max(errors) < 0.08
+
+
+class TestOnlineUpdate:
+    def test_small_error_does_not_refit(self, gpu, trained):
+        xtc = trained.tc_model.measure(gpu, trained.fused.tc.ir.default_grid)
+        predicted = trained.predict(xtc, 0.5 * xtc)
+        before = trained.update_count
+        error = trained.observe(xtc, 0.5 * xtc, predicted * 1.01)
+        assert error < UPDATE_THRESHOLD
+        assert trained.update_count == before
+
+    def test_large_error_triggers_refit(self, gpu, fused_kernel):
+        tc_model = KernelDurationModel(fused_kernel.tc.ir)
+        tc_model.train(gpu)
+        cd_model = KernelDurationModel(fused_kernel.cd.ir)
+        cd_model.train(gpu)
+        model = FusedDurationModel(fused_kernel, tc_model, cd_model)
+        model.train(gpu)
+        xtc = tc_model.measure(gpu, fused_kernel.tc.ir.default_grid)
+        predicted = model.predict(xtc, 0.5 * xtc)
+        error = model.observe(xtc, 0.5 * xtc, predicted * 1.5)
+        assert error > UPDATE_THRESHOLD
+        assert model.update_count == 1

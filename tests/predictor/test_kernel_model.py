@@ -1,0 +1,80 @@
+"""Tests for per-kernel duration models (the Fig. 17 machinery)."""
+
+import pytest
+
+from repro.errors import PredictionError
+from repro.kernels.parboil import fft, mriq
+from repro.predictor.kernel_model import (
+    DEFAULT_NOISE,
+    KernelDurationModel,
+    ProfileNoise,
+)
+
+
+class TestProfileNoise:
+    def test_deterministic(self):
+        noise = ProfileNoise()
+        assert noise.factor("fft", 100) == noise.factor("fft", 100)
+
+    def test_bounded_by_scale(self):
+        noise = ProfileNoise(scale=0.02)
+        factors = [noise.factor("fft", g) for g in range(200)]
+        assert all(0.98 <= f <= 1.02 for f in factors)
+
+    def test_varies_across_grids(self):
+        noise = ProfileNoise()
+        assert len({noise.factor("fft", g) for g in range(20)}) > 10
+
+    def test_zero_scale_is_exact(self):
+        noise = ProfileNoise(scale=0.0)
+        assert noise.observe("fft", 1, 1234.5) == 1234.5
+
+
+class TestTraining:
+    def test_untrained_predict_raises(self):
+        model = KernelDurationModel(fft())
+        assert not model.is_trained
+        with pytest.raises(PredictionError):
+            model.predict(100)
+
+    def test_training_fits_line(self, gpu):
+        model = KernelDurationModel(fft())
+        line = model.train(gpu)
+        assert model.is_trained
+        assert line.slope > 0  # more blocks take longer
+
+    def test_custom_grids(self, gpu):
+        model = KernelDurationModel(mriq())
+        model.train(gpu, grids=[1000, 2000, 4000])
+        assert model.is_trained
+
+
+class TestAccuracy:
+    def test_fig17_error_bound(self, gpu):
+        """Fig. 17: PTB-kernel LR prediction within ~3%."""
+        kernel = fft()
+        model = KernelDurationModel(kernel)
+        model.train(gpu)
+        grids = [round(kernel.default_grid * s) for s in (0.4, 0.8, 1.3, 1.8)]
+        report = model.evaluate(gpu, grids)
+        assert report["mean_error"] < 0.03
+        assert report["max_error"] < 0.05
+
+    def test_noise_floor_visible(self, gpu):
+        """Errors are non-zero: the harness measures against noisy
+        observations, like profiling on real silicon."""
+        kernel = fft()
+        model = KernelDurationModel(kernel)
+        model.train(gpu)
+        report = model.evaluate(
+            gpu, [round(kernel.default_grid * s) for s in (0.6, 1.4)]
+        )
+        assert report["mean_error"] > 0.0
+
+    def test_prediction_clamped_non_negative(self, gpu):
+        model = KernelDurationModel(fft())
+        model.train(gpu)
+        assert model.predict(0) >= 0.0
+
+    def test_default_noise_is_realistic(self):
+        assert 0.005 <= DEFAULT_NOISE <= 0.03

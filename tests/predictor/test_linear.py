@@ -1,0 +1,68 @@
+"""Tests for the OLS linear model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.predictor.linear import LinearModel
+
+
+class TestFit:
+    def test_exact_line_recovered(self):
+        model = LinearModel.fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert model.slope == pytest.approx(2.0)
+        assert model.intercept == pytest.approx(1.0)
+
+    def test_least_squares_on_noisy_data(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 10, 50)
+        y = 3 * x + 7 + rng.normal(0, 0.1, 50)
+        model = LinearModel.fit(x, y)
+        assert model.slope == pytest.approx(3.0, abs=0.05)
+        assert model.intercept == pytest.approx(7.0, abs=0.2)
+
+    def test_needs_two_points(self):
+        with pytest.raises(PredictionError):
+            LinearModel.fit([1], [2])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(PredictionError):
+            LinearModel.fit([5, 5, 5], [1, 2, 3])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(PredictionError):
+            LinearModel.fit([1, 2], [1, 2, 3])
+
+
+class TestPrediction:
+    MODEL = LinearModel(slope=2.0, intercept=1.0)
+
+    def test_predict(self):
+        assert self.MODEL.predict(10.0) == 21.0
+
+    def test_predict_many(self):
+        out = self.MODEL.predict_many([0.0, 1.0])
+        assert list(out) == [1.0, 3.0]
+
+    def test_mean_and_max_error(self):
+        x = [1.0, 2.0]
+        y = [3.0, 10.0]  # predictions: 3, 5
+        assert self.MODEL.mean_abs_pct_error(x, y) == pytest.approx(0.25)
+        assert self.MODEL.max_abs_pct_error(x, y) == pytest.approx(0.5)
+
+    def test_error_rejects_zero_actuals(self):
+        with pytest.raises(PredictionError):
+            self.MODEL.mean_abs_pct_error([1.0], [0.0])
+
+
+class TestIntersection:
+    def test_crossing_point(self):
+        a = LinearModel(slope=1.0, intercept=0.0)
+        b = LinearModel(slope=2.0, intercept=-3.0)
+        assert a.intersection_x(b) == pytest.approx(3.0)
+
+    def test_parallel_lines_raise(self):
+        a = LinearModel(slope=1.0, intercept=0.0)
+        b = LinearModel(slope=1.0, intercept=5.0)
+        with pytest.raises(PredictionError):
+            a.intersection_x(b)

@@ -1,0 +1,88 @@
+"""Tests for the online model manager."""
+
+import pytest
+
+from repro.errors import PredictionError
+from repro.fusion.ptb import transform
+from repro.fusion.search import FusionSearch
+from repro.kernels.gemm import canonical_gemms
+from repro.kernels.parboil import fft, mriq
+from repro.predictor.online import FUSED_MODEL_TRAIN_MS, OnlineModelManager
+
+
+@pytest.fixture(scope="module")
+def fused_kernel(gpu):
+    tc = transform(canonical_gemms()["tgemm_l"], gpu)
+    cd = transform(fft(), gpu)
+    return FusionSearch(gpu).search(tc, cd).best.fused
+
+
+class TestKernelModels:
+    def test_lazily_trained_and_cached(self, gpu):
+        manager = OnlineModelManager(gpu)
+        first = manager.kernel_model(mriq())
+        second = manager.kernel_model(mriq())
+        assert first is second
+        assert manager.trained_kernel_models == 1
+
+    def test_predict_kernel(self, gpu):
+        manager = OnlineModelManager(gpu)
+        cycles = manager.predict_kernel(mriq(), mriq().default_grid)
+        assert cycles > 0
+
+
+class TestFusedModels:
+    def test_lazily_trained_with_cost_accounting(self, gpu, fused_kernel):
+        manager = OnlineModelManager(gpu)
+        model = manager.fused_model(fused_kernel)
+        assert model.is_trained
+        assert manager.trained_fused_models == 1
+        assert manager.total_training_ms == FUSED_MODEL_TRAIN_MS
+        # Cached on second request, no extra training cost.
+        manager.fused_model(fused_kernel)
+        assert manager.total_training_ms == FUSED_MODEL_TRAIN_MS
+
+    def test_predict_and_observe_roundtrip(self, gpu, fused_kernel):
+        manager = OnlineModelManager(gpu)
+        xtc = manager.predict_kernel(
+            fused_kernel.tc.ir, fused_kernel.tc.ir.default_grid
+        )
+        predicted = manager.predict_fused(fused_kernel, xtc, 0.5 * xtc)
+        error = manager.observe_fused(
+            fused_kernel, xtc, 0.5 * xtc, predicted
+        )
+        assert error == pytest.approx(0.0)
+
+    def test_observe_before_predict_raises(self, gpu, fused_kernel):
+        manager = OnlineModelManager(gpu)
+        with pytest.raises(PredictionError):
+            manager.observe_fused(fused_kernel, 1.0, 1.0, 1.0)
+
+
+class TestManagerPersistence:
+    def test_save_and_load_roundtrip(self, gpu, fused_kernel, tmp_path):
+        manager = OnlineModelManager(gpu)
+        manager.fused_model(fused_kernel)  # trains kernel + fused models
+        path = manager.save(str(tmp_path / "bundle.json"))
+
+        fresh = OnlineModelManager(gpu)
+        artifacts = {
+            (fused_kernel.tc.ir.name, fused_kernel.cd.ir.name): fused_kernel
+        }
+        restored = fresh.load(path, artifacts)
+        assert restored == 3  # two kernel models + one fused model
+        assert fresh.trained_fused_models == 1
+        # Predictions match without any re-profiling.
+        xtc = manager.predict_kernel(
+            fused_kernel.tc.ir, fused_kernel.tc.ir.default_grid
+        )
+        assert fresh.predict_fused(fused_kernel, xtc, xtc) == (
+            manager.predict_fused(fused_kernel, xtc, xtc)
+        )
+
+    def test_load_skips_unknown_pairs(self, gpu, fused_kernel, tmp_path):
+        manager = OnlineModelManager(gpu)
+        manager.fused_model(fused_kernel)
+        path = manager.save(str(tmp_path / "bundle.json"))
+        fresh = OnlineModelManager(gpu)
+        assert fresh.load(path, {}) == 0

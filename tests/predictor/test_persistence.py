@@ -1,0 +1,133 @@
+"""Tests for duration-model serialization."""
+
+import pytest
+
+from repro.errors import PredictionError
+from repro.fusion.ptb import transform
+from repro.fusion.search import FusionSearch
+from repro.kernels.gemm import canonical_gemms
+from repro.kernels.parboil import fft, mriq
+from repro.predictor.fused_model import FusedDurationModel
+from repro.predictor.kernel_model import KernelDurationModel
+from repro.predictor.persistence import (
+    FORMAT,
+    export_bundle,
+    export_fused_model,
+    export_kernel_model,
+    import_fused_model,
+    import_kernel_model,
+    load_bundle,
+    save_bundle,
+)
+
+
+@pytest.fixture(scope="module")
+def fused_setup(gpu):
+    tc_ptb = transform(canonical_gemms()["tgemm_l"], gpu)
+    cd_ptb = transform(fft(), gpu)
+    fused = FusionSearch(gpu).search(tc_ptb, cd_ptb).best.fused
+    tc_model = KernelDurationModel(fused.tc.ir)
+    tc_model.train(gpu)
+    cd_model = KernelDurationModel(fused.cd.ir)
+    cd_model.train(gpu)
+    model = FusedDurationModel(fused, tc_model, cd_model)
+    model.train(gpu)
+    return fused, tc_model, cd_model, model
+
+
+class TestKernelModelRoundtrip:
+    def test_predictions_survive(self, gpu):
+        original = KernelDurationModel(mriq())
+        original.train(gpu)
+        data = export_kernel_model(original)
+        restored = import_kernel_model(mriq(), data)
+        for grid in (500, 2000, 8000):
+            assert restored.predict(grid) == original.predict(grid)
+
+    def test_kernel_mismatch_rejected(self, gpu):
+        original = KernelDurationModel(mriq())
+        original.train(gpu)
+        with pytest.raises(PredictionError, match="exported for"):
+            import_kernel_model(fft(), export_kernel_model(original))
+
+
+class TestFusedModelRoundtrip:
+    def test_predictions_survive(self, gpu, fused_setup):
+        fused, tc_model, cd_model, model = fused_setup
+        data = export_fused_model(model)
+        restored = import_fused_model(fused, tc_model, cd_model, data)
+        assert restored.opportune_load_ratio == pytest.approx(
+            model.opportune_load_ratio
+        )
+        for ratio in (0.3, 1.0, 2.0):
+            assert restored.predict_norm(ratio) == pytest.approx(
+                model.predict_norm(ratio)
+            )
+
+    def test_online_refinement_continues(self, gpu, fused_setup):
+        fused, tc_model, cd_model, model = fused_setup
+        restored = import_fused_model(
+            fused, tc_model, cd_model, export_fused_model(model)
+        )
+        xtc = tc_model.measure(gpu, fused.tc.ir.default_grid)
+        predicted = restored.predict(xtc, xtc)
+        error = restored.observe(xtc, xtc, predicted * 1.4)
+        assert error > 0.1
+        assert restored.update_count == model.update_count + 1
+
+    def test_untrained_export_rejected(self, gpu, fused_setup):
+        fused, tc_model, cd_model, _ = fused_setup
+        fresh = FusedDurationModel(fused, tc_model, cd_model)
+        with pytest.raises(PredictionError):
+            export_fused_model(fresh)
+
+    def test_pair_mismatch_rejected(self, gpu, fused_setup):
+        fused, tc_model, cd_model, model = fused_setup
+        data = export_fused_model(model)
+        data["pair"] = ["tgemm_l", "mriq"]
+        with pytest.raises(PredictionError):
+            import_fused_model(fused, tc_model, cd_model, data)
+
+
+class TestBundle:
+    def test_save_and_load(self, gpu, tmp_path, fused_setup):
+        fused, tc_model, cd_model, model = fused_setup
+        path = save_bundle(
+            str(tmp_path / "models.json"),
+            {"tgemm_l": tc_model, "fft": cd_model},
+            {("tgemm_l", "fft"): model},
+        )
+        bundle = load_bundle(path)
+        assert bundle["format"] == FORMAT
+        assert set(bundle["kernels"]) == {"tgemm_l", "fft"}
+        assert len(bundle["fused"]) == 1
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(PredictionError):
+            load_bundle(str(path))
+
+    def test_bundle_restores_working_models(self, gpu, tmp_path,
+                                            fused_setup):
+        fused, tc_model, cd_model, model = fused_setup
+        path = save_bundle(
+            str(tmp_path / "models.json"),
+            {"tgemm_l": tc_model, "fft": cd_model},
+            {("tgemm_l", "fft"): model},
+        )
+        bundle = load_bundle(path)
+        restored_tc = import_kernel_model(
+            fused.tc.ir, bundle["kernels"]["tgemm_l"]
+        )
+        restored_cd = import_kernel_model(
+            fused.cd.ir, bundle["kernels"]["fft"]
+        )
+        restored = import_fused_model(
+            fused, restored_tc, restored_cd, bundle["fused"][0]
+        )
+        xtc = restored_tc.predict(fused.tc.ir.default_grid)
+        xcd = restored_cd.predict(fused.cd.ir.default_grid)
+        assert restored.predict(xtc, xcd) == pytest.approx(
+            model.predict(xtc, xcd)
+        )

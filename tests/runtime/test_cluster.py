@@ -1,0 +1,99 @@
+"""Tests for the cluster-level deployment mode (Section IV)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.runtime.cluster import ClusterManager
+from repro.runtime.system import TackerSystem
+
+
+@pytest.fixture(scope="module")
+def system(gpu):
+    return TackerSystem(gpu=gpu)
+
+
+def manager(system, threshold=2):
+    return ClusterManager(system, occurrence_threshold=threshold)
+
+
+class TestPlacement:
+    def test_node_registration(self, system):
+        cluster = manager(system)
+        cluster.add_node("gpu0")
+        with pytest.raises(SchedulingError):
+            cluster.add_node("gpu0")
+        with pytest.raises(SchedulingError):
+            cluster.node("gpu9")
+
+    def test_occurrence_counting(self, system):
+        cluster = manager(system, threshold=3)
+        for name in ("gpu0", "gpu1"):
+            cluster.add_node(name)
+            cluster.place_be(name, "fft")
+        assert cluster.occurrences("be", "fft") == 2
+        assert not cluster.is_long_running("be", "fft")
+
+    def test_threshold_validation(self, system):
+        with pytest.raises(SchedulingError):
+            ClusterManager(system, occurrence_threshold=0)
+
+
+class TestFusionStaging:
+    def test_below_threshold_prepares_nothing(self, system):
+        cluster = manager(system, threshold=5)
+        cluster.add_node("gpu0")
+        cluster.place_lc("gpu0", "vgg16")
+        cluster.place_be("gpu0", "mriq")
+        assert cluster.staging_report()["gpu0"] == 0
+
+    def test_long_running_pair_gets_artifacts(self, system):
+        cluster = manager(system, threshold=1)
+        cluster.add_node("gpu0")
+        cluster.place_lc("gpu0", "vgg16")
+        cluster.place_be("gpu0", "mriq")
+        assert cluster.staging_report()["gpu0"] > 0
+        libraries = cluster.distributed["gpu0"]
+        assert all(lib.endswith(".so") for lib in libraries)
+        assert any("mriq" in lib for lib in libraries)
+
+    def test_distribution_follows_be_location(self, system):
+        """Artifacts land only on nodes hosting the relevant BE app."""
+        cluster = manager(system, threshold=1)
+        cluster.add_node("gpu0")
+        cluster.add_node("gpu1")
+        cluster.place_lc("gpu0", "vgg16")
+        cluster.place_lc("gpu1", "vgg16")
+        cluster.place_be("gpu0", "mriq")
+        # gpu1 hosts no BE app, so nothing is shipped there.
+        assert cluster.staging_report()["gpu0"] > 0
+        assert cluster.staging_report()["gpu1"] == 0
+
+    def test_artifacts_shared_across_nodes(self, system):
+        """The same fused library serves every node with the pair."""
+        cluster = manager(system, threshold=1)
+        cluster.add_node("gpu0")
+        cluster.add_node("gpu1")
+        for name in ("gpu0", "gpu1"):
+            cluster.place_lc(name, "vgg16")
+            cluster.place_be(name, "mriq")
+        compiled_once = len(cluster.system.compiler)
+        assert cluster.distributed["gpu0"] == cluster.distributed["gpu1"]
+        # Re-placing does not recompile.
+        cluster.place_be("gpu0", "mriq")
+        assert len(cluster.system.compiler) == compiled_once
+
+    def test_crossing_threshold_unlocks_other_nodes(self, system):
+        """A workload becoming long-running retroactively stages fused
+        kernels on every node that already co-hosts the pair."""
+        cluster = manager(system, threshold=2)
+        cluster.add_node("gpu0")
+        cluster.add_node("gpu1")
+        cluster.place_lc("gpu0", "vgg16")
+        cluster.place_be("gpu0", "mriq")
+        assert cluster.staging_report()["gpu0"] == 0  # occurrences = 1
+        # Second occurrences land on another node entirely...
+        cluster.place_lc("gpu1", "vgg16")
+        cluster.place_be("gpu1", "mriq")
+        # ...and both nodes get the shared libraries.
+        assert cluster.staging_report()["gpu0"] > 0
+        assert cluster.distributed["gpu0"] == cluster.distributed["gpu1"]

@@ -1,0 +1,80 @@
+"""Tests for QoS headroom accounting (Eqs. 7/9)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.kernels.parboil import mriq
+from repro.models.zoo import model_by_name
+from repro.runtime.headroom import HeadroomTracker
+from repro.runtime.query import KernelInstance, Query
+
+
+def query(arrival, n_kernels=4):
+    return Query(
+        model_by_name("resnet50"), arrival,
+        tuple(KernelInstance(mriq(), 100) for _ in range(n_kernels)),
+    )
+
+
+def tracker(qos=50.0, per_kernel_ms=5.0):
+    return HeadroomTracker(qos, lambda inst: per_kernel_ms)
+
+
+class TestSingleQuery:
+    def test_eq7_headroom(self):
+        t = tracker()
+        q = query(arrival=10.0, n_kernels=4)  # 20 ms predicted
+        # At t=15: 50 - 5 elapsed - 20 remaining = 25.
+        assert t.headroom_ms(15.0, [q]) == pytest.approx(25.0)
+
+    def test_headroom_shrinks_with_time(self):
+        t = tracker()
+        q = query(arrival=0.0)
+        early = t.headroom_ms(5.0, [q])
+        late = t.headroom_ms(15.0, [q])
+        assert late == pytest.approx(early - 10.0)
+
+    def test_headroom_grows_as_kernels_finish(self):
+        t = tracker()
+        q = query(arrival=0.0, n_kernels=4)
+        before = t.headroom_ms(10.0, [q])
+        q.advance(10.0)
+        after = t.headroom_ms(10.0, [q])
+        assert after == pytest.approx(before + 5.0)
+
+    def test_can_go_negative(self):
+        t = tracker()
+        q = query(arrival=0.0, n_kernels=12)  # 60 ms predicted work
+        assert t.headroom_ms(0.0, [q]) < 0
+
+
+class TestMultipleQueries:
+    def test_eq9_reserves_earlier_queries(self):
+        t = tracker()
+        q1 = query(arrival=0.0, n_kernels=4)   # 20 ms
+        q2 = query(arrival=5.0, n_kernels=4)   # 20 ms
+        # q2's slack: 50 - 5 elapsed - 20 (q1 ahead) - 20 own = 5.
+        assert t.headroom_ms(10.0, [q1, q2]) == pytest.approx(5.0)
+
+    def test_binding_constraint_is_minimum(self):
+        t = tracker()
+        q1 = query(arrival=0.0, n_kernels=1)
+        q2 = query(arrival=0.0, n_kernels=9)
+        thr = t.headroom_ms(0.0, [q1, q2])
+        slack_q1 = 50.0 - 5.0
+        slack_q2 = 50.0 - 5.0 - 45.0
+        assert thr == pytest.approx(min(slack_q1, slack_q2))
+
+    def test_no_queries_unconstrained(self):
+        assert tracker().headroom_ms(123.0, []) == float("inf")
+
+
+class TestValidation:
+    def test_qos_must_be_positive(self):
+        with pytest.raises(SchedulingError):
+            HeadroomTracker(0.0, lambda inst: 1.0)
+
+    def test_predicted_remaining(self):
+        t = tracker()
+        q = query(arrival=0.0, n_kernels=3)
+        assert t.predicted_remaining_ms(q) == pytest.approx(15.0)

@@ -1,0 +1,84 @@
+"""Tests for the evaluation metrics."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.gpusim.trace import Timeline
+from repro.runtime.metrics import (
+    active_time_breakdown,
+    geometric_mean,
+    latency_stats,
+    throughput_improvement,
+)
+from repro.runtime.server import ServerResult
+
+
+def result(be_work=10.0, horizon=100.0, latencies=(40.0, 45.0, 48.0),
+           tc=None, cd=None, end=100.0):
+    res = ServerResult(
+        qos_ms=50.0, horizon_ms=horizon, end_ms=end,
+        latencies_ms=list(latencies), be_work_ms={"fft": be_work},
+        tc_timeline=tc if tc is not None else Timeline(),
+        cd_timeline=cd if cd is not None else Timeline(),
+    )
+    return res
+
+
+class TestThroughputImprovement:
+    def test_eq10(self):
+        tacker = result(be_work=13.0)
+        baymax = result(be_work=10.0)
+        assert throughput_improvement(tacker, baymax) == pytest.approx(0.3)
+
+    def test_mismatched_horizons_rejected(self):
+        with pytest.raises(SchedulingError):
+            throughput_improvement(result(horizon=100.0),
+                                   result(horizon=200.0))
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(SchedulingError):
+            throughput_improvement(result(), result(be_work=0.0))
+
+
+class TestLatencyStats:
+    def test_fields(self):
+        stats = latency_stats(result(latencies=[40.0, 45.0, 52.0]))
+        assert stats["mean_ms"] == pytest.approx(45.6667, abs=1e-3)
+        assert stats["max_ms"] == 52.0
+        assert stats["violation_rate"] == pytest.approx(1 / 3)
+        assert stats["qos_ms"] == 50.0
+
+
+class TestActiveTimeBreakdown:
+    def test_fig2_stacking(self):
+        tc = Timeline()
+        tc.add(0.0, 60.0)
+        cd = Timeline()
+        cd.add(60.0, 100.0)
+        stats = active_time_breakdown(result(tc=tc, cd=cd, end=100.0))
+        assert stats["tc_active"] == pytest.approx(0.6)
+        assert stats["cd_active"] == pytest.approx(0.4)
+        assert stats["both_active"] == 0.0
+        assert stats["stacked"] == pytest.approx(1.0)
+
+    def test_overlap_pushes_stacked_above_one(self):
+        tc = Timeline()
+        tc.add(0.0, 80.0)
+        cd = Timeline()
+        cd.add(40.0, 100.0)
+        stats = active_time_breakdown(result(tc=tc, cd=cd, end=100.0))
+        assert stats["both_active"] == pytest.approx(0.4)
+        assert stats["stacked"] > 1.0
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(SchedulingError):
+            active_time_breakdown(result(end=0.0))
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(SchedulingError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,61 @@
+"""Tests for the duration oracle."""
+
+import pytest
+
+from repro.fusion.ptb import transform
+from repro.fusion.search import FusionSearch
+from repro.kernels.gemm import canonical_gemms
+from repro.kernels.parboil import fft, mriq
+from repro.runtime.oracle import DurationOracle
+
+
+@pytest.fixture(scope="module")
+def fused_kernel(gpu):
+    tc = transform(canonical_gemms()["tgemm_l"], gpu)
+    cd = transform(fft(), gpu)
+    return FusionSearch(gpu).search(tc, cd).best.fused
+
+
+class TestSoloCache:
+    def test_memoized(self, gpu):
+        oracle = DurationOracle(gpu)
+        kernel = mriq()
+        first = oracle.solo_ms(kernel)
+        misses = oracle.misses
+        second = oracle.solo_ms(kernel, kernel.default_grid)
+        assert second == first
+        assert oracle.misses == misses
+
+    def test_distinct_grids_distinct_entries(self, gpu):
+        oracle = DurationOracle(gpu)
+        kernel = mriq()
+        a = oracle.solo_ms(kernel, 1000)
+        b = oracle.solo_ms(kernel, 4000)
+        assert b > a
+        assert oracle.misses == 2
+
+
+class TestFusedCache:
+    def test_memoized(self, gpu, fused_kernel):
+        oracle = DurationOracle(gpu)
+        first = oracle.fused(fused_kernel, 1000, 2000)
+        misses = oracle.misses
+        second = oracle.fused(fused_kernel, 1000, 2000)
+        assert second is first
+        assert oracle.misses == misses
+
+    def test_fused_ms_consistent(self, gpu, fused_kernel):
+        oracle = DurationOracle(gpu)
+        result = oracle.fused(fused_kernel, 1000, 2000)
+        assert oracle.fused_ms(fused_kernel, 1000, 2000) == pytest.approx(
+            gpu.cycles_to_ms(result.duration_cycles)
+        )
+
+    def test_fused_beats_serial_for_good_pair(self, gpu, fused_kernel):
+        oracle = DurationOracle(gpu)
+        tc_grid = fused_kernel.tc.ir.default_grid
+        cd_grid = fused_kernel.cd.ir.default_grid
+        result = oracle.fused(fused_kernel, tc_grid, cd_grid)
+        assert result.duration_cycles < (
+            result.solo_a_cycles + result.solo_b_cycles
+        )

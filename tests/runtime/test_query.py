@@ -1,0 +1,102 @@
+"""Tests for queries and BE streams."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.kernels.parboil import fft, mriq
+from repro.models.zoo import model_by_name
+from repro.runtime.query import BEApplication, KernelInstance, Query
+
+
+def instances():
+    return (
+        KernelInstance(mriq(), 100),
+        KernelInstance(fft(), 200, fusable=False),
+    )
+
+
+class TestKernelInstance:
+    def test_delegates_to_kernel(self):
+        inst = KernelInstance(mriq(), 50)
+        assert inst.name == "mriq"
+        assert inst.kind == "cd"
+
+
+class TestQuery:
+    def test_cursor_walks_sequence(self):
+        q = Query(model_by_name("resnet50"), 5.0, instances())
+        assert q.current.name == "mriq"
+        assert len(q.remaining) == 2
+        q.advance(10.0)
+        assert q.current.name == "fft"
+        assert not q.done
+        q.advance(12.0)
+        assert q.done
+        assert q.finish_ms == 12.0
+        assert q.latency_ms == 7.0
+
+    def test_overrun_raises(self):
+        q = Query(model_by_name("resnet50"), 0.0, instances())
+        q.advance(1.0)
+        q.advance(2.0)
+        with pytest.raises(SchedulingError):
+            q.advance(3.0)
+        with pytest.raises(SchedulingError):
+            _ = q.current
+
+    def test_latency_before_finish_raises(self):
+        q = Query(model_by_name("resnet50"), 0.0, instances())
+        with pytest.raises(SchedulingError):
+            _ = q.latency_ms
+
+    def test_unique_ids(self):
+        a = Query(model_by_name("resnet50"), 0.0, instances())
+        b = Query(model_by_name("resnet50"), 0.0, instances())
+        assert a.qid != b.qid
+
+
+class TestBEApplication:
+    def app(self, scales=(1.0,)):
+        return BEApplication(
+            "fft", (KernelInstance(fft(), 1000),), input_scales=scales
+        )
+
+    def test_cyclic_stream(self):
+        app = self.app()
+        first = app.head
+        app.complete_head(0.5)
+        assert app.head.name == first.name
+        assert app.completed_kernels == 1
+        assert app.completed_work_ms == 0.5
+
+    def test_input_scaling_is_deterministic(self):
+        a = self.app(scales=(0.5, 1.0, 1.5))
+        b = self.app(scales=(0.5, 1.0, 1.5))
+        grids_a = []
+        for _ in range(10):
+            grids_a.append(a.head.grid)
+            a.complete_head(0.1)
+        grids_b = []
+        for _ in range(10):
+            grids_b.append(b.head.grid)
+            b.complete_head(0.1)
+        assert grids_a == grids_b
+
+    def test_input_scaling_varies_grids(self):
+        app = self.app(scales=(0.5, 1.0, 1.5))
+        grids = set()
+        for _ in range(20):
+            grids.add(app.head.grid)
+            app.complete_head(0.1)
+        assert len(grids) > 1
+        assert grids <= {500, 1000, 1500}
+
+    def test_unit_scale_returns_base_instance(self):
+        app = self.app(scales=(1.0,))
+        assert app.head is app.sequence[0]
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            BEApplication("empty", ())
+        with pytest.raises(SchedulingError):
+            BEApplication("x", (KernelInstance(fft(), 1),), input_scales=())

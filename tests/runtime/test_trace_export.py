@@ -1,0 +1,71 @@
+"""Tests for the Chrome trace exporter."""
+
+import json
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.gpusim.trace import Timeline
+from repro.runtime.server import ExecutedKernel, ServerResult
+from repro.runtime.trace_export import to_chrome_trace, write_chrome_trace
+
+
+def result_with_trace():
+    return ServerResult(
+        qos_ms=50.0, horizon_ms=100.0, end_ms=100.0,
+        latencies_ms=[40.0], be_work_ms={"fft": 5.0},
+        tc_timeline=Timeline(), cd_timeline=Timeline(),
+        n_fused_kernels=1,
+        executed=[
+            ExecutedKernel(0.0, 1.0, "lc", "tgemm_l", 1.0, 0.0),
+            ExecutedKernel(1.0, 2.5, "fused", "fused_x", 2.0, 2.5),
+            ExecutedKernel(2.5, 3.0, "be", "fft", 2.5, 3.0),
+        ],
+    )
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        trace = to_chrome_trace(result_with_trace())
+        assert trace["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert {"tgemm_l", "fused_x", "fft"} <= names
+
+    def test_thread_metadata_rows(self):
+        trace = to_chrome_trace(result_with_trace())
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        labels = {e["args"]["name"] for e in meta}
+        assert labels == {"Tensor cores", "CUDA cores"}
+
+    def test_fused_kernel_spans_both_rows(self):
+        trace = to_chrome_trace(result_with_trace())
+        fused = [
+            e for e in trace["traceEvents"]
+            if e.get("name") == "fused_x" and e["ph"] == "X"
+        ]
+        assert {e["tid"] for e in fused} == {1, 2}
+
+    def test_timestamps_in_microseconds(self):
+        trace = to_chrome_trace(result_with_trace())
+        lc = next(e for e in trace["traceEvents"] if e["name"] == "tgemm_l")
+        assert lc["ts"] == 0.0
+        assert lc["dur"] == pytest.approx(1000.0)
+
+    def test_limit(self):
+        trace = to_chrome_trace(result_with_trace(), limit=1)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"tgemm_l"}
+
+    def test_unrecorded_run_rejected(self):
+        bare = result_with_trace()
+        bare.executed = []
+        with pytest.raises(SchedulingError, match="record_kernels"):
+            to_chrome_trace(bare)
+
+    def test_write_roundtrip(self, tmp_path):
+        path = write_chrome_trace(
+            result_with_trace(), str(tmp_path / "trace.json")
+        )
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["otherData"]["n_fused"] == 1

@@ -1,0 +1,114 @@
+"""Tests for workload generation and peak-load calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.zoo import model_by_name
+from repro.runtime.workload import (
+    BE_INPUT_SCALES,
+    PoissonArrivals,
+    arrival_gaps,
+    be_application,
+    calibrate_peak_rate,
+    peak_load_qps,
+    solo_query_ms,
+    standard_be_names,
+)
+
+
+class TestArrivalGaps:
+    def test_paced_gaps_bounded(self):
+        gaps = arrival_gaps(0.1, 1000, seed=1, process="paced")
+        assert np.all(gaps >= 10.0 * 0.7 - 1e-9)
+        assert np.all(gaps <= 10.0 * 1.3 + 1e-9)
+        assert np.mean(gaps) == pytest.approx(10.0, rel=0.05)
+
+    def test_poisson_gaps_exponential_mean(self):
+        gaps = arrival_gaps(0.1, 5000, seed=1, process="poisson")
+        assert np.mean(gaps) == pytest.approx(10.0, rel=0.1)
+
+    def test_deterministic_per_seed(self):
+        a = arrival_gaps(0.1, 10, seed=3)
+        b = arrival_gaps(0.1, 10, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_unknown_process(self):
+        with pytest.raises(ConfigError):
+            arrival_gaps(0.1, 10, seed=1, process="weibull")
+
+
+class TestPeakCalibration:
+    def test_peak_rate_below_serial_capacity(self):
+        peak = calibrate_peak_rate(solo_ms=20.0, qos_ms=50.0)
+        assert 0 < peak <= 1 / 20.0
+
+    def test_peak_meets_qos_but_barely(self):
+        from repro.runtime.workload import _p99_sojourn_ms
+
+        peak = calibrate_peak_rate(solo_ms=20.0, qos_ms=50.0)
+        assert _p99_sojourn_ms(peak, 20.0, 7, 4000, "paced") <= 50.0
+        assert _p99_sojourn_ms(peak * 1.1, 20.0, 7, 4000, "paced") > 50.0
+
+    def test_poisson_peak_is_much_lower(self):
+        paced = calibrate_peak_rate(20.0, 50.0, process="paced")
+        poisson = calibrate_peak_rate(20.0, 50.0, process="poisson")
+        assert poisson < paced
+
+    def test_solo_beyond_qos_rejected(self):
+        with pytest.raises(ConfigError):
+            calibrate_peak_rate(solo_ms=60.0, qos_ms=50.0)
+
+    def test_peak_load_qps_guard(self):
+        with pytest.raises(ConfigError):
+            peak_load_qps(0.0)
+
+
+class TestPoissonArrivals:
+    def test_queries_sorted_and_deterministic(self, library, oracle):
+        model = model_by_name("resnet50")
+        gen = PoissonArrivals(model, library, oracle, seed=9)
+        queries = gen.queries(20)
+        arrivals = [q.arrival_ms for q in queries]
+        assert arrivals == sorted(arrivals)
+        again = PoissonArrivals(model, library, oracle, seed=9).queries(20)
+        assert [q.arrival_ms for q in again] == arrivals
+
+    def test_rate_scales_with_load(self, library, oracle):
+        model = model_by_name("resnet50")
+        high = PoissonArrivals(model, library, oracle, load=0.8)
+        low = PoissonArrivals(model, library, oracle, load=0.4)
+        assert low.rate_per_ms == pytest.approx(high.rate_per_ms / 2)
+
+    def test_bad_load_rejected(self, library, oracle):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(
+                model_by_name("resnet50"), library, oracle, load=1.5
+            )
+
+    def test_solo_matches_helper(self, library, oracle):
+        model = model_by_name("resnet50")
+        gen = PoissonArrivals(model, library, oracle)
+        assert gen.solo_ms == pytest.approx(
+            solo_query_ms(model, library, oracle)
+        )
+
+
+class TestBEApplications:
+    def test_twelve_standard_names(self):
+        assert len(standard_be_names()) == 12
+
+    def test_parboil_app(self, library):
+        app = be_application("fft", library)
+        assert app.sequence[0].name == "fft"
+        assert not app.memory_intensive
+        assert app.input_scales == BE_INPUT_SCALES
+
+    def test_memory_intensive_flag(self, library):
+        assert be_application("lbm", library).memory_intensive
+
+    def test_training_app(self, library):
+        app = be_application("Res-T", library)
+        assert app.memory_intensive
+        assert any(k.kind == "tc" for k in app.sequence)
+        assert any(k.name == "weight_update" for k in app.sequence)

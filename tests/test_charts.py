@@ -1,0 +1,74 @@
+"""Tests for the text chart renderers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.charts import bar_chart, scatter, timeline
+from repro.runtime.server import ExecutedKernel
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_unit_suffix(self):
+        assert "%" in bar_chart(["x"], [42.0], unit="%")
+
+    def test_baseline_marker(self):
+        text = bar_chart(["x"], [10.0], width=20, baseline=5.0)
+        assert "|" not in text.splitlines()[0][:12]  # inside the bar
+        # The marker would land where the bar already is; with a value
+        # below the baseline the marker shows.
+        text = bar_chart(["x"], [2.0], width=20, baseline=10.0)
+        assert "|" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigError):
+            bar_chart([], [])
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [0.0])
+
+
+class TestScatter:
+    def test_corner_points(self):
+        text = scatter([(0, 0), (1, 1)], width=11, height=6)
+        lines = text.splitlines()
+        assert lines[-2][0] == "*"   # bottom-left
+        assert lines[0][10] == "*"   # top-right
+
+    def test_axis_labels(self):
+        text = scatter([(1.0, 2.0), (3.0, 4.0)])
+        assert "x: 1 .. 3" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            scatter([])
+
+
+class TestTimeline:
+    def kernels(self):
+        return [
+            ExecutedKernel(0.0, 1.0, "lc", "tgemm", 1.0, 0.0),
+            ExecutedKernel(1.0, 2.0, "be", "fft", 1.0, 2.0),
+            ExecutedKernel(2.0, 3.0, "fused", "fused_k", 3.0, 3.0),
+        ]
+
+    def test_rows_mark_unit_activity(self):
+        text = timeline(self.kernels(), width=30)
+        rows = text.splitlines()
+        tc_row = rows[0].split("|")[1]
+        cd_row = rows[1].split("|")[1]
+        assert "T" in tc_row and "F" in tc_row
+        assert "C" in cd_row and "F" in cd_row
+        # The TC row is idle while only the CD kernel runs.
+        third = 30 // 3
+        assert "T" not in tc_row[third + 1:2 * third]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            timeline([])

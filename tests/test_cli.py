@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInformational:
+    def test_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "tgemm_l" in out and "mriq" in out
+        assert "30 kernels" in out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "Resnet50" in out and "Densenet" in out
+
+
+class TestFuse:
+    def test_fusable_pair(self, capsys):
+        assert main(["fuse", "tgemm_l", "fft"]) == 0
+        out = capsys.readouterr().out
+        assert "fused at ratio" in out
+
+    def test_source_flag(self, capsys):
+        main(["fuse", "tgemm_l", "fft", "--source"])
+        assert "bar.sync" in capsys.readouterr().out
+
+
+class TestRunPair(object):
+    def test_run_pair(self, capsys):
+        code = main(["run-pair", "vgg16", "mriq", "--queries", "15"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "improvement over Baymax" in out
+        assert "QoS satisfied: yes" in out
+
+
+class TestTrace:
+    def test_trace_export(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main([
+            "trace", "vgg16", "mriq", str(path), "--queries", "4"
+        ])
+        assert code == 0
+        with open(path) as handle:
+            trace = json.load(handle)
+        assert trace["traceEvents"]
+
+    def test_v100_preset_flag(self, capsys):
+        assert main(["--gpu", "v100", "kernels"]) == 0
+        assert "V100" in capsys.readouterr().out
+
+
+class TestParsing:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_gpu(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["--gpu", "a100", "kernels"])

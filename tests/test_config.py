@@ -1,0 +1,90 @@
+"""Tests for the hardware configuration layer."""
+
+import pytest
+
+from repro.config import (
+    RTX2080TI,
+    V100,
+    GPUConfig,
+    SMConfig,
+    WARP_SIZE,
+    gpu_preset,
+)
+from repro.errors import ConfigError
+
+
+class TestSMConfig:
+    def test_defaults_are_turing_like(self):
+        sm = SMConfig()
+        assert sm.max_threads == 1024
+        assert sm.max_warps == 32
+
+    def test_max_warps_uses_warp_size(self):
+        sm = SMConfig(max_threads=2048)
+        assert sm.max_warps == 2048 // WARP_SIZE
+
+    def test_rejects_sub_warp_thread_count(self):
+        with pytest.raises(ConfigError):
+            SMConfig(max_threads=16)
+
+    @pytest.mark.parametrize(
+        "field", ["max_blocks", "registers", "shared_mem_bytes",
+                  "cuda_pipe_width", "tensor_pipe_width"],
+    )
+    def test_rejects_non_positive_resources(self, field):
+        with pytest.raises(ConfigError):
+            SMConfig(**{field: 0})
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            SMConfig(mem_latency_cycles=-1.0)
+
+
+class TestGPUConfig:
+    def test_presets_match_paper_table(self):
+        assert RTX2080TI.num_sms == 68
+        assert RTX2080TI.sm.shared_mem_bytes == 64 * 1024
+        assert V100.num_sms == 80
+        assert V100.sm.shared_mem_bytes == 96 * 1024
+
+    def test_cycle_conversion_roundtrip(self):
+        cycles = 123456.0
+        ms = RTX2080TI.cycles_to_ms(cycles)
+        assert RTX2080TI.ms_to_cycles(ms) == pytest.approx(cycles)
+
+    def test_one_ms_is_clock_million_cycles(self):
+        assert RTX2080TI.ms_to_cycles(1.0) == pytest.approx(1.545e6)
+
+    def test_bandwidth_slice_scales_with_sms(self):
+        whole = RTX2080TI.bytes_per_cycle_per_sm
+        half = RTX2080TI.with_sms(34)
+        assert half.bytes_per_cycle_per_sm == pytest.approx(whole)
+
+    def test_partition_bounds(self):
+        with pytest.raises(ConfigError):
+            RTX2080TI.with_sms(0)
+        with pytest.raises(ConfigError):
+            RTX2080TI.with_sms(69)
+
+    def test_partition_keeps_identity(self):
+        part = RTX2080TI.with_sms(10)
+        assert part.num_sms == 10
+        assert part.name == RTX2080TI.name
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ConfigError):
+            GPUConfig("x", 0, 1.0, 100.0, SMConfig())
+        with pytest.raises(ConfigError):
+            GPUConfig("x", 1, 0.0, 100.0, SMConfig())
+        with pytest.raises(ConfigError):
+            GPUConfig("x", 1, 1.0, 0.0, SMConfig())
+
+
+class TestPresetLookup:
+    def test_case_insensitive(self):
+        assert gpu_preset("RTX2080Ti") is RTX2080TI
+        assert gpu_preset("v100") is V100
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown GPU preset"):
+            gpu_preset("a100")

@@ -1,0 +1,47 @@
+"""The example scripts run end to end.
+
+The examples are documentation; a broken example is a broken promise,
+so the light ones are executed as subprocesses.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "overlap rate" in result.stdout
+        assert "bar.sync" not in result.stderr
+
+    def test_fusion_explorer_default_pair(self):
+        result = run_example("fusion_explorer.py")
+        assert result.returncode == 0, result.stderr
+        assert "verdict: fuse" in result.stdout
+        assert "bar.sync" in result.stdout
+
+    def test_fusion_explorer_fat_kernel(self):
+        result = run_example("fusion_explorer.py", "tgemm_l", "tpacf")
+        assert result.returncode == 0, result.stderr
+        assert "Stream + PTB  : 0.00" in result.stdout
+
+    def test_predictor_accuracy(self):
+        result = run_example("predictor_accuracy.py")
+        assert result.returncode == 0, result.stderr
+        assert "opportune load ratio" in result.stdout
+        assert "worst two-stage prediction error" in result.stdout

@@ -1,0 +1,191 @@
+"""Smoke tests for the experiment harnesses (quick configurations).
+
+The full sweeps live in ``benchmarks/``; these tests check that every
+harness runs, produces well-formed rows/summaries, and preserves its
+experiment's defining property at reduced scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig02_motivation,
+    fig03_direct_fusion,
+    fig10_load_ratio,
+    fig11_fixed_ratio,
+    fig15_timelines,
+    fig17_pred_single,
+    fig18_pred_fused,
+    fig20_corun,
+    fig21_im2col,
+    tab01_microbench,
+    tab03_cudnn,
+    tab_overhead,
+)
+from repro.experiments.common import format_table, geometric_spacing
+
+
+class TestCommonHelpers:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in lines[2]
+
+    def test_geometric_spacing(self):
+        points = geometric_spacing(1.0, 8.0, 4)
+        assert points[0] == pytest.approx(1.0)
+        assert points[-1] == pytest.approx(8.0)
+        ratios = [b / a for a, b in zip(points, points[1:])]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+
+class TestMicroExperiments:
+    def test_tab01(self):
+        result = tab01_microbench.run()
+        assert result.summary()["bench_a"] < 1.2
+        assert len(result.rows()) == 3
+
+    def test_fig03(self):
+        result = fig03_direct_fusion.run()
+        assert result.summary()["mean_normalized"] > 1.5
+
+    def test_fig10(self):
+        result = fig10_load_ratio.run(points=6)
+        summary = result.summary()
+        assert summary["after_slope"] > summary["before_slope"]
+
+    def test_fig11(self):
+        result = fig11_fixed_ratio.run()
+        assert result.summary()["min_r_squared"] > 0.98
+
+    def test_tab03(self):
+        result = tab03_cudnn.run()
+        assert result.summary()["n_implementations"] == 12
+
+    def test_fig21(self):
+        result = fig21_im2col.run()
+        assert result.summary()["worst_loss"] < 0.02
+        assert len(result.resnet50_normalized) == 53
+
+    def test_overhead(self):
+        result = tab_overhead.run()
+        assert result.modeled_scheduling_ms > result.modeled_static_ms
+        assert result.measured_tacker_decision_us > 0
+
+
+class TestPredictionExperiments:
+    def test_fig17_subset(self):
+        result = fig17_pred_single.run(kernels=("fft", "relu"))
+        assert result.summary()["worst_kernel_max_error"] < 0.05
+
+    def test_fig18_subset(self):
+        result = fig18_pred_fused.run(pairs=(("tgemm_l", "fft"),))
+        summary = result.summary()
+        assert summary["worst_before_inflection"] < 0.08
+        assert summary["worst_after_inflection"] < 0.08
+
+
+class TestServerExperiments:
+    def test_fig02_single_pair(self):
+        result = fig02_motivation.run(
+            lc_names=("resnet50",), be_names=("fft",), n_queries=8
+        )
+        summary = result.summary()
+        assert summary["mean_stacked"] > 0.95
+        assert summary["max_both_active"] < 0.02
+
+    def test_fig15_small(self):
+        result = fig15_timelines.run(n_queries=8)
+        assert result.co_active_fraction("fft") > 0
+        assert len(result.segments("fft", limit=5)) == 5
+
+    def test_fig20_shape(self):
+        result = fig20_corun.run()
+        summary = result.summary()
+        assert summary["tacker_wins"] == summary["n_pairs"]
+
+
+class TestAblations:
+    def test_ratio(self):
+        result = ablations.ratio_ablation(
+            pairs=(("tgemm_l", "fft"), ("tgemm_l", "cp"))
+        )
+        assert result.summary()["mean_flexible_over_naive"] > 1.0
+
+    def test_predictor(self):
+        result = ablations.predictor_ablation()
+        summary = result.summary()
+        assert summary["single_lr_max_error"] > summary[
+            "two_stage_max_error"
+        ]
+
+    def test_policy(self):
+        result = ablations.policy_ablation(n_queries=10)
+        summary = result.summary()
+        assert summary["fusion+reorder_vs_reorder"] >= 1.0
+
+
+class TestExtensionExperiments:
+    def test_energy(self):
+        from repro.experiments import energy
+
+        result = energy.run(n_queries=10)
+        summary = result.summary()
+        assert summary["energy_saving"] > 0
+        assert summary["tacker_watts"] <= 251.0  # clamped at the limit
+
+    def test_arrival_study(self):
+        from repro.experiments import arrival_study
+
+        result = arrival_study.run(models=("densenet",))
+        stats = result.per_model["Densenet"]
+        assert stats["poisson_peak_qps"] < stats["paced_peak_qps"]
+
+    def test_multi_tenant(self):
+        from repro.experiments import multi_tenant
+
+        result = multi_tenant.run(
+            lc_names=("vgg16", "densenet"), be_names=("mriq",),
+            n_queries=8,
+        )
+        assert result.summary()["n_services"] == 2
+
+    def test_batch_sensitivity(self):
+        from repro.experiments import batch_sensitivity
+
+        result = batch_sensitivity.run(batches=(8, 32), n_queries=10)
+        summary = result.summary()
+        assert summary["small_batch"] == 8
+        assert summary["improvement_large"] >= 0
+
+
+class TestCommonInfrastructure:
+    def test_quick_mode_env(self, monkeypatch):
+        from repro.experiments import common
+
+        monkeypatch.delenv(common.QUICK_ENV, raising=False)
+        assert not common.quick_mode()
+        assert common.default_queries(100, 10) == 100
+        monkeypatch.setenv(common.QUICK_ENV, "1")
+        assert common.quick_mode()
+        assert common.default_queries(100, 10) == 10
+        monkeypatch.setenv(common.QUICK_ENV, "0")
+        assert not common.quick_mode()
+
+    def test_get_system_cached_per_gpu(self):
+        from repro.experiments.common import get_system
+
+        assert get_system("rtx2080ti") is get_system("RTX2080Ti")
+        assert get_system("v100") is not get_system("rtx2080ti")
+
+    def test_fig14_result_cache(self):
+        from repro.experiments import fig14_throughput
+
+        a = fig14_throughput.run(
+            lc_names=("densenet",), be_names=("mriq",), n_queries=6
+        )
+        b = fig14_throughput.run(
+            lc_names=("densenet",), be_names=("mriq",), n_queries=6
+        )
+        assert a is b  # same cache entry, no re-run

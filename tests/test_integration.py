@@ -1,0 +1,114 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the complete pipeline on small configurations:
+kernel library -> PTB -> fusion search -> compile -> duration models ->
+QoS-aware scheduling -> metrics, checking the cross-cutting invariants
+that individual module tests cannot see.
+"""
+
+import pytest
+
+from repro import (
+    RTX2080TI,
+    FusionCompiler,
+    FusionSearch,
+    OnlineModelManager,
+    TackerSystem,
+    default_library,
+    model_by_name,
+    ptb_transform,
+)
+from repro.runtime.metrics import throughput_improvement
+
+
+@pytest.fixture(scope="module")
+def system():
+    return TackerSystem()
+
+
+class TestPipeline:
+    def test_full_offline_pipeline(self):
+        """Library -> PTB -> search -> compile -> model -> predict."""
+        gpu = RTX2080TI
+        library = default_library()
+        tc = ptb_transform(library.get("tgemm_m"), gpu)
+        cd = ptb_transform(library.get("mriq"), gpu)
+        decision = FusionSearch(gpu).search(tc, cd)
+        assert decision.should_fuse
+        artifact = FusionCompiler().compile(decision)
+        assert "bar.sync" in artifact.source_text
+
+        models = OnlineModelManager(gpu)
+        fused = artifact.fused
+        xtc = models.predict_kernel(tc.ir, tc.ir.default_grid)
+        xcd = models.predict_kernel(cd.ir, cd.ir.default_grid)
+        predicted = models.predict_fused(fused, xtc, xcd)
+        actual = fused.corun(
+            gpu, tc.ir.default_grid, cd.ir.default_grid
+        ).duration_cycles
+        assert predicted == pytest.approx(actual, rel=0.10)
+
+    def test_fused_source_and_simulation_agree_on_structure(self):
+        """The generated source's branch count matches the simulated
+        warp groups."""
+        gpu = RTX2080TI
+        library = default_library()
+        tc = ptb_transform(library.get("tgemm_l"), gpu)
+        cd = ptb_transform(library.get("cp"), gpu)
+        decision = FusionSearch(gpu).search(tc, cd)
+        fused = decision.best.fused
+        text = fused.source.render()
+        branch_count = text.count("if (threadIdx.x <")
+        assert branch_count == fused.tc_copies + fused.cd_copies
+
+
+class TestEndToEndColocation:
+    def test_tacker_beats_baymax_while_holding_qos(self, system):
+        outcome = system.run_pair("resnet50", "cp", n_queries=40)
+        assert outcome.improvement > 0.03
+        assert outcome.tacker.p99_latency_ms <= system.qos_ms
+        assert outcome.baymax.p99_latency_ms <= system.qos_ms
+
+    def test_be_progress_identical_metric_between_policies(self, system):
+        outcome = system.run_pair("vgg16", "mriq", n_queries=30)
+        improvement = throughput_improvement(
+            outcome.tacker, outcome.baymax
+        )
+        assert improvement == pytest.approx(outcome.improvement)
+
+    def test_artifact_reuse_across_pairs(self, system):
+        """Re-preparing a co-location never recompiles its artifacts."""
+        from repro.runtime.workload import be_application
+
+        model = model_by_name("resnet50")
+        app = be_application("fft", system.library)
+        system.prepare_pair(model, app)
+        middle = len(system.compiler)
+        compile_ms = system.compiler.total_compile_ms
+        system.prepare_pair(model, app)
+        assert len(system.compiler) == middle
+        assert system.compiler.total_compile_ms == compile_ms
+        # A second model reuses every shape it shares with the first.
+        resnext = model_by_name("resnext")
+        shared = {
+            (t, c) for (t, c) in system.artifacts
+            if t in {k.kernel for k in resnext.kernels}
+        }
+        system.prepare_pair(resnext, be_application("fft", system.library))
+        assert shared <= set(system.artifacts)
+
+    def test_determinism_across_runs(self):
+        a = TackerSystem().run_pair("densenet", "lbm", n_queries=15)
+        b = TackerSystem().run_pair("densenet", "lbm", n_queries=15)
+        assert a.improvement == pytest.approx(b.improvement)
+        assert a.tacker.latencies_ms == pytest.approx(
+            b.tacker.latencies_ms
+        )
+
+    def test_v100_pipeline(self):
+        from repro.config import V100
+
+        system = TackerSystem(gpu=V100)
+        outcome = system.run_pair("resnet50", "fft", n_queries=20)
+        assert outcome.improvement > 0
+        assert outcome.qos_satisfied

@@ -1,0 +1,228 @@
+"""Property-based tests on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SMConfig
+from repro.gpusim.engine import EventQueue
+from repro.gpusim.memory import MemorySystem
+from repro.gpusim.resources import BlockResources, blocks_per_sm, fits
+from repro.gpusim.sm import BlockSpec, SMSimulation
+from repro.gpusim.trace import Timeline, overlap_rate
+from repro.gpusim.warp import ComputeSegment, MemorySegment, WarpProgram
+from repro.predictor.linear import LinearModel
+
+# -- timeline invariants ------------------------------------------------------
+
+interval_lists = st.lists(
+    st.tuples(
+        st.floats(0, 1e6, allow_nan=False),
+        st.floats(0, 1e6, allow_nan=False),
+    ).map(lambda p: (min(p), max(p))),
+    max_size=30,
+)
+
+
+@given(interval_lists)
+def test_normalized_timeline_is_sorted_and_disjoint(pairs):
+    timeline = Timeline()
+    for start, end in pairs:
+        timeline.add(start, end)
+    merged = timeline.normalized().intervals
+    for a, b in zip(merged, merged[1:]):
+        assert a.end < b.start  # strictly disjoint after merging
+
+
+@given(interval_lists)
+def test_normalization_preserves_total(pairs):
+    timeline = Timeline()
+    for start, end in pairs:
+        timeline.add(start, end)
+    assert timeline.total() == timeline.normalized().total()
+
+
+@given(interval_lists, interval_lists)
+def test_intersection_bounded_by_each_timeline(pairs_a, pairs_b):
+    a, b = Timeline(), Timeline()
+    for start, end in pairs_a:
+        a.add(start, end)
+    for start, end in pairs_b:
+        b.add(start, end)
+    both = a.intersection(b).total()
+    assert both <= a.total() + 1e-6
+    assert both <= b.total() + 1e-6
+
+
+@given(
+    st.floats(0.1, 1e5), st.floats(0.1, 1e5), st.floats(0.0, 3e5)
+)
+def test_overlap_rate_bounded(solo_a, solo_b, corun):
+    rate = overlap_rate(solo_a, solo_b, corun)
+    assert 0.0 <= rate <= 1.0
+
+
+# -- occupancy invariants ------------------------------------------------------
+
+resources = st.builds(
+    BlockResources,
+    threads=st.integers(1, 1024),
+    regs_per_thread=st.integers(0, 64),
+    shared_mem_bytes=st.integers(0, 64 * 1024),
+)
+
+
+@given(resources)
+def test_occupancy_fits_all_limits(res):
+    sm = SMConfig()
+    if not fits(res, sm):
+        return
+    count = blocks_per_sm(res, sm)
+    assert count * res.threads <= sm.max_threads
+    assert count * res.registers <= sm.registers
+    assert count * res.shared_mem_bytes <= sm.shared_mem_bytes
+    assert count <= sm.max_blocks
+
+
+@given(resources)
+def test_occupancy_is_maximal(res):
+    sm = SMConfig()
+    if not fits(res, sm):
+        return
+    count = blocks_per_sm(res, sm) + 1
+    assert (
+        count * res.threads > sm.max_threads
+        or count * res.registers > sm.registers
+        or count * res.shared_mem_bytes > sm.shared_mem_bytes
+        or count > sm.max_blocks
+    )
+
+
+@given(resources, st.integers(1, 4))
+def test_scaling_never_increases_occupancy(res, copies):
+    sm = SMConfig()
+    if not fits(res, sm) or not fits(res.scaled(copies), sm):
+        return
+    assert blocks_per_sm(res.scaled(copies), sm) <= blocks_per_sm(res, sm)
+
+
+# -- memory model invariants ----------------------------------------------------
+
+transfer_sets = st.lists(
+    st.tuples(st.floats(0, 100), st.floats(1, 5000)),
+    min_size=1, max_size=10,
+)
+
+
+@given(transfer_sets, st.floats(0.5, 16.0))
+@settings(max_examples=50, deadline=None)
+def test_memory_conserves_bytes_and_respects_bandwidth(requests, bandwidth):
+    queue = EventQueue()
+    memory = MemorySystem(queue, bandwidth, latency=0.0)
+    finishes = []
+    for start, nbytes in requests:
+        queue.schedule(
+            start,
+            lambda t, b=nbytes: memory.request(b, finishes.append),
+        )
+    end = queue.run()
+    assert len(finishes) == len(requests)
+    total = sum(b for _, b in requests)
+    assert memory.bytes_served == __import__("pytest").approx(total)
+    # Total transfer time can never beat bandwidth.
+    first = min(s for s, _ in requests)
+    assert end - first >= total / bandwidth - 1e-6
+
+
+@given(st.floats(1, 1e4), st.floats(0.5, 8.0), st.floats(0, 500))
+def test_single_transfer_exact(nbytes, bandwidth, latency):
+    queue = EventQueue()
+    memory = MemorySystem(queue, bandwidth, latency)
+    done = []
+    memory.request(nbytes, done.append)
+    end = queue.run()
+    assert math.isclose(end, latency + nbytes / bandwidth, rel_tol=1e-9)
+    assert done == [end]
+
+
+# -- SM simulation invariants -----------------------------------------------------
+
+programs = st.builds(
+    WarpProgram,
+    segments=st.tuples(
+        st.builds(
+            ComputeSegment,
+            pipe=st.sampled_from(["cuda", "tensor"]),
+            cycles=st.floats(1, 500),
+        ),
+        st.builds(MemorySegment, nbytes=st.floats(0, 2000)),
+    ),
+    iterations=st.integers(1, 6),
+)
+
+
+@given(st.lists(programs, min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_sm_finish_bounded_by_serial_time(progs):
+    sm = SMConfig(mem_latency_cycles=50.0)
+    sim = SMSimulation(sm, bandwidth_bytes_per_cycle=4.0)
+    result = sim.run([BlockSpec({"main": tuple(progs)})])
+    serial = sum(
+        p.iterations
+        * (p.compute_cycles_per_iteration + 50.0 + p.bytes_per_iteration / 4.0)
+        for p in progs
+    )
+    lower = max(
+        p.iterations * p.compute_cycles_per_iteration for p in progs
+    )
+    assert lower - 1e-6 <= result.finish_time <= serial + 1e-6
+
+
+@given(st.lists(programs, min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_sm_determinism(progs):
+    sm = SMConfig(mem_latency_cycles=10.0)
+    first = SMSimulation(sm, 4.0).run([BlockSpec({"m": tuple(progs)})])
+    second = SMSimulation(sm, 4.0).run([BlockSpec({"m": tuple(progs)})])
+    assert first.finish_time == second.finish_time
+
+
+# -- linear model invariants ---------------------------------------------------------
+
+
+@given(
+    st.floats(-100, 100), st.floats(-1000, 1000),
+    st.lists(
+        st.floats(-1e4, 1e4), min_size=3, max_size=20, unique=True
+    ).filter(lambda xs: max(xs) - min(xs) > 1.0),
+)
+def test_linear_fit_recovers_exact_lines(slope, intercept, xs):
+    ys = [slope * x + intercept for x in xs]
+    model = LinearModel.fit(xs, ys)
+    scale = max(1.0, abs(slope))
+    assert math.isclose(model.slope, slope, abs_tol=1e-6 * scale + 1e-6)
+    for x in xs:
+        y_scale = max(1.0, abs(slope * x + intercept))
+        assert math.isclose(
+            model.predict(x), slope * x + intercept,
+            abs_tol=1e-5 * y_scale,
+        )
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)),
+        min_size=2, max_size=20,
+    ).filter(
+        lambda pts: max(p[0] for p in pts) - min(p[0] for p in pts) > 0.1
+    )
+)
+def test_linear_fit_errors_non_negative(points):
+    xs = [p[0] for p in points]
+    ys = [max(p[1], 1.0) for p in points]
+    model = LinearModel.fit(xs, ys)
+    assert model.mean_abs_pct_error(xs, ys) >= 0.0
+    assert model.max_abs_pct_error(xs, ys) >= model.mean_abs_pct_error(
+        xs, ys
+    ) - 1e-12

@@ -1,0 +1,45 @@
+"""Tests for the aggregate report renderer."""
+
+from repro.experiments import report
+
+
+class _StubResult:
+    def rows(self):
+        return [["a", 1.0], ["b", 2.0]]
+
+    def summary(self):
+        return {"metric": 1.5}
+
+
+class _WideResult:
+    def rows(self):
+        return [[i, float(i)] for i in range(40)]
+
+    def summary(self):
+        return {"n": 40}
+
+
+class TestSection:
+    def test_renders_table_and_summary(self):
+        text = report._section("Demo", _StubResult, ["k", "v"])
+        assert "== Demo ==" in text
+        assert "metric = 1.5" in text
+        assert "1.000" in text
+
+    def test_long_tables_truncated(self):
+        text = report._section("Wide", _WideResult, ["k", "v"])
+        assert "..." in text
+        assert text.count("\n") < 40
+
+
+class TestCatalogue:
+    def test_every_light_experiment_registered(self):
+        titles = [t for t, _, _ in report._LIGHT]
+        assert any("Table I" in t for t in titles)
+        assert any("Fig. 20" in t for t in titles)
+        assert any("Table III" in t for t in titles)
+
+    def test_headers_match_arity(self):
+        # Every registered experiment's headers are non-empty.
+        for _, _, headers in list(report._LIGHT) + list(report._SERVER):
+            assert len(headers) >= 2
