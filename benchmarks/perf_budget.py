@@ -1,0 +1,118 @@
+"""Performance budget tracker for the tier-1 suite.
+
+Runs the repo's tier-1 test suite twice — once *cold* (empty persistent
+duration store) and once *warm* (store populated by the cold run) — and
+records wall clocks plus cache effectiveness to ``BENCH_perf.json`` at
+the repo root, so the performance trajectory is tracked across PRs.
+
+The oracle-miss proxy is the growth of the persistent store: every
+fresh simulation that flows through a shared system lands there, so
+``entries_added`` on the cold run counts the simulations actually paid,
+and a healthy warm run adds (close to) none.
+
+Usage::
+
+    python benchmarks/perf_budget.py             # both runs
+    python benchmarks/perf_budget.py --warm-only # assume a warm store
+
+Environment: honours ``REPRO_QUICK`` (shrinks nothing here — the budget
+tracks the full suite) and leaves the user's real ``.repro_cache``
+untouched by working in ``.repro_cache/perf_budget/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO / "BENCH_perf.json"
+SCRATCH = REPO / ".repro_cache" / "perf_budget"
+
+#: Tier-1 wall clock of the growth seed (pre-performance-layer), the
+#: baseline the acceptance bar is measured against.
+SEED_WALL_S = 68.0
+
+
+def store_entries(directory: Path) -> int:
+    """Total persisted durations across every store file in a directory."""
+    total = 0
+    for path in directory.glob("oracle-*.json"):
+        try:
+            raw = json.loads(path.read_text())
+            total += len(raw.get("solo", {})) + len(raw.get("fused", {}))
+        except (OSError, ValueError):
+            continue
+    return total
+
+
+def run_suite(cache_dir: Path, label: str) -> dict:
+    """One timed tier-1 run against the given persistent-store directory."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    before = store_entries(cache_dir)
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q", "tests"],
+        cwd=REPO, env=env, capture_output=True, text=True,
+    )
+    wall = time.perf_counter() - start
+    after = store_entries(cache_dir)
+    tail = proc.stdout.strip().splitlines()
+    print(f"[{label}] {wall:.1f}s | store {before} -> {after} entries | "
+          f"{tail[-1] if tail else 'no output'}")
+    if proc.returncode != 0:
+        print(proc.stdout[-2000:])
+        raise SystemExit(f"{label} suite run failed (rc {proc.returncode})")
+    return {
+        "wall_s": round(wall, 2),
+        "passed": proc.returncode == 0,
+        "store_entries_before": before,
+        "store_entries_after": after,
+        "entries_added": after - before,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--warm-only", action="store_true",
+        help="skip the cold run (reuse the existing scratch store)",
+    )
+    args = parser.parse_args(argv)
+
+    results: dict = {
+        "schema": 1,
+        "suite": "PYTHONPATH=src python -m pytest -x -q tests",
+        "seed_wall_s": SEED_WALL_S,
+    }
+    if not args.warm_only:
+        shutil.rmtree(SCRATCH, ignore_errors=True)
+    SCRATCH.mkdir(parents=True, exist_ok=True)
+
+    if not args.warm_only:
+        results["cold"] = run_suite(SCRATCH, "cold")
+    results["warm"] = run_suite(SCRATCH, "warm")
+
+    warm = results["warm"]["wall_s"]
+    results["speedup_warm_vs_seed"] = round(SEED_WALL_S / warm, 2)
+    if "cold" in results:
+        results["speedup_cold_vs_seed"] = round(
+            SEED_WALL_S / results["cold"]["wall_s"], 2
+        )
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    print(f"warm speedup vs seed: {results['speedup_warm_vs_seed']}x "
+          f"(target >= 2x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--gpu", default="rtx2080ti", help="GPU preset (rtx2080ti | v100)"
     )
+    parser.add_argument(
+        "--workers", default=None,
+        help="worker processes for pair sweeps (an int, or 'auto'; "
+             "same as setting REPRO_WORKERS)",
+    )
+    parser.add_argument(
+        "--perf", action="store_true",
+        help="print wall clock and simulation-cache counters after "
+             "the command",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("kernels", help="list the kernel library")
@@ -109,9 +119,9 @@ def _cmd_fuse(args) -> int:
 
 
 def _cmd_run_pair(args) -> int:
-    from .runtime.system import TackerSystem
+    from .experiments.common import get_system
 
-    system = TackerSystem(gpu=gpu_preset(args.gpu))
+    system = get_system(args.gpu)
     outcome = system.run_pair(
         args.lc_model, args.be_app, n_queries=args.queries
     )
@@ -161,8 +171,26 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    import os
+    import time
+
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    if args.workers is not None:
+        os.environ["REPRO_WORKERS"] = str(args.workers)
+    if not args.perf:
+        return _COMMANDS[args.command](args)
+
+    from .experiments.common import perf_counters
+
+    before = perf_counters()
+    start = time.perf_counter()
+    status = _COMMANDS[args.command](args)
+    wall = time.perf_counter() - start
+    delta = perf_counters().delta(before)
+    print(f"\nperf: wall {wall:.2f}s")
+    for key, value in delta.as_dict().items():
+        print(f"  {key} = {value}")
+    return status
 
 
 if __name__ == "__main__":

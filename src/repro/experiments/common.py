@@ -4,20 +4,46 @@ The expensive state — kernel library, simulation caches, PTB transforms,
 fused artifacts, trained models — lives in a :class:`TackerSystem` that
 is shared per GPU across all experiments in a process, exactly as the
 paper's offline preparation is shared across its evaluation runs.
+
+Two performance layers sit on top:
+
+* every shared system carries a persistent duration store (see
+  :mod:`repro.runtime.oracle`), so repeat runs skip re-simulation;
+* :func:`parallel_map` fans independent work items (e.g. the 72
+  LC x BE pairs of Fig. 14) over worker processes.  Each worker builds
+  its own systems, results come back in submission order, and the
+  workers' fresh oracle entries are merged into the parent's store on
+  join — so parallel runs are bit-identical to serial ones and leave
+  the cache just as warm.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from ..config import GPUConfig, gpu_preset
+from ..gpusim import fastpath
 from ..runtime.system import TackerSystem
 
 _SYSTEMS: dict[str, TackerSystem] = {}
 
+#: Experiment-module result caches (e.g. fig14's); registered so
+#: :func:`reset_systems` clears them together with the systems.
+_RESULT_CACHES: list[dict] = []
+
 #: Environment switch: set REPRO_QUICK=1 to shrink sweeps for smoke runs.
 QUICK_ENV = "REPRO_QUICK"
+
+#: Worker processes for :func:`parallel_map`; unset/1 = serial,
+#: "auto" = one per CPU.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Set in workers so nested parallel_map calls stay serial.
+_IN_WORKER_ENV = "REPRO_IN_WORKER"
 
 
 def quick_mode() -> bool:
@@ -32,28 +58,230 @@ def get_system(gpu: str = "rtx2080ti") -> TackerSystem:
     return _SYSTEMS[key]
 
 
+def register_cache(cache: dict) -> dict:
+    """Register an experiment-module result cache for central clearing."""
+    _RESULT_CACHES.append(cache)
+    return cache
+
+
+def clear_caches() -> None:
+    """Clear every registered experiment result cache."""
+    for cache in _RESULT_CACHES:
+        cache.clear()
+
+
 def reset_systems() -> None:
-    """Drop all shared systems (tests that need isolation)."""
+    """Drop all shared systems and result caches (test isolation).
+
+    Freshly simulated durations are flushed to the persistent store
+    first, so isolation never costs warm-cache state.
+    """
+    for system in _SYSTEMS.values():
+        system.flush()
     _SYSTEMS.clear()
+    clear_caches()
 
 
 def default_queries(full: int = 150, quick: int = 30) -> int:
     return quick if quick_mode() else full
 
 
+# -- parallel fan-out ---------------------------------------------------------
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def worker_count(workers: Optional[int] = None) -> int:
+    """Resolve the worker count (explicit arg > env > serial)."""
+    if workers is not None:
+        return max(1, int(workers))
+    if os.environ.get(_IN_WORKER_ENV):
+        return 1
+    raw = os.environ.get(WORKERS_ENV, "").strip().lower()
+    if not raw or raw in ("0", "1"):
+        return 1
+    if raw in ("auto", "max"):
+        return os.cpu_count() or 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _store_snapshot() -> dict[str, dict]:
+    """Current persistent-store contents of every system, keyed by path."""
+    snapshot: dict[str, dict] = {}
+    for system in _SYSTEMS.values():
+        store = system.oracle.store
+        if store is not None:
+            snapshot[str(store.path)] = {
+                "solo": dict(store.solo),
+                "fused": dict(store.fused),
+            }
+    return snapshot
+
+
+def _invoke_task(payload):
+    """Worker-side wrapper: run the item, ship back new store entries."""
+    fn, item = payload
+    os.environ[_IN_WORKER_ENV] = "1"
+    result = fn(item)
+    return result, _store_snapshot()
+
+
+def _merge_store_snapshots(snapshots: Iterable[dict[str, dict]]) -> None:
+    """Fold workers' store contents into the parent's stores."""
+    for snapshot in snapshots:
+        for path, sections in snapshot.items():
+            for system in _SYSTEMS.values():
+                store = system.oracle.store
+                if store is not None and str(store.path) == path:
+                    before = len(store)
+                    store.solo.update(sections["solo"])
+                    store.fused.update(sections["fused"])
+                    if len(store) != before:
+                        store._dirty = True
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Results come back in submission order, and every item is evaluated
+    by a deterministic, order-independent pipeline (memoized
+    simulations, per-pair arrival seeds), so the output is identical to
+    a serial ``[fn(i) for i in items]`` — parallelism only changes the
+    wall clock.  ``fn`` must be picklable (a module-level function or a
+    ``functools.partial`` of one).  Worker processes build their own
+    systems; their freshly simulated durations are merged into this
+    process's persistent store when the pool joins.
+    """
+    items = list(items)
+    n_workers = min(worker_count(workers), len(items))
+    if n_workers <= 1:
+        return [fn(item) for item in items]
+    payloads = [(fn, item) for item in items]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        shipped = list(pool.map(_invoke_task, payloads))
+    _merge_store_snapshots(snapshot for _, snapshot in shipped)
+    return [result for result, _ in shipped]
+
+
+# -- performance accounting ---------------------------------------------------
+
+
+@dataclass
+class PerfCounters:
+    """Point-in-time totals of the simulation-avoidance machinery."""
+
+    oracle_hits: int = 0
+    oracle_misses: int = 0
+    oracle_persistent_hits: int = 0
+    fastpath_fast: int = 0
+    fastpath_engine: int = 0
+
+    def delta(self, earlier: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(
+            oracle_hits=self.oracle_hits - earlier.oracle_hits,
+            oracle_misses=self.oracle_misses - earlier.oracle_misses,
+            oracle_persistent_hits=(
+                self.oracle_persistent_hits - earlier.oracle_persistent_hits
+            ),
+            fastpath_fast=self.fastpath_fast - earlier.fastpath_fast,
+            fastpath_engine=self.fastpath_engine - earlier.fastpath_engine,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "oracle_hits": self.oracle_hits,
+            "oracle_misses": self.oracle_misses,
+            "oracle_persistent_hits": self.oracle_persistent_hits,
+            "fastpath_fast": self.fastpath_fast,
+            "fastpath_engine": self.fastpath_engine,
+        }
+
+
+def perf_counters() -> PerfCounters:
+    """Current totals across all shared systems and the fast path."""
+    counters = PerfCounters(
+        fastpath_fast=fastpath.STATS.fast,
+        fastpath_engine=fastpath.STATS.engine,
+    )
+    for system in _SYSTEMS.values():
+        oracle = system.oracle
+        counters.oracle_hits += oracle.hits
+        counters.oracle_misses += oracle.misses
+        counters.oracle_persistent_hits += oracle.persistent_hits
+    return counters
+
+
+@dataclass
+class TimedResult:
+    """An experiment result with its wall clock and counter deltas."""
+
+    value: object
+    wall_s: float
+    counters: PerfCounters
+
+    def perf_line(self) -> str:
+        c = self.counters
+        return (
+            f"wall {self.wall_s:.2f}s | oracle hits {c.oracle_hits} "
+            f"(persistent {c.oracle_persistent_hits}) misses "
+            f"{c.oracle_misses} | fastpath {c.fastpath_fast} fast / "
+            f"{c.fastpath_engine} engine"
+        )
+
+
+def timed_run(fn: Callable[[], R]) -> TimedResult:
+    """Run an experiment entry point under perf instrumentation."""
+    before = perf_counters()
+    start = time.perf_counter()
+    value = fn()
+    wall = time.perf_counter() - start
+    return TimedResult(
+        value=value,
+        wall_s=wall,
+        counters=perf_counters().delta(before),
+    )
+
+
+# -- formatting ---------------------------------------------------------------
+
+
 def format_table(
     headers: list[str], rows: list[list], width: int = 12
 ) -> str:
-    """Fixed-width plain-text table, the form the bench output prints."""
+    """Fixed-width plain-text table, the form the bench output prints.
 
-    def cell(value) -> str:
+    ``width`` is the *minimum* column width; any column whose header or
+    contents are longer widens to fit, so long model names never
+    collide with their neighbours.
+    """
+
+    def text(value) -> str:
         if isinstance(value, float):
-            return f"{value:.3f}".rjust(width)
-        return str(value).rjust(width)
+            return f"{value:.3f}"
+        return str(value)
 
-    lines = ["".join(str(h).rjust(width) for h in headers)]
-    lines.append("-" * (width * len(headers)))
-    lines.extend("".join(cell(v) for v in row) for row in rows)
+    widths = [max(width, len(str(h))) for h in headers]
+    for row in rows:
+        for col, value in enumerate(row):
+            if col < len(widths):
+                widths[col] = max(widths[col], len(text(value)))
+
+    def line(values) -> str:
+        return "".join(
+            text(v).rjust(widths[col]) for col, v in enumerate(values)
+        )
+
+    lines = [line(headers)]
+    lines.append("-" * sum(widths))
+    lines.extend(line(row) for row in rows)
     return "\n".join(lines)
 
 

@@ -12,11 +12,17 @@ experiment.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from ..runtime.system import PairOutcome
 from ..runtime.workload import standard_be_names
-from .common import default_queries, get_system
+from .common import (
+    default_queries,
+    get_system,
+    parallel_map,
+    register_cache,
+)
 
 FIG14_LC = ("resnet50", "resnext", "vgg16", "vgg19", "inception",
             "densenet")
@@ -24,7 +30,12 @@ FIG14_LC = ("resnet50", "resnext", "vgg16", "vgg19", "inception",
 #: Section VIII-B's BE classification for the summary breakdown.
 COMPUTE_BE = ("mriq", "fft", "mrif", "cutcp", "cp")
 
-_CACHE: dict[tuple, "ThroughputResult"] = {}
+_CACHE: dict[tuple, "ThroughputResult"] = register_cache({})
+
+
+def clear_cache() -> None:
+    """Drop cached sweep results (tests that need isolation)."""
+    _CACHE.clear()
 
 
 @dataclass
@@ -66,23 +77,32 @@ class ThroughputResult:
         }
 
 
+def _pair_task(gpu: str, n_queries: int, pair: tuple[str, str]) -> PairOutcome:
+    """Evaluate one LC x BE pair (module-level so workers can pickle it)."""
+    lc, be = pair
+    return get_system(gpu).run_pair(lc, be, n_queries=n_queries)
+
+
 def run(
     gpu: str = "rtx2080ti",
     lc_names: tuple[str, ...] = FIG14_LC,
     be_names: tuple[str, ...] | None = None,
     n_queries: int | None = None,
+    workers: int | None = None,
 ) -> ThroughputResult:
     be_names = standard_be_names() if be_names is None else be_names
     n_queries = default_queries(150, 25) if n_queries is None else n_queries
     key = (gpu, tuple(lc_names), tuple(be_names), n_queries)
     if key in _CACHE:
         return _CACHE[key]
-    system = get_system(gpu)
-    outcomes: dict[tuple[str, str], PairOutcome] = {}
-    for lc in lc_names:
-        for be in be_names:
-            outcome = system.run_pair(lc, be, n_queries=n_queries)
-            outcomes[(outcome.lc_name, outcome.be_name)] = outcome
+    pairs = [(lc, be) for lc in lc_names for be in be_names]
+    results = parallel_map(
+        functools.partial(_pair_task, gpu, n_queries), pairs,
+        workers=workers,
+    )
+    # Key on the *requested* pair, so summaries filtering on
+    # caller-supplied names line up even if outcome naming drifts.
+    outcomes = dict(zip(pairs, results))
     result = ThroughputResult(outcomes=outcomes)
     _CACHE[key] = result
     return result

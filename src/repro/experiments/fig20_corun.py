@@ -11,11 +11,12 @@ the fat-footprint kernels (tpacf, cutcp, stencil).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from ..fusion.search import FusionSearch
-from ..gpusim.gpu import corun_concurrent, corun_spatial, simulate_launch
-from .common import get_system
+from ..gpusim.gpu import corun_concurrent, corun_spatial
+from .common import get_system, parallel_map
 
 #: x-axis kernels of Fig. 20.
 FIG20_KERNELS = (
@@ -61,39 +62,45 @@ class CoRunComparison:
         }
 
 
-def run(gpu: str = "rtx2080ti") -> CoRunComparison:
+def _pair_task(gpu: str, pair: tuple[str, str]) -> dict[str, float]:
+    """Measure all three co-run interfaces for one (GEMM, CD) pair."""
+    gemm_name, cd_name = pair
     system = get_system(gpu)
     hw = system.gpu
-    search = FusionSearch(hw)
-    overlaps: dict[tuple[str, str], dict[str, float]] = {}
-    for gemm_name in GEMM_IMPLEMENTATIONS:
-        tc_ptb = system.ptb(gemm_name)
-        solo_tc = simulate_launch(tc_ptb.launch(), hw).duration_cycles
-        for cd_name in FIG20_KERNELS:
-            cd_ptb = system.ptb(cd_name)
-            solo_cd = simulate_launch(cd_ptb.launch(), hw).duration_cycles
-            # Tune the CD input so both solo durations match (Eq. 11's
-            # setup maximizes the observable overlap).
-            cd_grid = max(
-                1, round(cd_ptb.ir.default_grid * solo_tc / solo_cd)
-            )
-            rates: dict[str, float] = {}
+    oracle = system.oracle
+    search = FusionSearch(hw, oracle=oracle)
+    tc_ptb = system.ptb(gemm_name)
+    solo_tc = oracle.launch_cycles(tc_ptb.launch())
+    cd_ptb = system.ptb(cd_name)
+    solo_cd = oracle.launch_cycles(cd_ptb.launch())
+    # Tune the CD input so both solo durations match (Eq. 11's setup
+    # maximizes the observable overlap).
+    cd_grid = max(1, round(cd_ptb.ir.default_grid * solo_tc / solo_cd))
+    rates: dict[str, float] = {}
 
-            # Tacker measures every feasible ratio at this operating
-            # point and keeps the best (Section V-C).
-            decision = search.search(tc_ptb, cd_ptb, cd_grid=cd_grid)
-            rates["tacker"] = (
-                decision.best.corun.overlap if decision.should_fuse
-                else 0.0
-            )
+    # Tacker measures every feasible ratio at this operating point and
+    # keeps the best (Section V-C).
+    decision = search.search(tc_ptb, cd_ptb, cd_grid=cd_grid)
+    rates["tacker"] = (
+        decision.best.corun.overlap if decision.should_fuse else 0.0
+    )
 
-            spatial = corun_spatial(
-                tc_ptb.launch(), cd_ptb.launch(cd_grid), hw
-            )
-            rates["mps+ptb"] = spatial.overlap
-            stream = corun_concurrent(
-                tc_ptb.launch(), cd_ptb.launch(cd_grid), hw
-            )
-            rates["stream+ptb"] = stream.overlap
-            overlaps[(gemm_name, cd_name)] = rates
-    return CoRunComparison(overlaps=overlaps)
+    spatial = corun_spatial(tc_ptb.launch(), cd_ptb.launch(cd_grid), hw)
+    rates["mps+ptb"] = spatial.overlap
+    stream = corun_concurrent(tc_ptb.launch(), cd_ptb.launch(cd_grid), hw)
+    rates["stream+ptb"] = stream.overlap
+    return rates
+
+
+def run(
+    gpu: str = "rtx2080ti", workers: int | None = None
+) -> CoRunComparison:
+    pairs = [
+        (gemm_name, cd_name)
+        for gemm_name in GEMM_IMPLEMENTATIONS
+        for cd_name in FIG20_KERNELS
+    ]
+    rates = parallel_map(
+        functools.partial(_pair_task, gpu), pairs, workers=workers
+    )
+    return CoRunComparison(overlaps=dict(zip(pairs, rates)))

@@ -13,11 +13,12 @@ checks that
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 
 from ..runtime.server import ServerResult
-from .common import default_queries, get_system
+from .common import default_queries, get_system, parallel_map
 
 DEFAULT_LC_MIX = ("resnet50", "vgg16", "densenet")
 DEFAULT_BE_MIX = ("mriq", "fft", "lbm", "sgemm")
@@ -64,23 +65,37 @@ class MultiTenantResult:
 DEFAULT_LOAD_SHARE = 0.12
 
 
+def _policy_task(
+    gpu: str,
+    lc_names: tuple[str, ...],
+    be_names: tuple[str, ...],
+    n_queries: int,
+    load_share: float,
+    policy_name: str,
+) -> ServerResult:
+    """One policy's multi-tenant run (module-level for worker pickling)."""
+    return get_system(gpu).run_multi(
+        lc_names, be_names, n_queries=n_queries, policy_name=policy_name,
+        load_split=[load_share] * len(lc_names),
+    )
+
+
 def run(
     gpu: str = "rtx2080ti",
     lc_names: tuple[str, ...] = DEFAULT_LC_MIX,
     be_names: tuple[str, ...] = DEFAULT_BE_MIX,
     n_queries: int | None = None,
     load_share: float = DEFAULT_LOAD_SHARE,
+    workers: int | None = None,
 ) -> MultiTenantResult:
-    system = get_system(gpu)
     n_queries = default_queries(60, 15) if n_queries is None else n_queries
-    split = [load_share] * len(lc_names)
-    tacker = system.run_multi(
-        lc_names, be_names, n_queries=n_queries, policy_name="tacker",
-        load_split=split,
-    )
-    baymax = system.run_multi(
-        lc_names, be_names, n_queries=n_queries, policy_name="baymax",
-        load_split=split,
+    tacker, baymax = parallel_map(
+        functools.partial(
+            _policy_task, gpu, tuple(lc_names), tuple(be_names),
+            n_queries, load_share,
+        ),
+        ["tacker", "baymax"],
+        workers=workers,
     )
     per_service = tacker.p99_by_model()
     return MultiTenantResult(

@@ -13,6 +13,7 @@ Usage::
 from __future__ import annotations
 
 import sys
+import time
 
 from . import (
     ablations,
@@ -32,7 +33,7 @@ from . import (
     tab03_cudnn,
     tab_overhead,
 )
-from .common import format_table
+from .common import format_table, perf_counters, timed_run
 
 #: (title, module.run, headers) for the light experiments.
 _LIGHT = (
@@ -80,7 +81,8 @@ _SERVER = (
 
 
 def _section(title: str, run_fn, headers) -> str:
-    result = run_fn()
+    timed = timed_run(run_fn)
+    result = timed.value
     rows = result.rows()
     if len(rows) > 24:
         rows = rows[:24] + [["..."] + [""] * (len(headers) - 1)]
@@ -88,11 +90,13 @@ def _section(title: str, run_fn, headers) -> str:
     lines.extend(
         f"  {key} = {value}" for key, value in result.summary().items()
     )
+    lines.append(f"perf: {timed.perf_line()}")
     return "\n".join(lines)
 
 
 def main(argv: list[str]) -> int:
     full = "--full" in argv
+    start = time.perf_counter()
     sections = list(_LIGHT) + list(_SERVER)
     for title, run_fn, headers in sections:
         print(_section(title, run_fn, headers))
@@ -111,6 +115,11 @@ def main(argv: list[str]) -> int:
         ):
             print(_section(title, run_fn, headers))
             print()
+    totals = perf_counters()
+    print("== performance ==")
+    print(f"total wall clock: {time.perf_counter() - start:.2f}s")
+    for key, value in totals.as_dict().items():
+        print(f"  {key} = {value}")
     return 0
 
 

@@ -101,12 +101,16 @@ class PTBKernel:
         )
 
 
-def profile_persistent_blocks(ir: KernelIR, gpu: GPUConfig) -> int:
+def profile_persistent_blocks(
+    ir: KernelIR, gpu: GPUConfig, oracle=None
+) -> int:
     """Find the persistent block count with the best solo performance.
 
     The paper's fuser "profiles each kernel's persistent block number,
     which has the optimal performance" (Section VIII-A); we do the same
     by simulating each feasible count at the kernel's default input.
+    With an ``oracle``, probe durations are memoized (and persisted, if
+    the oracle has a store) instead of re-simulated every process.
     """
     occupancy = blocks_per_sm(ir.resources, gpu.sm)
     best_count, best_time = 1, float("inf")
@@ -121,7 +125,10 @@ def profile_persistent_blocks(ir: KernelIR, gpu: GPUConfig) -> int:
             },
             persistent_blocks_per_sm=count,
         )
-        duration = simulate_launch(launch, gpu).duration_cycles
+        if oracle is not None:
+            duration = oracle.launch_cycles(launch)
+        else:
+            duration = simulate_launch(launch, gpu).duration_cycles
         if duration < best_time - 1e-9:
             best_count, best_time = count, duration
     return best_count
@@ -131,11 +138,14 @@ def transform(
     ir: KernelIR,
     gpu: GPUConfig,
     persistent_blocks_per_sm: Optional[int] = None,
+    oracle=None,
 ) -> PTBKernel:
     """PTB-transform a kernel, profiling the issue count unless given."""
     occupancy = blocks_per_sm(ir.resources, gpu.sm)
     if persistent_blocks_per_sm is None:
-        persistent_blocks_per_sm = profile_persistent_blocks(ir, gpu)
+        persistent_blocks_per_sm = profile_persistent_blocks(
+            ir, gpu, oracle=oracle
+        )
     if not 1 <= persistent_blocks_per_sm <= occupancy:
         raise FusionError(
             f"{ir.name}: {persistent_blocks_per_sm} persistent blocks/SM "

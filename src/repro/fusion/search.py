@@ -64,11 +64,19 @@ class FusionDecision:
 
 
 class FusionSearch:
-    """Enumerates, measures and ranks fusion candidates for kernel pairs."""
+    """Enumerates, measures and ranks fusion candidates for kernel pairs.
 
-    def __init__(self, gpu: GPUConfig, max_cd_copies: int = 8):
+    ``oracle`` is optional; when provided, candidate and solo
+    measurements go through it, so repeated searches — and, with a
+    persistent store attached, repeated *processes* — skip simulation.
+    The measured numbers are identical either way.
+    """
+
+    def __init__(self, gpu: GPUConfig, max_cd_copies: int = 8,
+                 oracle=None):
         self._gpu = gpu
         self._max_cd_copies = max_cd_copies
+        self._oracle = oracle
 
     def _tc_copies(self, tc: PTBKernel, cd: PTBKernel) -> int:
         """TC copies packed first: the profiled-optimal persistent count,
@@ -116,7 +124,10 @@ class FusionSearch:
                 fused = flexible_fuse(
                     tc, cd, self._gpu, tc_copies, cd_copies
                 )
-                corun = fused.corun(self._gpu, tc_grid, cd_grid)
+                if self._oracle is not None:
+                    corun = self._oracle.corun(fused, tc_grid, cd_grid)
+                else:
+                    corun = fused.corun(self._gpu, tc_grid, cd_grid)
                 candidates.append(FusionCandidate(fused=fused, corun=corun))
 
         serial = self._serial(tc, cd, tc_grid, cd_grid, candidates)
@@ -147,6 +158,11 @@ class FusionSearch:
         if candidates:
             corun = candidates[0].corun
             return corun.solo_a_cycles + corun.solo_b_cycles
+        if self._oracle is not None:
+            return (
+                self._oracle.launch_cycles(tc.launch(tc_grid))
+                + self._oracle.launch_cycles(cd.launch(cd_grid))
+            )
         from ..gpusim.gpu import simulate_launch
 
         solo_tc = simulate_launch(tc.launch(tc_grid), self._gpu)

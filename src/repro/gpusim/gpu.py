@@ -29,6 +29,7 @@ from typing import Optional
 
 from ..config import GPUConfig
 from ..errors import OccupancyError, SimulationError
+from . import fastpath
 from .resources import BlockResources, blocks_per_sm
 from .sm import BlockSpec, SMResult, SMSimulation
 from .trace import Timeline, overlap_rate
@@ -131,6 +132,23 @@ class CoRunResult:
         )
 
 
+def run_blocks(gpu: GPUConfig, blocks: list[BlockSpec]) -> SMResult:
+    """Simulate one SM's resident blocks via the cheapest capable engine.
+
+    Single-group, barrier-free block sets — every non-fused launch —
+    take the analytic fast path; fused or barriered blocks run on the
+    event engine.  Dispatch counts accumulate in ``fastpath.STATS``.
+    """
+    if fastpath.enabled() and fastpath.supported(blocks):
+        fastpath.STATS.fast += 1
+        return fastpath.run_blocks(
+            gpu.sm, gpu.bytes_per_cycle_per_sm, blocks
+        )
+    fastpath.STATS.engine += 1
+    sim = SMSimulation(gpu.sm, gpu.bytes_per_cycle_per_sm)
+    return sim.run(blocks)
+
+
 def _assignments(total_work: int, workers: int) -> list[int]:
     """Round-robin split of ``total_work`` items over ``workers``."""
     base, extra = divmod(total_work, workers)
@@ -202,7 +220,6 @@ def _scale_result(result: SMResult, factor: int) -> SMResult:
 def simulate_launch(launch: KernelLaunch, gpu: GPUConfig) -> LaunchResult:
     """Simulate one kernel on the GPU; returns its duration and traces."""
     occupancy = blocks_per_sm(launch.resources, gpu.sm)
-    sim = SMSimulation(gpu.sm, gpu.bytes_per_cycle_per_sm)
 
     if launch.grid_blocks == 0:
         empty = SMResult(0.0, {"cuda": Timeline(), "tensor": Timeline()},
@@ -213,7 +230,7 @@ def simulate_launch(launch: KernelLaunch, gpu: GPUConfig) -> LaunchResult:
         per_sm = min(launch.persistent_blocks_per_sm, occupancy)
         blocks = _persistent_blocks(launch, gpu, per_sm)
         blocks, factor = _cap_iterations(blocks)
-        result = _scale_result(sim.run(blocks), factor)
+        result = _scale_result(run_blocks(gpu, blocks), factor)
         return LaunchResult(launch.name, result.finish_time, result, waves=1)
 
     per_sm_blocks = -(-launch.grid_blocks // gpu.num_sms)
@@ -225,7 +242,7 @@ def simulate_launch(launch: KernelLaunch, gpu: GPUConfig) -> LaunchResult:
             for _ in range(per_sm_blocks)
         ]
         blocks, factor = _cap_iterations(blocks)
-        result = _scale_result(sim.run(blocks), factor)
+        result = _scale_result(run_blocks(gpu, blocks), factor)
         return LaunchResult(launch.name, result.finish_time, result, waves=1)
 
     # Steady flow: blocks stream onto the SM as resident blocks retire,
@@ -235,7 +252,7 @@ def simulate_launch(launch: KernelLaunch, gpu: GPUConfig) -> LaunchResult:
         BlockSpec(dict(launch.block_template)) for _ in range(occupancy)
     ]
     full_wave, factor = _cap_iterations(full_wave)
-    wave_result = _scale_result(sim.run(full_wave), factor)
+    wave_result = _scale_result(run_blocks(gpu, full_wave), factor)
     scale = launch.grid_blocks / (occupancy * gpu.num_sms)
     duration = wave_result.finish_time * scale
     # Present the final wave's timelines at the end of the launch window
@@ -353,8 +370,7 @@ def corun_concurrent(
     blocks = _persistent_blocks(shrunken_a, gpu, share_a)
     blocks += _persistent_blocks(shrunken_b, gpu, share_b)
     blocks, factor = _cap_iterations(blocks)
-    sim = SMSimulation(gpu.sm, gpu.bytes_per_cycle_per_sm)
-    result = _scale_result(sim.run(blocks), factor)
+    result = _scale_result(run_blocks(gpu, blocks), factor)
     finish_a = max(
         t for (i, _), t in result.group_finish.items() if i < share_a
     )

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..config import GPUConfig
+from . import fastpath
 from .engine import EventQueue
 from .gpu import KernelLaunch, simulate_launch
 from .memory import MemorySystem
@@ -122,11 +123,47 @@ def _check_fusion_overlap(gpu: GPUConfig) -> CheckResult:
     )
 
 
+def _check_fastpath_equivalence(gpu: GPUConfig) -> CheckResult:
+    """The analytic fast path must reproduce the event engine exactly.
+
+    Runs a mixed compute/memory block set through both engines and
+    compares finish times at 1e-9 relative tolerance — the same bound
+    the full-corpus equivalence test enforces.
+    """
+    heavy = WarpProgram(
+        (ComputeSegment("cuda", 170.0), MemorySegment(96.0)), 12
+    )
+    light = WarpProgram(
+        (ComputeSegment("tensor", 90.0), MemorySegment(288.0)), 9
+    )
+    blocks = [
+        BlockSpec({"m": (heavy,) * 13}),
+        BlockSpec({"m": (light,) * 7}),
+    ]
+    if not fastpath.supported(blocks):
+        return CheckResult(
+            "fastpath-equivalence", False,
+            "reference block set unexpectedly rejected by the fast path",
+        )
+    engine = SMSimulation(gpu.sm, gpu.bytes_per_cycle_per_sm).run(blocks)
+    fast = fastpath.run_blocks(gpu.sm, gpu.bytes_per_cycle_per_sm, blocks)
+    rel = abs(fast.finish_time - engine.finish_time) / max(
+        engine.finish_time, 1e-12
+    )
+    passed = rel <= 1e-9
+    return CheckResult(
+        "fastpath-equivalence", passed,
+        f"fast path {fast.finish_time:.3f} vs engine "
+        f"{engine.finish_time:.3f} cycles (rel err {rel:.2e})",
+    )
+
+
 _CHECKS: tuple[Callable[[GPUConfig], CheckResult], ...] = (
     _check_pipe_capacity,
     _check_memory_formula,
     _check_work_scaling,
     _check_fusion_overlap,
+    _check_fastpath_equivalence,
 )
 
 

@@ -74,6 +74,7 @@ class FusedDurationModel:
         tc_model: KernelDurationModel,
         cd_model: KernelDurationModel,
         noise: Optional[ProfileNoise] = None,
+        oracle=None,
     ):
         self.fused = fused
         self.tc_model = tc_model
@@ -81,6 +82,8 @@ class FusedDurationModel:
         self.noise = noise if noise is not None else ProfileNoise(
             salt="tacker-fused-profile"
         )
+        #: optional DurationOracle for memoized/persistent measurements
+        self.oracle = oracle
         self._before = _Stage()
         self._after = _Stage()
         self._inflection: Optional[float] = None
@@ -104,9 +107,12 @@ class FusedDurationModel:
     def measure(self, gpu: GPUConfig, tc_grid: int, cd_grid: int) -> float:
         """One noisy fused-duration observation, in cycles."""
         launch = self.fused.launch(tc_grid, cd_grid)
-        from ..gpusim.gpu import simulate_launch
+        if self.oracle is not None:
+            cycles = self.oracle.launch_cycles(launch)
+        else:
+            from ..gpusim.gpu import simulate_launch
 
-        cycles = simulate_launch(launch, gpu).duration_cycles
+            cycles = simulate_launch(launch, gpu).duration_cycles
         return self.noise.observe(self.fused.name, tc_grid * 1_000_003 + cd_grid,
                                   cycles)
 

@@ -61,9 +61,13 @@ class KernelDurationModel:
         self,
         kernel: KernelIR,
         noise: Optional[ProfileNoise] = None,
+        oracle=None,
     ):
         self.kernel = kernel
         self.noise = noise if noise is not None else ProfileNoise()
+        #: optional DurationOracle; profiling runs then reuse (and, with
+        #: a persistent store, pre-date) the runtime's simulations
+        self.oracle = oracle
         self._model: Optional[LinearModel] = None
         self._samples: list[tuple[int, float]] = []
 
@@ -82,7 +86,10 @@ class KernelDurationModel:
     def measure(self, gpu: GPUConfig, grid: int) -> float:
         """One noisy profiling observation, in cycles."""
         launch = self.kernel.launch(grid)
-        cycles = simulate_launch(launch, gpu).duration_cycles
+        if self.oracle is not None:
+            cycles = self.oracle.launch_cycles(launch)
+        else:
+            cycles = simulate_launch(launch, gpu).duration_cycles
         return self.noise.observe(self.kernel.name, grid, cycles)
 
     def train(

@@ -24,9 +24,16 @@ FUSED_MODEL_TRAIN_MS = 20.0
 class OnlineModelManager:
     """Owns and maintains all duration models used by the runtime."""
 
-    def __init__(self, gpu: GPUConfig, noise: Optional[ProfileNoise] = None):
+    def __init__(
+        self,
+        gpu: GPUConfig,
+        noise: Optional[ProfileNoise] = None,
+        oracle=None,
+    ):
         self._gpu = gpu
         self._noise = noise
+        #: optional DurationOracle threaded into every model's profiling
+        self._oracle = oracle
         self._kernel_models: dict[str, KernelDurationModel] = {}
         self._fused_models: dict[tuple[str, str], FusedDurationModel] = {}
         #: accumulated modelled training time (overhead experiment)
@@ -38,7 +45,9 @@ class OnlineModelManager:
         """The (lazily trained) duration model of one kernel."""
         model = self._kernel_models.get(kernel.name)
         if model is None:
-            model = KernelDurationModel(kernel, noise=self._noise)
+            model = KernelDurationModel(
+                kernel, noise=self._noise, oracle=self._oracle
+            )
             model.train(self._gpu)
             self._kernel_models[kernel.name] = model
         return model
@@ -58,6 +67,7 @@ class OnlineModelManager:
                 tc_model=self.kernel_model(fused.tc.ir),
                 cd_model=self.kernel_model(fused.cd.ir),
                 noise=self._noise,
+                oracle=self._oracle,
             )
             model.train(self._gpu)
             self._fused_models[key] = model

@@ -28,7 +28,7 @@ from ..fusion.search import FusionSearch
 from ..kernels.library import KernelLibrary, default_library
 from ..models.zoo import ModelSpec, model_by_name
 from ..predictor.online import OnlineModelManager
-from .oracle import DurationOracle
+from .oracle import DurationOracle, OracleStore
 from .policies import BaymaxPolicy, SchedulingPolicy, TackerPolicy
 from .query import BEApplication
 from .server import ColocationServer, ServerResult
@@ -70,16 +70,21 @@ class TackerSystem:
         load: float = 0.8,
         seed: int = 2022,
         library: Optional[KernelLibrary] = None,
+        store: "OracleStore | str | None" = "auto",
     ):
         self.gpu = gpu
         self.qos_ms = qos_ms
         self.load = load
         self.seed = seed
         self.library = library if library is not None else default_library()
-        self.oracle = DurationOracle(gpu)
-        self.models = OnlineModelManager(gpu)
+        if store == "auto":
+            # Default deployment: durations persist across processes
+            # (disable with REPRO_ORACLE_CACHE=0 or store=None).
+            store = OracleStore.for_gpu(gpu)
+        self.oracle = DurationOracle(gpu, store=store)
+        self.models = OnlineModelManager(gpu, oracle=self.oracle)
         self.compiler = FusionCompiler()
-        self._search = FusionSearch(gpu)
+        self._search = FusionSearch(gpu, oracle=self.oracle)
         self._ptb: dict[str, PTBKernel] = {}
         self.artifacts: dict[tuple[str, str], FusedKernel] = {}
         self._searched: set[tuple[str, str]] = set()
@@ -90,9 +95,15 @@ class TackerSystem:
         """PTB transform of a kernel, cached."""
         cached = self._ptb.get(kernel_name)
         if cached is None:
-            cached = ptb_transform(self.library.get(kernel_name), self.gpu)
+            cached = ptb_transform(
+                self.library.get(kernel_name), self.gpu, oracle=self.oracle
+            )
             self._ptb[kernel_name] = cached
         return cached
+
+    def flush(self) -> None:
+        """Persist any fresh oracle simulations to the on-disk store."""
+        self.oracle.flush()
 
     def prepare_fusion(self, tc_name: str, cd_name: str) -> Optional[FusedKernel]:
         """Search + compile + train models for one (TC, CD) pair, cached.

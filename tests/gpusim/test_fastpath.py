@@ -1,0 +1,156 @@
+"""Equivalence suite for the analytic fast path.
+
+The fast path replaces the event engine for single-group, barrier-free
+block sets; these tests prove it is a drop-in replacement by comparing
+both engines across the full kernel corpus and a grid sweep, and verify
+that ineligible launches still route through the event engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import fastpath
+from repro.gpusim.gpu import (
+    _cap_iterations,
+    _persistent_blocks,
+    blocks_per_sm,
+    run_blocks,
+)
+from repro.gpusim.sm import BlockSpec, SMSimulation
+from repro.gpusim.warp import (
+    ComputeSegment,
+    MemorySegment,
+    SyncSegment,
+    WarpProgram,
+)
+
+REL_TOL = 1e-9
+
+GRID_MULTIPLIERS = (0.25, 0.5, 1.0, 1.7, 3.0)
+
+
+def _resident_blocks(ir, gpu, mult):
+    """The exact block set ``simulate_launch`` would put on one SM."""
+    grid = max(1, int(ir.default_grid * mult))
+    launch = ir.launch(grid)
+    occupancy = blocks_per_sm(launch.resources, gpu.sm)
+    if launch.is_persistent:
+        per_sm = min(launch.persistent_blocks_per_sm, occupancy)
+        blocks = _persistent_blocks(launch, gpu, per_sm)
+    else:
+        per_sm_blocks = -(-launch.grid_blocks // gpu.num_sms)
+        blocks = [
+            BlockSpec(dict(launch.block_template))
+            for _ in range(min(per_sm_blocks, occupancy))
+        ]
+    blocks, _ = _cap_iterations(blocks)
+    return blocks
+
+
+def _assert_equivalent(gpu, blocks):
+    engine = SMSimulation(gpu.sm, gpu.bytes_per_cycle_per_sm).run(blocks)
+    fast = fastpath.run_blocks(gpu.sm, gpu.bytes_per_cycle_per_sm, blocks)
+    assert fast.finish_time == pytest.approx(
+        engine.finish_time, rel=REL_TOL
+    )
+    for pipe in ("cuda", "tensor"):
+        assert fast.pipe_timelines[pipe].total() == pytest.approx(
+            engine.pipe_timelines[pipe].total(), rel=1e-9, abs=1e-6
+        )
+        assert fast.pipe_slot_cycles[pipe] == pytest.approx(
+            engine.pipe_slot_cycles[pipe], rel=1e-9, abs=1e-6
+        )
+    assert fast.bytes_served == pytest.approx(
+        engine.bytes_served, rel=1e-9, abs=1e-6
+    )
+    assert set(fast.group_finish) == set(engine.group_finish)
+    for key, value in engine.group_finish.items():
+        assert fast.group_finish[key] == pytest.approx(
+            value, rel=REL_TOL, abs=1e-9
+        )
+
+
+class TestCorpusEquivalence:
+    """Fast path matches the event engine across library x grid sweep."""
+
+    def test_full_library_grid_sweep(self, gpu, library):
+        checked = 0
+        for ir in library:
+            for mult in GRID_MULTIPLIERS:
+                blocks = _resident_blocks(ir, gpu, mult)
+                if not fastpath.supported(blocks):
+                    continue
+                checked += 1
+                _assert_equivalent(gpu, blocks)
+        # the corpus must actually exercise the fast path broadly
+        assert checked >= 100
+
+    def test_v100_preset(self, v100, library):
+        for name in ("mriq", "fft", "lbm", "relu"):
+            blocks = _resident_blocks(library.get(name), v100, 1.0)
+            assert fastpath.supported(blocks)
+            _assert_equivalent(v100, blocks)
+
+    def test_mixed_heterogeneous_blocks(self, gpu):
+        heavy = WarpProgram(
+            (ComputeSegment("cuda", 170.0), MemorySegment(96.0)), 12
+        )
+        light = WarpProgram(
+            (ComputeSegment("tensor", 90.0), MemorySegment(288.0)), 9
+        )
+        memory_only = WarpProgram((MemorySegment(512.0),), 5)
+        blocks = [
+            BlockSpec({"m": (heavy,) * 13}),
+            BlockSpec({"m": (light,) * 7}),
+            BlockSpec({"m": (memory_only,) * 3}),
+        ]
+        assert fastpath.supported(blocks)
+        _assert_equivalent(gpu, blocks)
+
+    def test_zero_byte_memory_segments(self, gpu):
+        program = WarpProgram(
+            (ComputeSegment("cuda", 50.0), MemorySegment(0.0)), 4
+        )
+        blocks = [BlockSpec({"m": (program,) * 6})]
+        assert fastpath.supported(blocks)
+        _assert_equivalent(gpu, blocks)
+
+
+class TestEligibility:
+    """Fused and barriered blocks must keep using the event engine."""
+
+    def test_barrier_rejected(self, gpu):
+        program = WarpProgram(
+            (ComputeSegment("cuda", 10.0), SyncSegment(0, 4)), 2
+        )
+        assert not fastpath.supported([BlockSpec({"m": (program,) * 4})])
+
+    def test_multi_group_rejected(self):
+        tc = WarpProgram((ComputeSegment("tensor", 10.0),), 1)
+        cd = WarpProgram((ComputeSegment("cuda", 10.0),), 1)
+        blocks = [BlockSpec({"tc": (tc,) * 2, "cd": (cd,) * 2})]
+        assert not fastpath.supported(blocks)
+
+    def test_barriered_library_kernels_rejected(self, gpu, library):
+        for name in ("sgemm", "tgemm_l", "wmma_gemm"):
+            blocks = _resident_blocks(library.get(name), gpu, 1.0)
+            assert not fastpath.supported(blocks)
+
+    def test_dispatch_counts(self, gpu, library):
+        fastpath.STATS.reset()
+        sgemm = _resident_blocks(library.get("sgemm"), gpu, 1.0)
+        mriq = _resident_blocks(library.get("mriq"), gpu, 1.0)
+        run_blocks(gpu, mriq)
+        run_blocks(gpu, sgemm)
+        assert fastpath.STATS.fast == 1
+        assert fastpath.STATS.engine == 1
+        assert fastpath.STATS.total == 2
+        assert fastpath.STATS.fast_fraction == pytest.approx(0.5)
+
+    def test_env_toggle_disables_fastpath(self, gpu, library, monkeypatch):
+        monkeypatch.setenv(fastpath.FASTPATH_ENV, "0")
+        fastpath.STATS.reset()
+        run_blocks(gpu, _resident_blocks(library.get("mriq"), gpu, 1.0))
+        assert fastpath.STATS.fast == 0
+        assert fastpath.STATS.engine == 1

@@ -143,3 +143,27 @@ class TestBookkeeping:
         result = simulate([block(prog, 1)])
         timeline = result.pipe_timelines["cuda"]
         assert timeline.total() == pytest.approx(200.0)
+
+
+class TestZeroTensorWork:
+    """Regression: a CUDA-only workload must report *exactly* zero
+    tensor-pipe activity — any drift here would fabricate tensor
+    utilization in the Fig. 1/2 stacked-utilization analysis."""
+
+    PROG = WarpProgram(
+        (ComputeSegment("cuda", 50.0), MemorySegment(64.0)), 3
+    )
+
+    def test_engine_reports_exact_zero(self):
+        result = simulate([block(self.PROG, 4)])
+        assert result.pipe_busy_cycles("tensor") == 0.0
+        assert result.pipe_slot_cycles["tensor"] == 0.0
+        assert result.pipe_timelines["tensor"].total() == 0.0
+        assert result.pipe_busy_cycles("cuda") > 0.0
+
+    def test_fast_path_reports_exact_zero(self):
+        from repro.gpusim import fastpath
+
+        result = fastpath.run_blocks(SM, 8.0, [block(self.PROG, 4)])
+        assert result.pipe_busy_cycles("tensor") == 0.0
+        assert result.pipe_slot_cycles["tensor"] == 0.0

@@ -12,7 +12,7 @@ class TestChecks:
                              ids=["rtx2080ti", "v100"])
     def test_presets_pass_all_checks(self, gpu):
         results = run_checks(gpu)
-        assert len(results) == 4
+        assert len(results) == 5
         for result in results:
             assert result.passed, str(result)
 

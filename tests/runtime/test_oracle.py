@@ -1,12 +1,14 @@
 """Tests for the duration oracle."""
 
+import dataclasses
+
 import pytest
 
 from repro.fusion.ptb import transform
 from repro.fusion.search import FusionSearch
 from repro.kernels.gemm import canonical_gemms
 from repro.kernels.parboil import fft, mriq
-from repro.runtime.oracle import DurationOracle
+from repro.runtime.oracle import CACHE_ENV, DurationOracle, OracleStore
 
 
 @pytest.fixture(scope="module")
@@ -59,3 +61,87 @@ class TestFusedCache:
         assert result.duration_cycles < (
             result.solo_a_cycles + result.solo_b_cycles
         )
+
+
+class TestPersistence:
+    def test_round_trip(self, gpu, tmp_path):
+        store = OracleStore.for_gpu(gpu, directory=tmp_path)
+        oracle = DurationOracle(gpu, store=store)
+        kernel = mriq()
+        cycles = oracle.solo_cycles(kernel)
+        assert oracle.misses == 1
+        oracle.flush()
+        assert store.path.exists()
+
+        # A fresh process (fresh store + oracle) answers from disk.
+        reloaded = OracleStore.for_gpu(gpu, directory=tmp_path)
+        assert reloaded.path == store.path
+        assert len(reloaded) == 1
+        oracle2 = DurationOracle(gpu, store=reloaded)
+        assert oracle2.solo_cycles(kernel) == cycles
+        assert oracle2.misses == 0
+        assert oracle2.persistent_hits == 1
+
+    def test_fused_round_trip(self, gpu, tmp_path, fused_kernel):
+        store = OracleStore.for_gpu(gpu, directory=tmp_path)
+        oracle = DurationOracle(gpu, store=store)
+        result = oracle.fused(fused_kernel, 1000, 2000)
+        oracle.flush()
+
+        oracle2 = DurationOracle(
+            gpu, store=OracleStore.for_gpu(gpu, directory=tmp_path)
+        )
+        again = oracle2.fused(fused_kernel, 1000, 2000)
+        assert again.duration_cycles == result.duration_cycles
+        assert again.solo_a_cycles == result.solo_a_cycles
+        assert again.finish_b_cycles == result.finish_b_cycles
+        assert oracle2.persistent_hits == 1
+        assert oracle2.misses == 0
+
+    def test_gpu_config_change_invalidates(self, gpu, tmp_path):
+        store = OracleStore.for_gpu(gpu, directory=tmp_path)
+        oracle = DurationOracle(gpu, store=store)
+        oracle.solo_cycles(mriq())
+        oracle.flush()
+
+        other = dataclasses.replace(gpu, clock_ghz=gpu.clock_ghz * 2)
+        other_store = OracleStore.for_gpu(other, directory=tmp_path)
+        # A different GPU config fingerprints to a different file, so
+        # stale durations can never leak across configs.
+        assert other_store.path != store.path
+        assert len(other_store) == 0
+        oracle2 = DurationOracle(other, store=other_store)
+        oracle2.solo_cycles(mriq())
+        assert oracle2.misses == 1
+        assert oracle2.persistent_hits == 0
+        oracle2.flush()
+
+    def test_corrupted_file_falls_back_to_simulation(self, gpu, tmp_path):
+        store = OracleStore.for_gpu(gpu, directory=tmp_path)
+        oracle = DurationOracle(gpu, store=store)
+        cycles = oracle.solo_cycles(mriq())
+        oracle.flush()
+
+        store.path.write_text("{this is not json")
+        fresh = OracleStore(store.path)
+        assert len(fresh) == 0
+        oracle2 = DurationOracle(gpu, store=fresh)
+        assert oracle2.solo_cycles(mriq()) == cycles
+        assert oracle2.misses == 1  # re-simulated, same answer
+        oracle2.flush()
+
+        # The rewrite leaves a healthy store behind.
+        healed = OracleStore(store.path)
+        assert len(healed) == 1
+
+    def test_stale_schema_ignored(self, gpu, tmp_path):
+        store = OracleStore.for_gpu(gpu, directory=tmp_path)
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text(
+            '{"schema": -1, "solo": {"x": 1.0}, "fused": {}}'
+        )
+        assert len(OracleStore(store.path)) == 0
+
+    def test_env_kill_switch(self, gpu, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, "0")
+        assert OracleStore.for_gpu(gpu, directory=tmp_path) is None

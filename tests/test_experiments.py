@@ -189,3 +189,86 @@ class TestCommonInfrastructure:
             lc_names=("densenet",), be_names=("mriq",), n_queries=6
         )
         assert a is b  # same cache entry, no re-run
+
+    def test_fig14_outcomes_keyed_on_requested_pair(self):
+        from repro.experiments import fig14_throughput
+
+        result = fig14_throughput.run(
+            lc_names=("densenet",), be_names=("mriq",), n_queries=6
+        )
+        assert set(result.outcomes) == {("densenet", "mriq")}
+
+    def test_format_table_widens_for_long_cells(self):
+        long_name = "(improvement %)"
+        text = format_table(["service", "p99 ms"], [[long_name, 4.8]])
+        header, sep, row = text.splitlines()
+        # Every line shares one width; the long cell pushes its whole
+        # column out instead of colliding with its neighbour.
+        assert len(header) == len(sep) == len(row)
+        assert row.startswith(long_name)
+        assert row.endswith("4.800")
+
+    def test_perf_counters_track_oracle(self):
+        from repro.experiments import common
+
+        baseline = common.perf_counters()
+        timed = common.timed_run(
+            lambda: common.get_system("rtx2080ti").oracle.solo_cycles(
+                common.get_system("rtx2080ti").library.get("mriq")
+            )
+        )
+        assert timed.wall_s >= 0.0
+        total = timed.counters
+        assert (
+            total.oracle_hits + total.oracle_misses
+            + total.oracle_persistent_hits >= 1
+        )
+        assert "wall" in timed.perf_line()
+        after = common.perf_counters().delta(baseline)
+        assert after.oracle_misses >= 0
+
+
+class TestParallelSweeps:
+    def test_worker_count_resolution(self, monkeypatch):
+        from repro.experiments import common
+
+        monkeypatch.delenv(common.WORKERS_ENV, raising=False)
+        monkeypatch.delenv(common._IN_WORKER_ENV, raising=False)
+        assert common.worker_count() == 1
+        assert common.worker_count(3) == 3
+        monkeypatch.setenv(common.WORKERS_ENV, "4")
+        assert common.worker_count() == 4
+        assert common.worker_count(2) == 2  # explicit arg wins
+        monkeypatch.setenv(common.WORKERS_ENV, "auto")
+        assert common.worker_count() >= 1
+        monkeypatch.setenv(common.WORKERS_ENV, "nonsense")
+        assert common.worker_count() == 1
+        # Workers never nest pools.
+        monkeypatch.setenv(common.WORKERS_ENV, "8")
+        monkeypatch.setenv(common._IN_WORKER_ENV, "1")
+        assert common.worker_count() == 1
+
+    def test_parallel_map_serial_path(self):
+        from repro.experiments.common import parallel_map
+
+        assert parallel_map(str.upper, ["a", "b"], workers=1) == ["A", "B"]
+
+    def test_parallel_fig14_identical_to_serial(self):
+        """The acceptance bar: a parallel sweep is byte-identical to a
+        serial one — same outcomes, same formatted table."""
+        from repro.experiments import fig14_throughput
+
+        lc, be = ("densenet", "vgg16"), ("mriq", "fft")
+        serial = fig14_throughput.run(
+            lc_names=lc, be_names=be, n_queries=6, workers=1
+        )
+        fig14_throughput.clear_cache()
+        parallel = fig14_throughput.run(
+            lc_names=lc, be_names=be, n_queries=6, workers=2
+        )
+        assert list(parallel.outcomes) == list(serial.outcomes)
+        headers = ["LC", "BE", "improvement %", "tacker p99", "baymax p99"]
+        assert format_table(headers, parallel.rows()) == format_table(
+            headers, serial.rows()
+        )
+        assert parallel.summary() == serial.summary()
