@@ -1,0 +1,32 @@
+"""Robustness: the guard rails hold QoS where the raw runtime fails."""
+
+from conftest import run_once
+
+from repro.experiments import robustness
+
+
+def test_robustness(benchmark, report):
+    result = run_once(benchmark, robustness.run)
+    report(
+        ["scenario", "intensity", "unguard viol %", "guard viol %",
+         "unguard p99", "guard p99", "BE ratio", "shed/defer", "dropped",
+         "excl %"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # The acceptance rail: under 2x predictor error the unguarded
+    # runtime blows through the violation budget while the guarded one
+    # stays inside it...
+    assert summary["unguarded_violations_pct"] > robustness.GUARDED_VIOLATION_TARGET
+    assert summary["guarded_violations_pct"] <= robustness.GUARDED_VIOLATION_TARGET
+    # ...and with faults off the guard is nearly free: the clean-run BE
+    # throughput cost stays under 2%.
+    assert abs(summary["guard_clean_be_cost_pct"]) < 2.0
+    # Under compound faults (bursty arrivals genuinely overload the
+    # service) the guard degrades toward LC-exclusive mode and still
+    # beats the unguarded runtime's tail.
+    assert (
+        summary["compound_guarded_violations_pct"]
+        <= summary["compound_unguarded_violations_pct"]
+    )

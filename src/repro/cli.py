@@ -53,6 +53,17 @@ def _build_parser() -> argparse.ArgumentParser:
     pair.add_argument("lc_model")
     pair.add_argument("be_app")
     pair.add_argument("--queries", type=int, default=100)
+    pair.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject faults, e.g. 'noise=0.3,bias=0.9,drop=0.05,"
+             "burst=0.1' (keys: noise, bias, stale, delay, delay_factor,"
+             " drop, burst, burst_size, seed)",
+    )
+    pair.add_argument(
+        "--guard", action="store_true",
+        help="enable the mispredict guard rails (headroom inflation, "
+             "graceful degradation, BE admission control)",
+    )
 
     trace = commands.add_parser(
         "trace", help="export a co-location run as a Chrome trace"
@@ -121,7 +132,21 @@ def _cmd_fuse(args) -> int:
 def _cmd_run_pair(args) -> int:
     from .experiments.common import get_system
 
-    system = get_system(args.gpu)
+    faults = guard = None
+    if args.faults or args.guard:
+        from .runtime.faults import FaultPlan
+        from .runtime.policies import GuardConfig
+        from .runtime.system import TackerSystem
+
+        if args.faults:
+            faults = FaultPlan.parse(args.faults)
+        if args.guard:
+            guard = GuardConfig()
+        system = TackerSystem(
+            gpu=gpu_preset(args.gpu), faults=faults, guard=guard
+        )
+    else:
+        system = get_system(args.gpu)
     outcome = system.run_pair(
         args.lc_model, args.be_app, n_queries=args.queries
     )
@@ -131,6 +156,22 @@ def _cmd_run_pair(args) -> int:
     print(f"  Tacker p99: {outcome.tacker.p99_latency_ms:.1f} ms | "
           f"Baymax p99: {outcome.baymax.p99_latency_ms:.1f} ms")
     print(f"  fused launches: {outcome.tacker.n_fused_kernels}")
+    tacker = outcome.tacker
+    if faults is not None:
+        events = ", ".join(
+            f"{key}={value}" for key, value in tacker.fault_events.items()
+        )
+        print(f"  faults injected: {events or 'none'}")
+        print(f"  BE dropped/delayed: {tacker.n_dropped_be}"
+              f"/{tacker.n_delayed_be}")
+    if guard is not None:
+        modes = ", ".join(
+            f"{mode}={count}"
+            for mode, count in tacker.guard_mode_decisions.items()
+        )
+        print(f"  guard decisions: {modes}")
+        print(f"  BE shed/deferred: {tacker.n_shed_be}"
+              f"/{tacker.n_deferred_be}")
     print(f"  QoS satisfied: {'yes' if outcome.qos_satisfied else 'NO'}")
     return 0 if outcome.qos_satisfied else 1
 

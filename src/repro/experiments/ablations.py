@@ -20,7 +20,6 @@ from ..fusion.fuser import flexible_fuse
 from ..models.zoo import model_by_name
 from ..predictor.linear import LinearModel
 from ..runtime.policies import BaymaxPolicy, TackerPolicy
-from ..runtime.query import BEApplication
 from ..runtime.workload import be_application
 from .common import default_queries, get_system
 

@@ -25,7 +25,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
-from ..config import GPUConfig, gpu_preset
+from ..config import gpu_preset
 from ..gpusim import fastpath
 from ..runtime.system import TackerSystem
 

@@ -29,6 +29,7 @@ from . import (
     fig18_pred_fused,
     fig20_corun,
     fig21_im2col,
+    robustness,
     tab01_microbench,
     tab03_cudnn,
     tab_overhead,
@@ -77,6 +78,10 @@ _SERVER = (
     ("Extension — arrival-process study", arrival_study.run,
      ["model", "solo", "paced qps", "poisson qps", "paced p99",
       "poisson p99"]),
+    ("Extension — robustness under faults", robustness.run,
+     ["scenario", "intensity", "unguard viol %", "guard viol %",
+      "unguard p99", "guard p99", "BE ratio", "shed/defer", "dropped",
+      "excl %"]),
 )
 
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from ..errors import FusionError
 from .fuser import FusedKernel
 from .search import FusionDecision
 

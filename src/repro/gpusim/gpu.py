@@ -28,7 +28,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..config import GPUConfig
-from ..errors import OccupancyError, SimulationError
+from ..errors import SimulationError
 from . import fastpath
 from .resources import BlockResources, blocks_per_sm
 from .sm import BlockSpec, SMResult, SMSimulation

@@ -26,7 +26,7 @@ problem of Fig. 1).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import SMConfig
 from ..errors import SimulationError

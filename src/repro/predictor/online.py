@@ -8,7 +8,7 @@ in Section VIII-I (~20 ms per fused-kernel model).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..config import GPUConfig
 from ..errors import PredictionError
@@ -19,6 +19,56 @@ from .kernel_model import KernelDurationModel, ProfileNoise
 
 #: Wall time to train one fused-kernel duration model (Section VIII-I).
 FUSED_MODEL_TRAIN_MS = 20.0
+
+#: Smoothing factor of the online prediction-error EWMA.
+ERROR_EWMA_ALPHA = 0.15
+
+#: A prediction perturbation: (kernel name, predicted value) -> value.
+#: Installed by the fault-injection harness; None = exact predictions.
+Perturbation = Callable[[str, float], float]
+
+
+class PredictionErrorTracker:
+    """Online EWMA of relative prediction error, per kernel and overall.
+
+    The runtime compares every launch's predicted duration against the
+    simulated (ground-truth) one; the tracked error band is what the
+    guarded scheduler inflates its headroom threshold by.  Errors are
+    relative (``|predicted - actual| / actual``) so kernels of very
+    different durations share one scale.
+    """
+
+    def __init__(self, alpha: float = ERROR_EWMA_ALPHA):
+        if not 0 < alpha <= 1:
+            raise PredictionError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._per_kernel: dict[str, float] = {}
+        self._overall: float = 0.0
+        self.observations = 0
+
+    def record(self, name: str, predicted: float, actual: float) -> float:
+        """Fold one (predicted, actual) pair in; returns the new band."""
+        if actual <= 0:
+            return self._overall
+        error = abs(predicted - actual) / actual
+        previous = self._per_kernel.get(name, error)
+        self._per_kernel[name] = (
+            self.alpha * error + (1 - self.alpha) * previous
+        )
+        if self.observations == 0:
+            self._overall = error
+        else:
+            self._overall = (
+                self.alpha * error + (1 - self.alpha) * self._overall
+            )
+        self.observations += 1
+        return self._overall
+
+    def band(self, name: Optional[str] = None) -> float:
+        """Current error band: one kernel's, or the overall EWMA."""
+        if name is not None:
+            return self._per_kernel.get(name, self._overall)
+        return self._overall
 
 
 class OnlineModelManager:
@@ -38,6 +88,10 @@ class OnlineModelManager:
         self._fused_models: dict[tuple[str, str], FusedDurationModel] = {}
         #: accumulated modelled training time (overhead experiment)
         self.total_training_ms = 0.0
+        #: fault-injection hook applied to every prediction (None = off)
+        self.perturb: Optional[Perturbation] = None
+        #: online predicted-vs-actual error bands (fed by the server)
+        self.errors = PredictionErrorTracker()
 
     # -- per-kernel models ------------------------------------------------------
 
@@ -53,7 +107,10 @@ class OnlineModelManager:
         return model
 
     def predict_kernel(self, kernel: KernelIR, grid: int) -> float:
-        return self.kernel_model(kernel).predict(grid)
+        predicted = self.kernel_model(kernel).predict(grid)
+        if self.perturb is not None:
+            predicted = self.perturb(kernel.name, predicted)
+        return predicted
 
     # -- fused models -------------------------------------------------------------
 
@@ -77,7 +134,19 @@ class OnlineModelManager:
     def predict_fused(
         self, fused: FusedKernel, xori_tc: float, xori_cd: float
     ) -> float:
-        return self.fused_model(fused).predict(xori_tc, xori_cd)
+        predicted = self.fused_model(fused).predict(xori_tc, xori_cd)
+        if self.perturb is not None:
+            predicted = self.perturb(fused.name, predicted)
+        return predicted
+
+    def record_error(self, name: str, predicted: float, actual: float) -> float:
+        """Track one launch's prediction error (Section VI-C maintenance,
+        extended with the robustness layer's mispredict detection)."""
+        return self.errors.record(name, predicted, actual)
+
+    def error_band(self, name: Optional[str] = None) -> float:
+        """Observed relative-error EWMA (per kernel, or overall)."""
+        return self.errors.band(name)
 
     def observe_fused(
         self,

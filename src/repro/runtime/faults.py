@@ -1,0 +1,263 @@
+"""Fault injection for the co-location runtime.
+
+The paper's evaluation assumes the happy path: the duration predictors
+are accurate, every launch completes, and arrivals follow the calibrated
+process.  Real co-location is noisier (Gilman & Walls characterize the
+gap between offline models and observed concurrency behaviour), so this
+module perturbs the runtime's three trust boundaries under a seeded,
+reproducible :class:`FaultPlan`:
+
+* **predictor faults** — multiplicative lognormal noise, a systematic
+  bias factor, and per-kernel *stale-model* offsets (a model trained on
+  an old input distribution mispredicts one kernel consistently);
+* **BE completion faults** — a launch's completion can be delayed by a
+  slowdown factor or dropped outright (time burned, no work retired);
+* **arrival faults** — bursts that compress inter-arrival gaps, pushing
+  the trace off its calibrated operating point.
+
+Everything is driven by :class:`numpy.random.Generator` streams derived
+from the plan's seed, one stream per fault channel, so runs are
+deterministic and two channels never perturb each other's draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Channel offsets mixed into the plan seed (stream independence).
+_PRED_STREAM = 1
+_BE_STREAM = 2
+_ARRIVAL_STREAM = 3
+_STALE_STREAM = 4
+
+#: Frozen stale-model offsets are drawn with this lognormal sigma.
+STALE_SIGMA = 0.25
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of every fault the harness injects.
+
+    All probabilities are per-event; a zeroed plan (the default) injects
+    nothing and the runtime takes exactly its fault-free paths.
+    """
+
+    seed: int = 2022
+    #: sigma of the multiplicative lognormal noise on predictions
+    predictor_noise: float = 0.0
+    #: systematic multiplier on predictions (<1 = under-prediction)
+    predictor_bias: float = 1.0
+    #: probability a kernel's model is stale (frozen per-kernel offset)
+    stale_model: float = 0.0
+    #: probability a BE completion is delayed by ``be_delay_factor``
+    be_delay: float = 0.0
+    be_delay_factor: float = 2.0
+    #: probability a BE launch fails: its time is burned, no work retires
+    be_drop: float = 0.0
+    #: probability an LC arrival starts a burst of ``burst_size`` queries
+    burst: float = 0.0
+    burst_size: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("stale_model", "be_delay", "be_drop", "burst"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be a probability, got {value}")
+        if self.predictor_noise < 0:
+            raise ConfigError("predictor_noise must be non-negative")
+        if self.predictor_bias <= 0:
+            raise ConfigError("predictor_bias must be positive")
+        if self.be_delay_factor < 1.0:
+            raise ConfigError("be_delay_factor must be >= 1")
+        if self.burst_size < 2:
+            raise ConfigError("burst_size must be at least 2")
+
+    @property
+    def any_faults(self) -> bool:
+        """True when this plan perturbs anything at all."""
+        return (
+            self.predictor_noise > 0
+            or self.predictor_bias != 1.0
+            or self.stale_model > 0
+            or self.be_delay > 0
+            or self.be_drop > 0
+            or self.burst > 0
+        )
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """This plan with every perturbation scaled by ``intensity``.
+
+        Noise and the bias *distance from 1* scale linearly; the
+        probabilities scale linearly and clamp at 1.  ``intensity = 0``
+        is the fault-free plan, ``2.0`` is the "2x error" point of the
+        robustness study.
+        """
+        if intensity < 0:
+            raise ConfigError("intensity must be non-negative")
+
+        def prob(p: float) -> float:
+            return min(1.0, p * intensity)
+
+        return replace(
+            self,
+            predictor_noise=self.predictor_noise * intensity,
+            predictor_bias=1.0 - (1.0 - self.predictor_bias) * intensity,
+            stale_model=prob(self.stale_model),
+            be_delay=prob(self.be_delay),
+            be_drop=prob(self.be_drop),
+            burst=prob(self.burst),
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a CLI spec like ``noise=0.3,bias=0.9,drop=0.05``.
+
+        Keys are the short names below or any full field name; values
+        are floats (``burst_size`` and ``seed`` are ints).
+        """
+        aliases = {
+            "noise": "predictor_noise",
+            "bias": "predictor_bias",
+            "stale": "stale_model",
+            "delay": "be_delay",
+            "delay_factor": "be_delay_factor",
+            "drop": "be_drop",
+        }
+        valid = {f.name for f in fields(cls)}
+        kwargs: dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ConfigError(f"bad fault spec item {part!r} (want key=value)")
+            key, _, raw = part.partition("=")
+            key = aliases.get(key.strip(), key.strip())
+            if key not in valid:
+                raise ConfigError(f"unknown fault knob {key!r}")
+            try:
+                value: float = (
+                    int(raw) if key in ("seed", "burst_size") else float(raw)
+                )
+            except ValueError as exc:
+                raise ConfigError(f"bad value for {key}: {raw!r}") from exc
+            kwargs[key] = value
+        return cls(**kwargs)
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan` over one co-location run.
+
+    Create a fresh injector per run: its RNG streams advance with every
+    perturbed event, so reuse across runs would leak state between them.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._pred_rng = np.random.default_rng([plan.seed, _PRED_STREAM])
+        self._be_rng = np.random.default_rng([plan.seed, _BE_STREAM])
+        self._arrival_rng = np.random.default_rng([plan.seed, _ARRIVAL_STREAM])
+        self._stale_rng = np.random.default_rng([plan.seed, _STALE_STREAM])
+        #: frozen per-kernel stale-model multipliers (1.0 = healthy)
+        self._stale: dict[str, float] = {}
+        # event counters, for surfacing what a run actually endured
+        self.predictions_perturbed = 0
+        self.be_delayed = 0
+        self.be_dropped = 0
+        self.bursts_injected = 0
+
+    # -- predictor faults -----------------------------------------------------
+
+    def _stale_multiplier(self, name: str) -> float:
+        cached = self._stale.get(name)
+        if cached is None:
+            if self._stale_rng.random() < self.plan.stale_model:
+                cached = float(
+                    np.exp(self._stale_rng.normal(0.0, STALE_SIGMA))
+                )
+            else:
+                cached = 1.0
+            self._stale[name] = cached
+        return cached
+
+    def perturb_prediction(self, name: str, value: float) -> float:
+        """Perturbed duration prediction for one kernel (any unit)."""
+        plan = self.plan
+        if plan.predictor_noise <= 0 and plan.predictor_bias == 1.0 \
+                and plan.stale_model <= 0:
+            return value
+        self.predictions_perturbed += 1
+        noise = 1.0
+        if plan.predictor_noise > 0:
+            noise = float(
+                np.exp(self._pred_rng.normal(0.0, plan.predictor_noise))
+            )
+        return value * plan.predictor_bias * self._stale_multiplier(name) * noise
+
+    # -- BE completion faults -------------------------------------------------
+
+    def be_outcome(self, duration_ms: float) -> "tuple[float, bool]":
+        """(actual duration, dropped?) of one BE launch.
+
+        A dropped launch still occupies the GPU for its full duration —
+        the failure is discovered at completion — but retires no work,
+        so the application must relaunch the same kernel.
+        """
+        plan = self.plan
+        if plan.be_delay <= 0 and plan.be_drop <= 0:
+            return duration_ms, False
+        dropped = False
+        if plan.be_drop > 0 and self._be_rng.random() < plan.be_drop:
+            dropped = True
+            self.be_dropped += 1
+        if plan.be_delay > 0 and self._be_rng.random() < plan.be_delay:
+            duration_ms *= plan.be_delay_factor
+            self.be_delayed += 1
+        return duration_ms, dropped
+
+    # -- arrival faults -------------------------------------------------------
+
+    def perturb_gaps(self, gaps: np.ndarray) -> np.ndarray:
+        """Inject bursts into an inter-arrival gap sequence.
+
+        A burst compresses the next ``burst_size - 1`` gaps to 5% of
+        their value, so a group of queries lands nearly simultaneously —
+        the overload pattern a retry storm or an upstream batch flush
+        produces.
+        """
+        plan = self.plan
+        if plan.burst <= 0:
+            return gaps
+        gaps = np.array(gaps, dtype=float, copy=True)
+        i = 0
+        while i < len(gaps):
+            if self._arrival_rng.random() < plan.burst:
+                end = min(len(gaps), i + plan.burst_size)
+                gaps[i + 1:end] *= 0.05
+                self.bursts_injected += 1
+                i = end
+            else:
+                i += 1
+        return gaps
+
+    # -- reporting ------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "predictions_perturbed": self.predictions_perturbed,
+            "be_delayed": self.be_delayed,
+            "be_dropped": self.be_dropped,
+            "bursts_injected": self.bursts_injected,
+        }
+
+
+def make_injector(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
+    """A fresh injector for one run, or None for a fault-free plan."""
+    if plan is None or not plan.any_faults:
+        return None
+    return FaultInjector(plan)

@@ -30,8 +30,23 @@ def throughput_improvement(
 
 
 def latency_stats(result: ServerResult) -> dict[str, float]:
-    """Fig. 16's per-pair numbers: average and 99th-percentile latency."""
-    latencies = np.asarray(result.latencies_ms)
+    """Fig. 16's per-pair numbers: average and 99th-percentile latency.
+
+    NaN-safe: a run that completed no LC queries (possible under
+    LC-exclusive degradation with an empty trace window, or aggressive
+    shedding) yields NaN statistics instead of raising, so sweeps can
+    report partial outages alongside healthy runs.
+    """
+    latencies = np.asarray(result.latencies_ms, dtype=float)
+    if latencies.size == 0:
+        nan = float("nan")
+        return {
+            "mean_ms": nan,
+            "p99_ms": nan,
+            "max_ms": nan,
+            "qos_ms": result.qos_ms,
+            "violation_rate": nan,
+        }
     return {
         "mean_ms": float(latencies.mean()),
         "p99_ms": float(np.percentile(latencies, 99)),

@@ -25,8 +25,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..config import GPUConfig
+from ..errors import ConfigError
 from ..fusion.fuser import FusedKernel
-from ..predictor.online import OnlineModelManager
+from ..predictor.online import OnlineModelManager, PredictionErrorTracker
 from .headroom import HeadroomTracker
 from .query import BEApplication, KernelInstance, Query
 
@@ -66,6 +67,132 @@ class Action:
     predicted_fused_ms: float = 0.0
 
 
+# -- mispredict detection and graceful degradation ---------------------------
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Knobs of the guarded (fault-tolerant) kernel manager.
+
+    The guard inflates the Eq. 8 headroom threshold ``Thr`` by the
+    observed prediction-error band and degrades the scheduling mode when
+    the violation-risk estimate crosses a rail: fusion -> Baymax-style
+    reordering -> LC-exclusive.  Hysteresis (``recover_ratio``) keeps
+    the mode from flapping around a rail.
+    """
+
+    #: multiplier on (error band x predicted remaining LC work) that is
+    #: subtracted from the headroom threshold
+    margin_factor: float = 1.5
+    #: violation risk above which fusion is abandoned for reordering
+    reorder_risk: float = 0.08
+    #: violation risk above which all BE scheduling stops while LC runs
+    exclusive_risk: float = 0.20
+    #: a mode is re-escalated once risk falls below rail * recover_ratio
+    recover_ratio: float = 0.5
+    #: EWMA smoothing of the per-query violation-risk estimate
+    risk_alpha: float = 0.08
+    #: latencies above near_violation * QoS count toward the risk.
+    #: The healthy operating point sits near QOS_GUARD (0.9) times the
+    #: target, so the rail sits above it — only the band between the
+    #: internal target and the real one signals danger.
+    near_violation: float = 0.96
+    #: server-side admission control: BE launches are deferred when the
+    #: ground-truth Eq. 9 headroom is below this margin, and shed when
+    #: it is gone entirely
+    admission_margin_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.margin_factor < 0:
+            raise ConfigError("margin_factor must be non-negative")
+        if not 0 < self.reorder_risk <= self.exclusive_risk:
+            raise ConfigError(
+                "need 0 < reorder_risk <= exclusive_risk, got "
+                f"{self.reorder_risk} / {self.exclusive_risk}"
+            )
+        if not 0 < self.recover_ratio < 1:
+            raise ConfigError("recover_ratio must be in (0, 1)")
+        if not 0 < self.risk_alpha <= 1:
+            raise ConfigError("risk_alpha must be in (0, 1]")
+
+
+#: Degradation ladder, most to least aggressive co-location.
+GUARD_MODES = ("fuse", "reorder", "exclusive")
+
+
+class MispredictGuard:
+    """Runtime state of the guarded kernel manager.
+
+    Owns the per-run prediction-error tracker, the violation-risk EWMA
+    and the current degradation mode, and translates the observed error
+    band into a headroom margin.  One instance guards one policy for
+    one run — per-run state keeps guarded runs independent and
+    reproducible regardless of what else ran in the process.
+    """
+
+    def __init__(self, config: GuardConfig):
+        self.config = config
+        self.errors = PredictionErrorTracker()
+        self.mode = "fuse"
+        self.risk = 0.0
+        self.queries_observed = 0
+        #: decisions taken in each mode (robustness reporting)
+        self.mode_decisions = {mode: 0 for mode in GUARD_MODES}
+        #: (query index, old mode, new mode) transitions
+        self.transitions: list[tuple[int, str, str]] = []
+
+    def margin_ms(self, remaining_ms: float) -> float:
+        """Headroom to withhold, given predicted remaining LC work.
+
+        The threshold inflation of the tentpole: ``Thr`` shrinks by the
+        error band times the work the band applies to, so a predictor
+        that is off by 20% on average leaves 20%-sized margins.
+        """
+        return (
+            self.config.margin_factor
+            * self.errors.band()
+            * remaining_ms
+        )
+
+    def note_launch(
+        self, name: str, predicted_ms: float, actual_ms: float
+    ) -> float:
+        """Fold one launch's predicted-vs-actual pair into the band."""
+        return self.errors.record(name, predicted_ms, actual_ms)
+
+    def note_decision(self) -> None:
+        self.mode_decisions[self.mode] += 1
+
+    def note_query(self, latency_ms: float, qos_ms: float) -> None:
+        """Fold one completed query into the violation-risk estimate."""
+        near = 1.0 if latency_ms > self.config.near_violation * qos_ms else 0.0
+        alpha = self.config.risk_alpha
+        if self.queries_observed == 0:
+            self.risk = near
+        else:
+            self.risk = alpha * near + (1 - alpha) * self.risk
+        self.queries_observed += 1
+        self._update_mode()
+
+    def _update_mode(self) -> None:
+        cfg = self.config
+        new = self.mode
+        if self.mode == "fuse":
+            if self.risk > cfg.reorder_risk:
+                new = "reorder"
+        elif self.mode == "reorder":
+            if self.risk > cfg.exclusive_risk:
+                new = "exclusive"
+            elif self.risk < cfg.reorder_risk * cfg.recover_ratio:
+                new = "fuse"
+        elif self.mode == "exclusive":
+            if self.risk < cfg.exclusive_risk * cfg.recover_ratio:
+                new = "reorder"
+        if new != self.mode:
+            self.transitions.append((self.queries_observed, self.mode, new))
+            self.mode = new
+
+
 #: Guard band on the internal headroom target: BE admission plans
 #: against ``qos * QOS_GUARD`` so that Poisson bursts landing on an
 #: already-filled window still finish inside the real target.  The
@@ -83,9 +210,13 @@ class SchedulingPolicy(ABC):
         models: OnlineModelManager,
         qos_ms: float,
         qos_guard: float = QOS_GUARD,
+        guard: Optional[MispredictGuard] = None,
     ):
         self.gpu = gpu
         self.models = models
+        self.qos_ms = qos_ms
+        #: optional mispredict guard; None reproduces the paper exactly
+        self.guard = guard
         self.headroom = HeadroomTracker(qos_ms * qos_guard, self.predict_ms)
         self._rr = 0  # round-robin cursor over BE apps
         #: at most one directly-launched BE kernel per LC kernel launch
@@ -110,6 +241,39 @@ class SchedulingPolicy(ABC):
             self.gpu.ms_to_cycles(cd_ms),
         )
         return self.gpu.cycles_to_ms(cycles)
+
+    # -- mispredict feedback -----------------------------------------------------
+
+    def note_outcome(
+        self, kind: str, name: str, predicted_ms: float, actual_ms: float
+    ) -> None:
+        """Record one launch's predicted-vs-actual duration.
+
+        The server calls this after every launch; the error EWMA it
+        feeds is pure bookkeeping until a guard consumes it.
+        """
+        if predicted_ms > 0 and actual_ms > 0:
+            self.models.record_error(name, predicted_ms, actual_ms)
+            if self.guard is not None:
+                self.guard.note_launch(name, predicted_ms, actual_ms)
+
+    def note_query_done(self, latency_ms: float) -> None:
+        """Record one completed LC query (drives the violation risk)."""
+        if self.guard is not None:
+            self.guard.note_query(latency_ms, self.qos_ms)
+
+    def _guarded_thr(self, thr_ms: float, active: Sequence[Query]) -> float:
+        """The headroom threshold after guard inflation (Eq. 8's Thr).
+
+        Subtracts the error band scaled by every active query's
+        predicted remaining work — the work the band applies to.
+        """
+        if self.guard is None:
+            return thr_ms
+        remaining = sum(
+            self.headroom.predicted_remaining_ms(query) for query in active
+        )
+        return thr_ms - self.guard.margin_ms(remaining)
 
     # -- decisions --------------------------------------------------------------
 
@@ -181,7 +345,16 @@ class BaymaxPolicy(SchedulingPolicy):
         if not active:
             return self._pure_be(be_apps)
         query = active[0]
-        thr = self.headroom.headroom_ms(now_ms, active)
+        if self.guard is not None:
+            self.guard.note_decision()
+            if self.guard.mode == "exclusive":
+                return Action(
+                    kind="lc", query=query,
+                    predicted_lc_ms=self.predict_ms(query.current),
+                )
+        thr = self._guarded_thr(
+            self.headroom.headroom_ms(now_ms, active), active
+        )
         return self._reorder_or_lc(query, be_apps, thr)
 
 
@@ -201,13 +374,14 @@ class TackerPolicy(SchedulingPolicy):
         artifacts: dict[tuple[str, str], FusedKernel],
         pair_selection: str = "gain",
         enable_reorder: bool = True,
+        guard: Optional[MispredictGuard] = None,
     ):
         """``pair_selection``: ``"gain"`` picks the BE kernel with the
         largest Tgain (the paper's rule); ``"fifo"`` takes the first
         admissible one (the ablation baseline).  ``enable_reorder``
         toggles the Baymax-style direct BE launches (fusion-only
         ablation when False)."""
-        super().__init__(gpu, models, qos_ms)
+        super().__init__(gpu, models, qos_ms, guard=guard)
         if pair_selection not in ("gain", "fifo"):
             raise ValueError(f"unknown pair selection {pair_selection!r}")
         self.artifacts = artifacts
@@ -321,9 +495,20 @@ class TackerPolicy(SchedulingPolicy):
         if not active:
             return self._pure_be(be_apps)
         query = active[0]
-        thr = self.headroom.headroom_ms(now_ms, active)
+        mode = "fuse"
+        if self.guard is not None:
+            self.guard.note_decision()
+            mode = self.guard.mode
+            if mode == "exclusive":
+                return Action(
+                    kind="lc", query=query,
+                    predicted_lc_ms=self.predict_ms(query.current),
+                )
+        thr = self._guarded_thr(
+            self.headroom.headroom_ms(now_ms, active), active
+        )
         lc_instance = query.current
-        if lc_instance.fusable or lc_instance.kind == "cd":
+        if mode == "fuse" and (lc_instance.fusable or lc_instance.kind == "cd"):
             best: Optional[tuple[float, Action]] = None
             for app in be_apps:
                 scored = self._fusion_for(lc_instance, app, thr)

@@ -18,6 +18,7 @@ import numpy as np
 from ..config import GPUConfig
 from ..errors import SchedulingError
 from ..gpusim.trace import Timeline
+from .faults import FaultInjector
 from .oracle import DurationOracle
 from .policies import Action, SchedulingPolicy
 from .query import BEApplication, Query
@@ -52,6 +53,17 @@ class ServerResult:
     executed: list[ExecutedKernel] = field(default_factory=list)
     #: per-LC-service latencies (useful under multi-tenant runs)
     latencies_by_model: dict[str, list[float]] = field(default_factory=dict)
+    #: BE launches refused by admission control: shed (no Eq. 9 headroom
+    #: left at all) and deferred (headroom below the admission margin)
+    n_shed_be: int = 0
+    n_deferred_be: int = 0
+    #: injected BE completion faults that a run endured
+    n_dropped_be: int = 0
+    n_delayed_be: int = 0
+    #: scheduling decisions per guard mode ({} when unguarded)
+    guard_mode_decisions: dict[str, int] = field(default_factory=dict)
+    #: fault-injector event counters ({} when fault-free)
+    fault_events: dict[str, int] = field(default_factory=dict)
 
     def p99_by_model(self) -> dict[str, float]:
         """99th-percentile latency per LC service."""
@@ -73,14 +85,20 @@ class ServerResult:
 
     @property
     def mean_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return float("nan")
         return float(np.mean(self.latencies_ms))
 
     @property
     def p99_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return float("nan")
         return float(np.percentile(self.latencies_ms, 99))
 
     @property
     def qos_violation_rate(self) -> float:
+        if not self.latencies_ms:
+            return float("nan")
         violations = sum(1 for l in self.latencies_ms if l > self.qos_ms)
         return violations / len(self.latencies_ms)
 
@@ -100,12 +118,15 @@ class ColocationServer:
         policy: SchedulingPolicy,
         qos_ms: float,
         record_kernels: bool = False,
+        faults: Optional[FaultInjector] = None,
     ):
         self.gpu = gpu
         self.oracle = oracle
         self.policy = policy
         self.qos_ms = qos_ms
         self.record_kernels = record_kernels
+        #: injected faults for this run (None = the paper's happy path)
+        self.faults = faults
 
     def run(
         self,
@@ -152,12 +173,80 @@ class ColocationServer:
                     continue
                 break
 
+            action = self._admit(action, now, active, result)
             now = self._execute(action, now, active, result)
 
             if not active and next_arrival >= len(pending):
                 break
         result.end_ms = now
+        guard = self.policy.guard
+        if guard is not None:
+            result.guard_mode_decisions = dict(guard.mode_decisions)
+        if self.faults is not None:
+            result.fault_events = self.faults.counters()
         return result
+
+    # -- admission control ----------------------------------------------------
+
+    def _true_remaining_ms(self, query: Query) -> float:
+        """Ground-truth GPU time of a query's unexecuted kernels."""
+        return sum(
+            self.oracle.solo_ms(inst.kernel, inst.grid)
+            for inst in query.remaining
+        )
+
+    def true_headroom_ms(self, now: float, active: list[Query]) -> float:
+        """Eq. 9 headroom computed from *actual* durations, not predictions.
+
+        This is the server's own accounting of the reserved LC time: the
+        measured history a deployment accumulates, which the simulator's
+        oracle stands in for.  Under predictor faults it diverges from
+        the policy's (predicted) headroom — that divergence is what
+        admission control acts on.
+        """
+        slack = float("inf")
+        reserved_ahead = 0.0
+        internal_qos = self.policy.headroom.qos_ms
+        for query in active:
+            remaining = self._true_remaining_ms(query)
+            elapsed = now - query.arrival_ms
+            slack = min(
+                slack, internal_qos - elapsed - reserved_ahead - remaining
+            )
+            reserved_ahead += remaining
+        return slack
+
+    def _admit(
+        self,
+        action: Action,
+        now: float,
+        active: list[Query],
+        result: ServerResult,
+    ) -> Action:
+        """Overload admission control for direct BE launches.
+
+        Only active for guarded policies.  When the ground-truth Eq. 9
+        accounting says the reserved LC time leaves no headroom, a
+        policy-approved BE launch is refused — *shed* when the slack is
+        gone, *deferred* when it is merely below the admission margin —
+        and the LC query runs instead.  The BE kernel stays at the head
+        of its stream, so deferral is a reordering, not a loss.
+        """
+        guard = self.policy.guard
+        if guard is None or action.kind != "be" or not active:
+            return action
+        slack = self.true_headroom_ms(now, active)
+        if slack <= 0:
+            result.n_shed_be += 1
+        elif slack < guard.config.admission_margin_ms:
+            result.n_deferred_be += 1
+        else:
+            return action
+        query = active[0]
+        return Action(
+            kind="lc", query=query,
+            predicted_lc_ms=self.policy.predict_ms(query.current),
+        )
 
     # -- execution ------------------------------------------------------------
 
@@ -187,6 +276,7 @@ class ColocationServer:
             result.latencies_by_model.setdefault(
                 query.model.name, []
             ).append(query.latency_ms)
+            self.policy.note_query_done(query.latency_ms)
 
     def _record(self, result: ServerResult, start: float, end: float,
                 kind: str, name: str, tc_end: float, cd_end: float) -> None:
@@ -208,21 +298,39 @@ class ColocationServer:
         cd_end = end if instance.kind == "cd" else now
         self._record(result, now, end, "lc", instance.name, tc_end, cd_end)
         result.n_lc_kernels += 1
+        self.policy.note_outcome(
+            "lc", instance.name, action.predicted_lc_ms, duration
+        )
         self._finish_query_kernel(query, end, active, result)
         return end
 
     def _run_be(self, action, now, result) -> float:
         app = action.be_app
         instance = app.head
-        duration = self.oracle.solo_ms(instance.kernel, instance.grid)
+        solo = self.oracle.solo_ms(instance.kernel, instance.grid)
+        duration = solo
+        dropped = False
+        if self.faults is not None:
+            duration, dropped = self.faults.be_outcome(solo)
+            if dropped:
+                result.n_dropped_be += 1
+            if duration > solo:
+                result.n_delayed_be += 1
         end = now + duration
         tc_end = end if instance.kind == "tc" else now
         cd_end = end if instance.kind == "cd" else now
         self._record(result, now, end, "be", instance.name, tc_end, cd_end)
         result.n_be_kernels += 1
-        app.complete_head(duration)
+        self.policy.note_outcome(
+            "be", instance.name, action.predicted_be_ms, duration
+        )
+        if dropped:
+            # The launch failed at completion: its GPU time is burned,
+            # no work retires, and the stream must relaunch the kernel.
+            return end
+        app.complete_head(solo)
         if end <= result.horizon_ms:
-            result.be_work_ms[app.name] += duration
+            result.be_work_ms[app.name] += solo
         return end
 
     def _run_fused(self, action, now, active, result) -> float:
@@ -242,6 +350,9 @@ class ColocationServer:
         cd_end = now + self.gpu.cycles_to_ms(corun.finish_b_cycles)
         self._record(result, now, end, "fused", fused.name, tc_end, cd_end)
         result.n_fused_kernels += 1
+        self.policy.note_outcome(
+            "fused", fused.name, action.predicted_fused_ms, duration
+        )
 
         # Online model maintenance (Section VI-C).
         self.policy.models.observe_fused(

@@ -28,8 +28,15 @@ from ..fusion.search import FusionSearch
 from ..kernels.library import KernelLibrary, default_library
 from ..models.zoo import ModelSpec, model_by_name
 from ..predictor.online import OnlineModelManager
+from .faults import FaultPlan, make_injector
 from .oracle import DurationOracle, OracleStore
-from .policies import BaymaxPolicy, SchedulingPolicy, TackerPolicy
+from .policies import (
+    BaymaxPolicy,
+    GuardConfig,
+    MispredictGuard,
+    SchedulingPolicy,
+    TackerPolicy,
+)
 from .query import BEApplication
 from .server import ColocationServer, ServerResult
 from .workload import PoissonArrivals, be_application
@@ -71,11 +78,17 @@ class TackerSystem:
         seed: int = 2022,
         library: Optional[KernelLibrary] = None,
         store: "OracleStore | str | None" = "auto",
+        faults: Optional[FaultPlan] = None,
+        guard: Optional[GuardConfig] = None,
     ):
         self.gpu = gpu
         self.qos_ms = qos_ms
         self.load = load
         self.seed = seed
+        #: system-wide fault plan applied to every run (None = clean)
+        self.faults = faults
+        #: guard-rail config attached to every policy (None = unguarded)
+        self.guard = guard
         self.library = library if library is not None else default_library()
         if store == "auto":
             # Default deployment: durations persist across processes
@@ -174,14 +187,39 @@ class TackerSystem:
 
     # -- co-location runs -----------------------------------------------------------
 
-    def _make_policy(self, name: str) -> SchedulingPolicy:
+    def make_policy(
+        self,
+        name: str,
+        guard: "GuardConfig | bool | None" = None,
+    ) -> SchedulingPolicy:
+        """Build a policy instance bound to this system's models.
+
+        ``guard`` enables the mispredict guard rails: a
+        :class:`GuardConfig`, ``True`` (defaults), or None/False for
+        the paper's unguarded kernel manager.  Passing None falls back
+        to the system-wide guard configuration.
+        """
+        if guard is None:
+            guard = self.guard
+        if guard is True:
+            guard = GuardConfig()
+        rails = (
+            MispredictGuard(guard)
+            if isinstance(guard, GuardConfig) else None
+        )
         if name == "tacker":
             return TackerPolicy(
-                self.gpu, self.models, self.qos_ms, self.artifacts
+                self.gpu, self.models, self.qos_ms, self.artifacts,
+                guard=rails,
             )
         if name == "baymax":
-            return BaymaxPolicy(self.gpu, self.models, self.qos_ms)
+            return BaymaxPolicy(
+                self.gpu, self.models, self.qos_ms, guard=rails
+            )
         raise SchedulingError(f"unknown policy {name!r}")
+
+    def _make_policy(self, name: str) -> SchedulingPolicy:
+        return self.make_policy(name)
 
     def run_custom(
         self,
@@ -190,23 +228,44 @@ class TackerSystem:
         policy: SchedulingPolicy,
         n_queries: int = DEFAULT_QUERIES,
         record_kernels: bool = False,
+        faults: "FaultPlan | bool | None" = None,
     ) -> ServerResult:
         """Run an arbitrary policy instance over a standard trace.
 
         The arrival trace depends only on (model, seed, load, QoS), so
         runs with different policies are directly comparable.
+
+        ``faults`` injects perturbations for this run: a
+        :class:`FaultPlan`, or None to fall back to the system-wide
+        plan (``False`` forces a clean run).  Each run gets a fresh,
+        identically seeded injector, so fault sequences are reproducible
+        and independent across runs.
         """
+        if faults is None:
+            faults = self.faults
+        if faults is False:
+            faults = None
+        injector = make_injector(faults)
         arrivals = PoissonArrivals(
             model, self.library, self.oracle,
             load=self.load, seed=self.seed, qos_ms=self.qos_ms,
         )
-        queries = arrivals.queries(n_queries)
+        queries = arrivals.queries(
+            n_queries,
+            gap_filter=injector.perturb_gaps if injector else None,
+        )
         be_apps = [be_application(name, self.library) for name in be_names]
         server = ColocationServer(
             self.gpu, self.oracle, policy, self.qos_ms,
-            record_kernels=record_kernels,
+            record_kernels=record_kernels, faults=injector,
         )
-        return server.run(queries, be_apps)
+        if injector is None:
+            return server.run(queries, be_apps)
+        self.models.perturb = injector.perturb_prediction
+        try:
+            return server.run(queries, be_apps)
+        finally:
+            self.models.perturb = None
 
     def _run_policy(
         self,
@@ -215,10 +274,13 @@ class TackerSystem:
         be_names: Sequence[str],
         n_queries: int,
         record_kernels: bool,
+        guard: "GuardConfig | bool | None" = None,
+        faults: "FaultPlan | bool | None" = None,
     ) -> ServerResult:
         return self.run_custom(
-            model, be_names, self._make_policy(policy_name),
+            model, be_names, self.make_policy(policy_name, guard=guard),
             n_queries=n_queries, record_kernels=record_kernels,
+            faults=faults,
         )
 
     def run_multi(

@@ -174,11 +174,18 @@ class PoissonArrivals:
             self.solo_ms, qos_ms, process=process
         )
 
-    def queries(self, count: int) -> list[Query]:
-        """The first ``count`` queries, with generated arrival times."""
+    def queries(self, count: int, gap_filter=None) -> list[Query]:
+        """The first ``count`` queries, with generated arrival times.
+
+        ``gap_filter`` optionally transforms the inter-arrival gap
+        array before arrival times are accumulated — the hook the
+        fault-injection harness uses to inject bursts.
+        """
         if count <= 0:
             raise SchedulingError("query count must be positive")
         gaps = arrival_gaps(self.rate_per_ms, count, self._seed, self.process)
+        if gap_filter is not None:
+            gaps = gap_filter(gaps)
         arrivals = np.cumsum(gaps)
         return [
             Query(self.model, float(t), self._instances) for t in arrivals

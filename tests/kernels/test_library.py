@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.kernels.library import KernelLibrary, default_library
+from repro.kernels.library import KernelLibrary
 from repro.kernels.parboil import mriq
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.gpusim.gpu import simulate_launch
 from repro.models.cudnn import conversion_fraction
 from repro.models.zoo import (
     LC_MODEL_FACTORIES,

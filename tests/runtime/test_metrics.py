@@ -48,6 +48,23 @@ class TestLatencyStats:
         assert stats["violation_rate"] == pytest.approx(1 / 3)
         assert stats["qos_ms"] == 50.0
 
+    def test_empty_latencies_yield_nan_not_crash(self):
+        import math
+
+        stats = latency_stats(result(latencies=[]))
+        assert stats["qos_ms"] == 50.0
+        for key, value in stats.items():
+            if key != "qos_ms":
+                assert math.isnan(value), key
+
+    def test_empty_result_properties_are_nan(self):
+        import math
+
+        empty = result(latencies=[])
+        assert math.isnan(empty.mean_latency_ms)
+        assert math.isnan(empty.p99_latency_ms)
+        assert math.isnan(empty.qos_violation_rate)
+
 
 class TestActiveTimeBreakdown:
     def test_fig2_stacking(self):

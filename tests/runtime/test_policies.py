@@ -3,7 +3,6 @@
 import pytest
 
 from repro.models.zoo import model_by_name
-from repro.predictor.online import OnlineModelManager
 from repro.runtime.policies import (
     BaymaxPolicy,
     TackerPolicy,

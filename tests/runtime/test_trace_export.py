@@ -69,3 +69,53 @@ class TestChromeTrace:
         with open(path) as handle:
             loaded = json.load(handle)
         assert loaded["otherData"]["n_fused"] == 1
+
+
+class TestWriteRoundtrip:
+    """Full round-trip: ServerResult -> JSON file -> parsed events."""
+
+    def loaded(self, tmp_path):
+        result = result_with_trace()
+        path = write_chrome_trace(result, str(tmp_path / "trace.json"))
+        with open(path) as handle:
+            return result, json.load(handle)
+
+    def test_span_counts_survive_serialization(self, tmp_path):
+        result, loaded = self.loaded(tmp_path)
+        spans = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+        # one span per busy execution unit: the fused kernel occupies
+        # both rows, the lc/be kernels one each
+        assert len(spans) == len(result.executed) + result.n_fused_kernels
+        meta = [e for e in loaded["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 2
+
+    def test_tids_map_to_execution_units(self, tmp_path):
+        _, loaded = self.loaded(tmp_path)
+        spans = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in spans} <= {1, 2}
+        by_name = {}
+        for event in spans:
+            by_name.setdefault(event["name"], set()).add(event["tid"])
+        assert by_name["tgemm_l"] == {1}   # TC kernel: Tensor-core row
+        assert by_name["fft"] == {2}       # CD kernel: CUDA-core row
+        assert by_name["fused_x"] == {1, 2}
+
+    def test_microsecond_conversion_survives_serialization(self, tmp_path):
+        result, loaded = self.loaded(tmp_path)
+        spans = sorted(
+            (e for e in loaded["traceEvents"] if e["ph"] == "X"),
+            key=lambda e: (e["ts"], e["tid"]),
+        )
+        first = result.executed[0]
+        assert spans[0]["ts"] == pytest.approx(first.start_ms * 1000.0)
+        assert spans[0]["dur"] == pytest.approx(
+            (first.end_ms - first.start_ms) * 1000.0
+        )
+        last = result.executed[-1]
+        assert spans[-1]["ts"] == pytest.approx(last.start_ms * 1000.0)
+
+    def test_kinds_and_colours_preserved(self, tmp_path):
+        _, loaded = self.loaded(tmp_path)
+        spans = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+        assert {e["args"]["kind"] for e in spans} == {"lc", "be", "fused"}
+        assert all(e["cat"] == e["args"]["kind"] for e in spans)
