@@ -11,17 +11,38 @@ Run the suite with::
     pytest benchmarks/ --benchmark-only
 
 Set ``REPRO_QUICK=1`` for a fast smoke pass with shrunken sweeps.
+
+Set ``AUDIT=1`` to run every experiment under the runtime invariant
+auditor (``repro.audit``): violations fail the run, and the session
+prints a per-invariant check summary at the end.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro import audit
 from repro.experiments.common import format_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def audited_session():
+    """Honor AUDIT=1: audit every benchmark, then report the checks."""
+    if os.environ.get("AUDIT", "") in ("", "0", "false", "off"):
+        yield
+        return
+    audit.enable()
+    yield
+    checks = audit.summary()
+    total = sum(checks.values())
+    lines = [f"audit: {total} checks, 0 violations"]
+    lines.extend(f"  {inv} = {count}" for inv, count in checks.items())
+    print("\n" + "\n".join(lines))
 
 
 @pytest.fixture(scope="session")

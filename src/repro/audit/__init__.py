@@ -1,0 +1,61 @@
+"""Opt-in runtime invariant auditor and differential-checking harness.
+
+``repro.audit`` validates the discrete-event simulator and the runtime
+kernel manager against their conservation laws *while they run*:
+
+* :mod:`repro.audit.des` — DES invariants (disjoint pipe timelines,
+  monotone event timestamps, SM occupancy limits, exactly-once block
+  retirement) and the fastpath-vs-event-engine differential check;
+* :mod:`repro.audit.scheduler` — scheduler invariants (Eq. 8 at fusion
+  decision time, Eq. 9 reservation monotonicity, BE work and kernel
+  count conservation, guard-ladder hysteresis);
+* :mod:`repro.audit.core` — the process-wide switch, check counters,
+  and sampling configuration.
+
+Enable with the CLI's ``--audit`` flag, ``TackerSystem(audit=True)``,
+``AUDIT=1`` / ``REPRO_AUDIT=1`` in the environment, or
+:func:`enable`.  Violations raise :class:`~repro.errors.AuditViolation`
+with the offending event's context attached.  See ``docs/auditing.md``.
+"""
+
+from __future__ import annotations
+
+from ..errors import AuditViolation
+from . import des
+from .core import (
+    AUDIT_ENVS,
+    AuditConfig,
+    active,
+    config,
+    configure,
+    disable,
+    enable,
+    ensure,
+    fail,
+    note,
+    reset,
+    results_match,
+    summary,
+    take_engine_sample,
+)
+from .scheduler import ServerAuditor
+
+__all__ = [
+    "AUDIT_ENVS",
+    "AuditConfig",
+    "AuditViolation",
+    "ServerAuditor",
+    "active",
+    "config",
+    "configure",
+    "des",
+    "disable",
+    "enable",
+    "ensure",
+    "fail",
+    "note",
+    "reset",
+    "results_match",
+    "summary",
+    "take_engine_sample",
+]

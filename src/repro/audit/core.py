@@ -1,0 +1,156 @@
+"""Global state and primitives of the invariant auditor.
+
+The auditor is opt-in and process-wide: :func:`active` gates every hook
+scattered through the simulator and the runtime, so a disabled auditor
+costs one boolean check per hook.  Enable it programmatically
+(:func:`enable`), per component (the ``audit`` argument of
+:class:`~repro.runtime.server.ColocationServer` and
+:class:`~repro.runtime.system.TackerSystem`), via the CLI's ``--audit``
+flag, or with the ``REPRO_AUDIT=1`` / ``AUDIT=1`` environment switches.
+
+Checks record themselves in per-invariant counters (:func:`summary`)
+so a clean audited run can prove the invariants were actually
+exercised, not silently skipped.  A failed check raises
+:class:`~repro.errors.AuditViolation` carrying the event context.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import AuditViolation
+
+#: Environment switches that activate auditing (any non-off value).
+AUDIT_ENVS = ("REPRO_AUDIT", "AUDIT")
+
+_OFF_VALUES = ("", "0", "false", "off")
+
+
+@dataclass
+class AuditConfig:
+    """Knobs of the differential (re-execution) checks.
+
+    The pure bookkeeping invariants are cheap and always run when the
+    auditor is active; the differential checks re-execute work and are
+    therefore sampled.
+    """
+
+    #: re-run every Nth fast-path dispatch on the event engine
+    differential_every: int = 50
+    #: cap on engine re-runs per process (they dominate audit cost)
+    differential_max: int = 40
+    #: sweep cells per :func:`~repro.experiments.common.parallel_map`
+    #: call re-evaluated serially and compared against the worker result
+    parallel_samples: int = 2
+    #: relative tolerance of the fastpath-vs-engine duration comparison
+    engine_rel_tolerance: float = 1e-9
+    #: absolute tolerance (ms) of the scheduler bookkeeping comparisons
+    ms_tolerance: float = 1e-6
+
+
+class _AuditState:
+    def __init__(self) -> None:
+        self.forced: Optional[bool] = None
+        self.config = AuditConfig()
+        self.checks: Counter = Counter()
+        self.fast_dispatches = 0
+        self.differential_done = 0
+
+
+_STATE = _AuditState()
+
+
+def active() -> bool:
+    """Whether auditing is on (programmatic switch, else environment)."""
+    if _STATE.forced is not None:
+        return _STATE.forced
+    for env in AUDIT_ENVS:
+        if os.environ.get(env, "").strip().lower() not in _OFF_VALUES:
+            return True
+    return False
+
+
+def enable() -> None:
+    """Force auditing on for this process."""
+    _STATE.forced = True
+
+
+def disable() -> None:
+    """Force auditing off, overriding the environment switches."""
+    _STATE.forced = False
+
+
+def reset() -> None:
+    """Back to environment-driven activation, with fresh counters."""
+    _STATE.forced = None
+    _STATE.config = AuditConfig()
+    _STATE.checks.clear()
+    _STATE.fast_dispatches = 0
+    _STATE.differential_done = 0
+
+
+def configure(config: AuditConfig) -> None:
+    _STATE.config = config
+
+
+def config() -> AuditConfig:
+    return _STATE.config
+
+
+def note(invariant: str, count: int = 1) -> None:
+    """Record that an invariant was checked (without failing)."""
+    _STATE.checks[invariant] += count
+
+
+def fail(invariant: str, message: str, **context) -> None:
+    """Raise a structured :class:`AuditViolation`."""
+    raise AuditViolation(invariant, message, **context)
+
+
+def ensure(condition: bool, invariant: str, message: str, **context) -> None:
+    """Count one check of ``invariant`` and fail unless it holds."""
+    note(invariant)
+    if not condition:
+        fail(invariant, message, **context)
+
+
+def summary() -> dict:
+    """Per-invariant check counts since the last :func:`reset`."""
+    return dict(sorted(_STATE.checks.items()))
+
+
+def take_engine_sample() -> bool:
+    """Sampling decision for one fast-path differential re-run."""
+    cfg = _STATE.config
+    if _STATE.differential_done >= cfg.differential_max:
+        return False
+    _STATE.fast_dispatches += 1
+    if (_STATE.fast_dispatches - 1) % max(1, cfg.differential_every):
+        return False
+    _STATE.differential_done += 1
+    return True
+
+
+def results_match(a, b) -> bool:
+    """Value equality for differential checks over arbitrary results.
+
+    Uses ``==`` when the type defines it (dataclasses do); falls back to
+    ``repr`` comparison for plain objects, and treats identity-based
+    reprs (containing an address) as incomparable rather than unequal.
+    """
+    if type(a) is not type(b):
+        return False
+    try:
+        if bool(a == b):
+            return True
+    except Exception:
+        pass
+    if type(a).__eq__ is object.__eq__:
+        ra, rb = repr(a), repr(b)
+        if "0x" in ra or "0x" in rb:
+            return True
+        return ra == rb
+    return False

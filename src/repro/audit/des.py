@@ -1,0 +1,136 @@
+"""Discrete-event-simulator invariants (conservation laws of the GPU model).
+
+All functions here are pure checks over already-computed results — they
+import nothing from :mod:`repro.gpusim`, so the simulator can call them
+without creating an import cycle.  The invariants:
+
+* **pipe-timeline-disjoint** — a pipe's busy intervals never overlap
+  each other (an overlap means the open/close accounting double-books
+  busy time, which corrupts every utilization figure);
+* **sm-occupancy** — the resident block set respects every explicit
+  :class:`~repro.config.SMConfig` limit (threads, registers, shared
+  memory, block and warp slots);
+* **block-retire-once** — every dispatched warp group retires exactly
+  once (a negative pending count means double retirement, which credits
+  phantom work);
+* **engine-equivalence** — the analytic fast path and the event engine
+  agree on a sampled live launch (the differential check; the static
+  corpus test in :mod:`repro.gpusim.validate` only covers the shipped
+  kernels, not whatever shapes a run actually produces).
+"""
+
+from __future__ import annotations
+
+from . import core
+
+#: Interval bookkeeping tolerance, in cycles.
+_EPS = 1e-9
+
+
+def check_timelines_disjoint(pipe_timelines: dict, label: str) -> None:
+    """Busy intervals of each pipe must be non-overlapping and ordered."""
+    for pipe, timeline in pipe_timelines.items():
+        last_end = None
+        for interval in sorted(
+            timeline.intervals, key=lambda i: (i.start, i.end)
+        ):
+            core.ensure(
+                interval.end >= interval.start,
+                "pipe-timeline-disjoint",
+                f"{label}: {pipe} pipe interval ends before it starts",
+                pipe=pipe, start=interval.start, end=interval.end,
+            )
+            if last_end is not None:
+                core.ensure(
+                    interval.start >= last_end - _EPS,
+                    "pipe-timeline-disjoint",
+                    f"{label}: {pipe} pipe busy intervals overlap",
+                    pipe=pipe, interval_start=interval.start,
+                    previous_end=last_end,
+                )
+            last_end = interval.end if last_end is None else max(
+                last_end, interval.end
+            )
+
+
+def check_sm_occupancy(sm, resources, n_blocks: int, total_warps: int,
+                       label: str) -> None:
+    """The resident block set must fit the SM's explicit limits."""
+    demands = (
+        ("block slots", n_blocks, sm.max_blocks),
+        ("threads", n_blocks * resources.threads, sm.max_threads),
+        ("registers", n_blocks * resources.registers, sm.registers),
+        ("shared memory",
+         n_blocks * resources.shared_mem_bytes, sm.shared_mem_bytes),
+        ("warp slots", total_warps, sm.max_warps),
+    )
+    for what, demand, limit in demands:
+        core.ensure(
+            demand <= limit,
+            "sm-occupancy",
+            f"{label}: resident blocks exceed the SM's {what}",
+            resource=what, demand=demand, limit=limit, n_blocks=n_blocks,
+        )
+
+
+def check_groups_retired(group_pending: dict, label: str) -> None:
+    """Every warp group's pending count must land exactly at zero."""
+    for key, pending in group_pending.items():
+        core.ensure(
+            pending == 0,
+            "block-retire-once",
+            f"{label}: warp group {key} "
+            + ("never finished" if pending > 0
+               else "retired more warps than it dispatched"),
+            group=key, pending=pending,
+        )
+
+
+def check_sm_result(result, label: str) -> None:
+    """Structural invariants of one completed SM simulation."""
+    check_timelines_disjoint(result.pipe_timelines, label)
+    for (block, group), finish in result.group_finish.items():
+        core.ensure(
+            -_EPS <= finish <= result.finish_time + _EPS,
+            "group-finish-bounded",
+            f"{label}: group ({block}, {group}) finished outside the run",
+            group=(block, group), finish=finish,
+            run_finish=result.finish_time,
+        )
+    for pipe, timeline in result.pipe_timelines.items():
+        span = max((i.end for i in timeline.intervals), default=0.0)
+        core.ensure(
+            span <= result.finish_time + _EPS,
+            "pipe-within-run",
+            f"{label}: {pipe} pipe busy past the SM's finish time",
+            pipe=pipe, busy_until=span, run_finish=result.finish_time,
+        )
+
+
+def compare_engine_results(fast, engine, label: str) -> None:
+    """The fast path must replicate the event engine on a live launch."""
+    tol = core.config().engine_rel_tolerance
+    scale = max(abs(engine.finish_time), 1.0)
+    core.ensure(
+        abs(fast.finish_time - engine.finish_time) <= tol * scale,
+        "engine-equivalence",
+        f"{label}: fast path and event engine disagree on the duration",
+        fast_cycles=fast.finish_time, engine_cycles=engine.finish_time,
+    )
+    core.ensure(
+        set(fast.group_finish) == set(engine.group_finish),
+        "engine-equivalence",
+        f"{label}: fast path and event engine tracked different groups",
+        fast_groups=sorted(fast.group_finish),
+        engine_groups=sorted(engine.group_finish),
+    )
+    for key, engine_finish in engine.group_finish.items():
+        fast_finish = fast.group_finish[key]
+        group_scale = max(abs(engine_finish), 1.0)
+        core.ensure(
+            abs(fast_finish - engine_finish) <= tol * group_scale,
+            "engine-equivalence",
+            f"{label}: group {key} finish times diverge between engines",
+            group=key, fast_cycles=fast_finish,
+            engine_cycles=engine_finish,
+        )

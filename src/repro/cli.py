@@ -13,7 +13,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import sys
 
 from .config import gpu_preset
 
@@ -35,6 +34,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--perf", action="store_true",
         help="print wall clock and simulation-cache counters after "
              "the command",
+    )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="enable the runtime invariant auditor (see docs/auditing.md); "
+             "violations abort with an AuditViolation, and a per-invariant "
+             "check summary prints after the command",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -218,19 +223,31 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.workers is not None:
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.audit:
+        from . import audit
+
+        audit.enable()
+        # Workers inherit the switch through the environment.
+        os.environ["REPRO_AUDIT"] = "1"
     if not args.perf:
-        return _COMMANDS[args.command](args)
+        status = _COMMANDS[args.command](args)
+    else:
+        from .experiments.common import perf_counters
 
-    from .experiments.common import perf_counters
-
-    before = perf_counters()
-    start = time.perf_counter()
-    status = _COMMANDS[args.command](args)
-    wall = time.perf_counter() - start
-    delta = perf_counters().delta(before)
-    print(f"\nperf: wall {wall:.2f}s")
-    for key, value in delta.as_dict().items():
-        print(f"  {key} = {value}")
+        before = perf_counters()
+        start = time.perf_counter()
+        status = _COMMANDS[args.command](args)
+        wall = time.perf_counter() - start
+        delta = perf_counters().delta(before)
+        print(f"\nperf: wall {wall:.2f}s")
+        for key, value in delta.as_dict().items():
+            print(f"  {key} = {value}")
+    if args.audit:
+        checks = audit.summary()
+        total = sum(checks.values())
+        print(f"\naudit: {total} checks, 0 violations")
+        for invariant, count in checks.items():
+            print(f"  {invariant} = {count}")
     return status
 
 

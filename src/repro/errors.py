@@ -52,3 +52,20 @@ class PredictionError(TackerError):
 
 class SchedulingError(TackerError):
     """The runtime kernel manager was driven into an invalid state."""
+
+
+class AuditViolation(TackerError):
+    """A runtime invariant check failed (see :mod:`repro.audit`).
+
+    Carries the violated invariant's identifier and the event context —
+    the simulation time, kernel names, and bookkeeping values the check
+    compared — so a violation localizes the bug instead of merely
+    flagging it.
+    """
+
+    def __init__(self, invariant: str, message: str, **context):
+        self.invariant = invariant
+        self.context = dict(context)
+        detail = ", ".join(f"{k}={v!r}" for k, v in self.context.items())
+        suffix = f" [{detail}]" if detail else ""
+        super().__init__(f"[{invariant}] {message}{suffix}")

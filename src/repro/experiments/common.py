@@ -25,6 +25,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
+from .. import audit
 from ..config import gpu_preset
 from ..gpusim import fastpath
 from ..runtime.system import TackerSystem
@@ -168,7 +169,33 @@ def parallel_map(
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
         shipped = list(pool.map(_invoke_task, payloads))
     _merge_store_snapshots(snapshot for _, snapshot in shipped)
-    return [result for result, _ in shipped]
+    results = [result for result, _ in shipped]
+    if audit.active():
+        _audit_parallel_results(fn, items, results)
+    return results
+
+
+def _audit_parallel_results(fn, items, results) -> None:
+    """Differential check: re-run sampled cells serially and compare.
+
+    The serial-equals-parallel guarantee above is what makes
+    ``REPRO_WORKERS`` safe to enable; this samples the first and last
+    cells (the most likely to straddle a worker boundary) and verifies
+    the worker-produced results against in-process evaluation.
+    """
+    n_samples = min(audit.config().parallel_samples, len(items))
+    if n_samples <= 0:
+        return
+    indices = sorted({0, len(items) - 1})[:n_samples]
+    for index in indices:
+        serial = fn(items[index])
+        audit.ensure(
+            audit.results_match(results[index], serial),
+            "parallel-serial-equivalence",
+            "a parallel_map worker returned a different result than "
+            "serial evaluation of the same item",
+            index=index, item=repr(items[index])[:200],
+        )
 
 
 # -- performance accounting ---------------------------------------------------

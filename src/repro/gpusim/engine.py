@@ -12,6 +12,7 @@ import heapq
 import itertools
 from typing import Callable
 
+from ..audit import core as audit
 from ..errors import SimulationError
 
 #: A scheduled callback; receives the current simulation time.
@@ -64,12 +65,19 @@ class EventQueue:
         ``max_events`` guards against accidental infinite event loops
         (e.g. a zero-length self-rescheduling segment).
         """
+        auditing = audit.active()
         executed = 0
         while self._heap:
             time, handle, callback = heapq.heappop(self._heap)
             if handle in self._cancelled:
                 self._cancelled.discard(handle)
                 continue
+            if auditing and time < self._now - 1e-9:
+                audit.fail(
+                    "event-monotone",
+                    "the event heap yielded a timestamp behind the clock",
+                    event_time=time, clock=self._now,
+                )
             self._now = time
             callback(time)
             executed += 1
@@ -78,6 +86,8 @@ class EventQueue:
                     f"simulation exceeded {max_events} events; "
                     "likely a livelock in the modelled kernel"
                 )
+        if auditing:
+            audit.note("event-monotone", executed)
         return self._now
 
     def __len__(self) -> int:

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from ..audit import core as audit
+from ..audit import des as audit_des
 from ..config import GPUConfig
 from ..errors import SimulationError
 from . import fastpath
@@ -138,15 +140,34 @@ def run_blocks(gpu: GPUConfig, blocks: list[BlockSpec]) -> SMResult:
     Single-group, barrier-free block sets — every non-fused launch —
     take the analytic fast path; fused or barriered blocks run on the
     event engine.  Dispatch counts accumulate in ``fastpath.STATS``.
+
+    Under auditing, sampled fast-path dispatches are re-run on the
+    event engine and the two results compared (the differential check
+    of :mod:`repro.audit` — live shapes, not just the static corpus),
+    and every result's timelines are structurally validated.
     """
+    auditing = audit.active()
     if fastpath.enabled() and fastpath.supported(blocks):
         fastpath.STATS.fast += 1
-        return fastpath.run_blocks(
+        result = fastpath.run_blocks(
             gpu.sm, gpu.bytes_per_cycle_per_sm, blocks
         )
+        if auditing:
+            if audit.take_engine_sample():
+                engine_result = SMSimulation(
+                    gpu.sm, gpu.bytes_per_cycle_per_sm
+                ).run(blocks)
+                audit_des.compare_engine_results(
+                    result, engine_result, "run_blocks"
+                )
+            audit_des.check_sm_result(result, "fastpath")
+        return result
     fastpath.STATS.engine += 1
     sim = SMSimulation(gpu.sm, gpu.bytes_per_cycle_per_sm)
-    return sim.run(blocks)
+    result = sim.run(blocks)
+    if auditing:
+        audit_des.check_sm_result(result, "engine")
+    return result
 
 
 def _assignments(total_work: int, workers: int) -> list[int]:
@@ -217,6 +238,16 @@ def _scale_result(result: SMResult, factor: int) -> SMResult:
     )
 
 
+def _audit_occupancy(
+    launch: KernelLaunch, gpu: GPUConfig, blocks: list[BlockSpec]
+) -> None:
+    """Check a resident block set against the SM's explicit limits."""
+    total_warps = sum(b.total_warps for b in blocks)
+    audit_des.check_sm_occupancy(
+        gpu.sm, launch.resources, len(blocks), total_warps, launch.name
+    )
+
+
 def simulate_launch(launch: KernelLaunch, gpu: GPUConfig) -> LaunchResult:
     """Simulate one kernel on the GPU; returns its duration and traces."""
     occupancy = blocks_per_sm(launch.resources, gpu.sm)
@@ -229,6 +260,8 @@ def simulate_launch(launch: KernelLaunch, gpu: GPUConfig) -> LaunchResult:
     if launch.is_persistent:
         per_sm = min(launch.persistent_blocks_per_sm, occupancy)
         blocks = _persistent_blocks(launch, gpu, per_sm)
+        if audit.active():
+            _audit_occupancy(launch, gpu, blocks)
         blocks, factor = _cap_iterations(blocks)
         result = _scale_result(run_blocks(gpu, blocks), factor)
         return LaunchResult(launch.name, result.finish_time, result, waves=1)
@@ -241,6 +274,8 @@ def simulate_launch(launch: KernelLaunch, gpu: GPUConfig) -> LaunchResult:
             BlockSpec(dict(launch.block_template))
             for _ in range(per_sm_blocks)
         ]
+        if audit.active():
+            _audit_occupancy(launch, gpu, blocks)
         blocks, factor = _cap_iterations(blocks)
         result = _scale_result(run_blocks(gpu, blocks), factor)
         return LaunchResult(launch.name, result.finish_time, result, waves=1)
@@ -251,6 +286,8 @@ def simulate_launch(launch: KernelLaunch, gpu: GPUConfig) -> LaunchResult:
     full_wave = [
         BlockSpec(dict(launch.block_template)) for _ in range(occupancy)
     ]
+    if audit.active():
+        _audit_occupancy(launch, gpu, full_wave)
     full_wave, factor = _cap_iterations(full_wave)
     wave_result = _scale_result(run_blocks(gpu, full_wave), factor)
     scale = launch.grid_blocks / (occupancy * gpu.num_sms)

@@ -28,6 +28,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from ..audit import core as audit
+from ..audit import des as audit_des
 from ..config import SMConfig
 from ..errors import SimulationError
 from .engine import EventQueue
@@ -247,6 +249,11 @@ class SMSimulation:
                 f"warp groups never finished: {stuck}; "
                 "a barrier is unsatisfiable (deadlocked fused kernel)"
             )
+        if audit.active():
+            # The "stuck" check above only catches pending > 0; a
+            # negative count (a warp retired twice, crediting phantom
+            # work) is only caught here.
+            audit_des.check_groups_retired(group_pending, "SMSimulation")
         for pipe in pipes.values():
             pipe.timeline.close(finish)
         return SMResult(

@@ -51,10 +51,17 @@ class PredictionErrorTracker:
         if actual <= 0:
             return self._overall
         error = abs(predicted - actual) / actual
-        previous = self._per_kernel.get(name, error)
-        self._per_kernel[name] = (
-            self.alpha * error + (1 - self.alpha) * previous
-        )
+        previous = self._per_kernel.get(name)
+        if previous is None:
+            # First observation seeds the band directly.  (The old
+            # ``get(name, error)`` default blended the error with
+            # itself — numerically identical, but it read as a bug and
+            # hid the seeding semantics; see tests/runtime/test_faults.py.)
+            self._per_kernel[name] = error
+        else:
+            self._per_kernel[name] = (
+                self.alpha * error + (1 - self.alpha) * previous
+            )
         if self.observations == 0:
             self._overall = error
         else:
@@ -92,6 +99,12 @@ class OnlineModelManager:
         self.perturb: Optional[Perturbation] = None
         #: online predicted-vs-actual error bands (fed by the server)
         self.errors = PredictionErrorTracker()
+        #: monotone counter bumped whenever any model's coefficients
+        #: change after initial training (online refit, bundle load).
+        #: Consumers that cache predictions — the headroom tracker's
+        #: suffix sums, TackerPolicy's fusion cost/reserve caches —
+        #: poll it and rebuild when it advances.
+        self.version = 0
 
     # -- per-kernel models ------------------------------------------------------
 
@@ -161,7 +174,11 @@ class OnlineModelManager:
             raise PredictionError(
                 f"no trained fused model for {key}; predict before observing"
             )
-        return model.observe(xori_tc, xori_cd, actual_cycles)
+        updates_before = model.update_count
+        error = model.observe(xori_tc, xori_cd, actual_cycles)
+        if model.update_count != updates_before:
+            self.version += 1
+        return error
 
     # -- introspection --------------------------------------------------------------
 
@@ -223,4 +240,6 @@ class OnlineModelManager:
                 fused, tc_model, cd_model, data
             )
             restored += 1
+        if restored:
+            self.version += 1
         return restored

@@ -15,7 +15,7 @@ earlier query's remaining kernels.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..errors import SchedulingError
 from .query import KernelInstance, Query
@@ -27,29 +27,39 @@ Predictor = Callable[[KernelInstance], float]
 class HeadroomTracker:
     """Computes the schedulable BE headroom at a point in time."""
 
-    def __init__(self, qos_ms: float, predictor: Predictor):
+    def __init__(self, qos_ms: float, predictor: Predictor,
+                 version: Optional[Callable[[], int]] = None):
         if qos_ms <= 0:
             raise SchedulingError("QoS target must be positive")
         self.qos_ms = qos_ms
         self._predict = predictor
         # Suffix sums of predicted durations per kernel sequence.  The
-        # per-kernel LR models are static after training, and queries of
-        # one service share their instance tuple, so the remaining-time
-        # query becomes O(1) instead of O(sequence length).
+        # key covers every (kernel, grid) in the sequence — not just the
+        # endpoints — so two services sharing model name, length, and
+        # first/last kernels never alias each other's sums.
         self._suffix: dict[tuple, list[float]] = {}
+        # The predictor's model-version counter.  Whenever it advances
+        # (the online >10%-error retrain path, or a bundle load), every
+        # cached suffix sum is stale and must be rebuilt.
+        self._version = version
+        self._version_seen = version() if version is not None else 0
 
-    def _sequence_key(self, query: Query) -> tuple:
-        instances = query.instances
-        return (
-            query.model.name,
-            len(instances),
-            instances[0].name if instances else "",
-            instances[-1].name if instances else "",
-        )
+    def invalidate(self) -> None:
+        """Drop all cached suffix sums (call after any model refresh)."""
+        self._suffix.clear()
+
+    def _sync_version(self) -> None:
+        if self._version is None:
+            return
+        current = self._version()
+        if current != self._version_seen:
+            self._version_seen = current
+            self.invalidate()
 
     def predicted_remaining_ms(self, query: Query) -> float:
         """LR-predicted GPU time of a query's unexecuted kernels."""
-        key = self._sequence_key(query)
+        self._sync_version()
+        key = query.sequence_key
         suffix = self._suffix.get(key)
         if suffix is None:
             suffix = [0.0]

@@ -61,8 +61,12 @@ def active_time_breakdown(result: ServerResult) -> dict[str, float]:
 
     Values are normalized to the run's span so that a fully busy GPU
     with no overlap sums to 1.0, and overlap pushes the sum above 1.0.
+    The span runs from the first executed action to the last — not from
+    t=0 — so a run whose first event starts late (e.g. an LC-only run
+    whose first query arrives mid-window) is not credited for the idle
+    lead-in.
     """
-    span = result.end_ms
+    span = result.end_ms - result.start_ms
     if span <= 0:
         raise SchedulingError("empty run")
     tc = result.tc_timeline.total()
@@ -77,7 +81,16 @@ def active_time_breakdown(result: ServerResult) -> dict[str, float]:
 
 
 def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Zero or negative inputs raise :class:`SchedulingError` (the log is
+    undefined and a silent NaN would poison downstream tables), and so
+    does an empty sequence (``np.mean`` of an empty array would return
+    NaN with a warning instead of failing loudly).
+    """
     arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise SchedulingError("geometric mean of an empty sequence")
     if np.any(arr <= 0):
         raise SchedulingError("geometric mean requires positive values")
     return float(np.exp(np.mean(np.log(arr))))

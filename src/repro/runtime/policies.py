@@ -140,6 +140,10 @@ class MispredictGuard:
         self.mode_decisions = {mode: 0 for mode in GUARD_MODES}
         #: (query index, old mode, new mode) transitions
         self.transitions: list[tuple[int, str, str]] = []
+        #: risk value that fired each transition (parallel to
+        #: ``transitions``; lets the auditor re-check the hysteresis
+        #: rails without changing the transition tuples' shape)
+        self.transition_risks: list[float] = []
 
     def margin_ms(self, remaining_ms: float) -> float:
         """Headroom to withhold, given predicted remaining LC work.
@@ -190,6 +194,7 @@ class MispredictGuard:
                 new = "reorder"
         if new != self.mode:
             self.transitions.append((self.queries_observed, self.mode, new))
+            self.transition_risks.append(self.risk)
             self.mode = new
 
 
@@ -217,7 +222,10 @@ class SchedulingPolicy(ABC):
         self.qos_ms = qos_ms
         #: optional mispredict guard; None reproduces the paper exactly
         self.guard = guard
-        self.headroom = HeadroomTracker(qos_ms * qos_guard, self.predict_ms)
+        self.headroom = HeadroomTracker(
+            qos_ms * qos_guard, self.predict_ms,
+            version=lambda: models.version,
+        )
         self._rr = 0  # round-robin cursor over BE apps
         #: at most one directly-launched BE kernel per LC kernel launch
         #: (Section VII-B's pacing); keyed by (query id, kernel cursor)
@@ -274,6 +282,16 @@ class SchedulingPolicy(ABC):
             self.headroom.predicted_remaining_ms(query) for query in active
         )
         return thr_ms - self.guard.margin_ms(remaining)
+
+    def current_thr_ms(
+        self, now_ms: float, active: Sequence[Query]
+    ) -> float:
+        """The BE-admission threshold ``Thr`` at this instant (Eq. 9
+        headroom, after guard inflation).  Pure — safe for the auditor
+        to recompute alongside a decision."""
+        return self._guarded_thr(
+            self.headroom.headroom_ms(now_ms, active), active
+        )
 
     # -- decisions --------------------------------------------------------------
 
@@ -352,9 +370,7 @@ class BaymaxPolicy(SchedulingPolicy):
                     kind="lc", query=query,
                     predicted_lc_ms=self.predict_ms(query.current),
                 )
-        thr = self._guarded_thr(
-            self.headroom.headroom_ms(now_ms, active), active
-        )
+        thr = self.current_thr_ms(now_ms, active)
         return self._reorder_or_lc(query, be_apps, thr)
 
 
@@ -389,6 +405,19 @@ class TackerPolicy(SchedulingPolicy):
         self.enable_reorder = enable_reorder
         self._cost_cache: dict[tuple, float] = {}
         self._reserve_cache: dict[tuple, list[float]] = {}
+        #: fused-model version the caches were built against
+        self._models_version_seen = models.version
+
+    def _sync_model_version(self) -> None:
+        """Drop fusion-cost caches after any online model refresh.
+
+        Both caches embed fused-model predictions, which change when
+        the >10%-error retrain path refits a model mid-run.
+        """
+        if self.models.version != self._models_version_seen:
+            self._models_version_seen = self.models.version
+            self._cost_cache.clear()
+            self._reserve_cache.clear()
 
     def _fusion_for(
         self,
@@ -472,10 +501,8 @@ class TackerPolicy(SchedulingPolicy):
         Suffix sums over the (static) kernel sequence make the lookup
         O(1) per decision.
         """
-        key = (
-            query.model.name, len(query.instances),
-            tuple(app.name for app in be_apps),
-        )
+        self._sync_model_version()
+        key = (query.sequence_key, tuple(app.name for app in be_apps))
         suffix = self._reserve_cache.get(key)
         if suffix is None:
             suffix = [0.0]
@@ -504,9 +531,7 @@ class TackerPolicy(SchedulingPolicy):
                     kind="lc", query=query,
                     predicted_lc_ms=self.predict_ms(query.current),
                 )
-        thr = self._guarded_thr(
-            self.headroom.headroom_ms(now_ms, active), active
-        )
+        thr = self.current_thr_ms(now_ms, active)
         lc_instance = query.current
         if mode == "fuse" and (lc_instance.fusable or lc_instance.kind == "cd"):
             best: Optional[tuple[float, Action]] = None

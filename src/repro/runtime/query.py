@@ -49,12 +49,29 @@ class Query:
         self.arrival_ms = arrival_ms
         self.instances = instances
         self._cursor = 0
+        self._sequence_key: Optional[tuple] = None
         self.finish_ms: Optional[float] = None
 
     @property
     def cursor(self) -> int:
         """Index of the next kernel to execute."""
         return self._cursor
+
+    @property
+    def sequence_key(self) -> tuple:
+        """Collision-free cache key over the full kernel sequence.
+
+        Two services can share model name, sequence length, and
+        first/last kernels while differing in the middle, so any key
+        that elides interior instances aliases their cached suffix
+        sums.  Grids matter too: they change predicted durations.
+        """
+        if self._sequence_key is None:
+            self._sequence_key = tuple(
+                (instance.name, instance.grid)
+                for instance in self.instances
+            )
+        return self._sequence_key
 
     @property
     def done(self) -> bool:

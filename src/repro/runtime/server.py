@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import audit
 from ..config import GPUConfig
 from ..errors import SchedulingError
 from ..gpusim.trace import Timeline
@@ -47,6 +48,9 @@ class ServerResult:
     be_work_ms: dict[str, float]
     tc_timeline: Timeline
     cd_timeline: Timeline
+    #: when the first kernel was launched; the run's busy window is
+    #: ``[start_ms, end_ms]``, which metrics normalize against
+    start_ms: float = 0.0
     n_lc_kernels: int = 0
     n_be_kernels: int = 0
     n_fused_kernels: int = 0
@@ -119,6 +123,7 @@ class ColocationServer:
         qos_ms: float,
         record_kernels: bool = False,
         faults: Optional[FaultInjector] = None,
+        audit_run: Optional[bool] = None,
     ):
         self.gpu = gpu
         self.oracle = oracle
@@ -127,6 +132,10 @@ class ColocationServer:
         self.record_kernels = record_kernels
         #: injected faults for this run (None = the paper's happy path)
         self.faults = faults
+        #: invariant auditing: True/False overrides, None follows the
+        #: process-wide switch (see :mod:`repro.audit`)
+        self.audit_run = audit_run
+        self._auditor: Optional[audit.ServerAuditor] = None
 
     def run(
         self,
@@ -154,7 +163,15 @@ class ColocationServer:
             tc_timeline=Timeline(),
             cd_timeline=Timeline(),
         )
+        auditing = (
+            self.audit_run if self.audit_run is not None else audit.active()
+        )
+        self._auditor = (
+            audit.ServerAuditor(self.policy, self.qos_ms, horizon_ms)
+            if auditing else None
+        )
         now = 0.0
+        start_ms: Optional[float] = None
         next_arrival = 0
         active: list[Query] = []
 
@@ -174,16 +191,24 @@ class ColocationServer:
                 break
 
             action = self._admit(action, now, active, result)
+            if self._auditor is not None:
+                self._auditor.on_action(now, action, active)
+            if start_ms is None:
+                start_ms = now
             now = self._execute(action, now, active, result)
 
             if not active and next_arrival >= len(pending):
                 break
         result.end_ms = now
+        result.start_ms = start_ms if start_ms is not None else 0.0
         guard = self.policy.guard
         if guard is not None:
             result.guard_mode_decisions = dict(guard.mode_decisions)
         if self.faults is not None:
             result.fault_events = self.faults.counters()
+        if self._auditor is not None:
+            self._auditor.on_run_complete(result)
+            self._auditor = None
         return result
 
     # -- admission control ----------------------------------------------------
@@ -280,6 +305,8 @@ class ColocationServer:
 
     def _record(self, result: ServerResult, start: float, end: float,
                 kind: str, name: str, tc_end: float, cd_end: float) -> None:
+        if self._auditor is not None:
+            self._auditor.on_kernel(start, end, kind, name)
         if tc_end > start:
             result.tc_timeline.add(start, tc_end)
         if cd_end > start:
@@ -329,6 +356,8 @@ class ColocationServer:
             # no work retires, and the stream must relaunch the kernel.
             return end
         app.complete_head(solo)
+        if self._auditor is not None:
+            self._auditor.on_be_retired(app.name, solo, end)
         if end <= result.horizon_ms:
             result.be_work_ms[app.name] += solo
         return end
@@ -372,6 +401,8 @@ class ColocationServer:
 
         be_solo = self.oracle.solo_ms(be_instance.kernel, be_instance.grid)
         app.complete_head(be_solo)
+        if self._auditor is not None:
+            self._auditor.on_be_retired(app.name, be_solo, end)
         if end <= result.horizon_ms:
             result.be_work_ms[app.name] += be_solo
         self._finish_query_kernel(query, end, active, result)

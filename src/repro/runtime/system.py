@@ -80,6 +80,7 @@ class TackerSystem:
         store: "OracleStore | str | None" = "auto",
         faults: Optional[FaultPlan] = None,
         guard: Optional[GuardConfig] = None,
+        audit: Optional[bool] = None,
     ):
         self.gpu = gpu
         self.qos_ms = qos_ms
@@ -89,6 +90,9 @@ class TackerSystem:
         self.faults = faults
         #: guard-rail config attached to every policy (None = unguarded)
         self.guard = guard
+        #: invariant auditing for every run this system launches:
+        #: True/False overrides, None follows the process-wide switch
+        self.audit = audit
         self.library = library if library is not None else default_library()
         if store == "auto":
             # Default deployment: durations persist across processes
@@ -258,6 +262,7 @@ class TackerSystem:
         server = ColocationServer(
             self.gpu, self.oracle, policy, self.qos_ms,
             record_kernels=record_kernels, faults=injector,
+            audit_run=self.audit,
         )
         if injector is None:
             return server.run(queries, be_apps)
@@ -328,7 +333,7 @@ class TackerSystem:
         be_apps = [be_application(name, self.library) for name in be_names]
         server = ColocationServer(
             self.gpu, self.oracle, self._make_policy(policy_name),
-            self.qos_ms,
+            self.qos_ms, audit_run=self.audit,
         )
         return server.run(queries, be_apps)
 

@@ -59,6 +59,44 @@ class TestFusedModels:
             manager.observe_fused(fused_kernel, 1.0, 1.0, 1.0)
 
 
+class TestModelVersion:
+    """The version counter that prediction caches poll for staleness."""
+
+    def test_starts_at_zero(self, gpu):
+        assert OnlineModelManager(gpu).version == 0
+
+    def test_accurate_observation_keeps_version(self, gpu, fused_kernel):
+        manager = OnlineModelManager(gpu)
+        xtc = manager.predict_kernel(
+            fused_kernel.tc.ir, fused_kernel.tc.ir.default_grid
+        )
+        predicted = manager.predict_fused(fused_kernel, xtc, 0.5 * xtc)
+        manager.observe_fused(fused_kernel, xtc, 0.5 * xtc, predicted)
+        assert manager.version == 0
+
+    def test_online_refit_bumps_version(self, gpu, fused_kernel):
+        manager = OnlineModelManager(gpu)
+        xtc = manager.predict_kernel(
+            fused_kernel.tc.ir, fused_kernel.tc.ir.default_grid
+        )
+        predicted = manager.predict_fused(fused_kernel, xtc, 0.5 * xtc)
+        # A >10% error triggers the Section VI-C refit, after which
+        # every cached prediction downstream is stale.
+        manager.observe_fused(fused_kernel, xtc, 0.5 * xtc, 2.0 * predicted)
+        assert manager.version == 1
+
+    def test_bundle_load_bumps_version(self, gpu, fused_kernel, tmp_path):
+        source = OnlineModelManager(gpu)
+        source.fused_model(fused_kernel)
+        path = source.save(str(tmp_path / "bundle.json"))
+
+        key = (fused_kernel.tc.ir.name, fused_kernel.cd.ir.name)
+        fresh = OnlineModelManager(gpu)
+        restored = fresh.load(path, {key: fused_kernel})
+        assert restored > 0
+        assert fresh.version == 1
+
+
 class TestManagerPersistence:
     def test_save_and_load_roundtrip(self, gpu, fused_kernel, tmp_path):
         manager = OnlineModelManager(gpu)

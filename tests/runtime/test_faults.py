@@ -203,6 +203,19 @@ class TestPredictionErrorTracker:
         tracker.record("k", 20.0, 10.0)   # error 1
         assert tracker.band() == pytest.approx(0.5)
 
+    def test_first_observation_seeds_per_kernel_band_exactly(self):
+        # Regression: the first sample must become the band verbatim,
+        # not be down-weighted by an EWMA blend with a phantom prior.
+        tracker = PredictionErrorTracker(alpha=0.15)
+        tracker.record("k", 14.0, 10.0)   # error 0.4
+        assert tracker.band("k") == pytest.approx(0.4)
+
+    def test_second_observation_blends_per_kernel_band(self):
+        tracker = PredictionErrorTracker(alpha=0.5)
+        tracker.record("k", 14.0, 10.0)   # seeds 0.4
+        tracker.record("k", 10.0, 10.0)   # error 0 -> 0.5*0 + 0.5*0.4
+        assert tracker.band("k") == pytest.approx(0.2)
+
     def test_ignores_non_positive_actuals(self):
         tracker = PredictionErrorTracker()
         tracker.record("k", 10.0, 0.0)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SchedulingError
-from repro.kernels.parboil import mriq
+from repro.kernels.parboil import fft, mriq
 from repro.models.zoo import model_by_name
 from repro.runtime.headroom import HeadroomTracker
 from repro.runtime.query import KernelInstance, Query
@@ -67,6 +67,75 @@ class TestMultipleQueries:
 
     def test_no_queries_unconstrained(self):
         assert tracker().headroom_ms(123.0, []) == float("inf")
+
+
+class TestSuffixCacheKey:
+    """The cache key must cover the full sequence, not its endpoints."""
+
+    @staticmethod
+    def sandwich(middle, arrival=0.0, grid=100):
+        # Both variants share model, length, first and last kernel —
+        # the exact shape that collided under the old (model, len,
+        # first, last) key.
+        return Query(
+            model_by_name("resnet50"), arrival,
+            (
+                KernelInstance(mriq(), 100),
+                KernelInstance(middle, grid),
+                KernelInstance(mriq(), 100),
+            ),
+        )
+
+    def test_interior_kernel_distinguishes_sequences(self):
+        t = HeadroomTracker(
+            50.0, lambda inst: 5.0 if inst.name == "mriq" else 9.0
+        )
+        with_mriq = self.sandwich(mriq())
+        with_fft = self.sandwich(fft())
+        assert t.predicted_remaining_ms(with_mriq) == pytest.approx(15.0)
+        assert t.predicted_remaining_ms(with_fft) == pytest.approx(19.0)
+
+    def test_interior_grid_distinguishes_sequences(self):
+        t = HeadroomTracker(50.0, lambda inst: inst.grid / 100.0)
+        small = self.sandwich(mriq(), grid=100)
+        large = self.sandwich(mriq(), grid=300)
+        assert t.predicted_remaining_ms(small) == pytest.approx(3.0)
+        assert t.predicted_remaining_ms(large) == pytest.approx(5.0)
+
+    def test_invalidate_rebuilds_suffix_sums(self):
+        per_kernel = {"ms": 5.0}
+        t = HeadroomTracker(50.0, lambda inst: per_kernel["ms"])
+        q = query(arrival=0.0, n_kernels=2)
+        assert t.predicted_remaining_ms(q) == pytest.approx(10.0)
+        per_kernel["ms"] = 7.0
+        # Cached until explicitly invalidated...
+        assert t.predicted_remaining_ms(q) == pytest.approx(10.0)
+        t.invalidate()
+        assert t.predicted_remaining_ms(q) == pytest.approx(14.0)
+
+    def test_model_version_bump_invalidates(self):
+        state = {"ms": 5.0, "version": 0}
+        t = HeadroomTracker(
+            50.0, lambda inst: state["ms"],
+            version=lambda: state["version"],
+        )
+        q = query(arrival=0.0, n_kernels=2)
+        assert t.predicted_remaining_ms(q) == pytest.approx(10.0)
+        # A model refresh (the online >10%-error retrain path) bumps
+        # the version; stale suffix sums must be rebuilt unprompted.
+        state["ms"] = 8.0
+        state["version"] = 1
+        assert t.predicted_remaining_ms(q) == pytest.approx(16.0)
+
+    def test_eq9_remaining_monotone_within_query(self):
+        t = tracker()
+        q = query(arrival=0.0, n_kernels=4)
+        seen = [t.predicted_remaining_ms(q)]
+        for step in range(4):
+            q.advance(float(step))
+            seen.append(t.predicted_remaining_ms(q))
+        assert seen == sorted(seen, reverse=True)
+        assert seen[-1] == 0.0
 
 
 class TestValidation:

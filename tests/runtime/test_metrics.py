@@ -14,12 +14,13 @@ from repro.runtime.server import ServerResult
 
 
 def result(be_work=10.0, horizon=100.0, latencies=(40.0, 45.0, 48.0),
-           tc=None, cd=None, end=100.0):
+           tc=None, cd=None, end=100.0, start=0.0):
     res = ServerResult(
         qos_ms=50.0, horizon_ms=horizon, end_ms=end,
         latencies_ms=list(latencies), be_work_ms={"fft": be_work},
         tc_timeline=tc if tc is not None else Timeline(),
         cd_timeline=cd if cd is not None else Timeline(),
+        start_ms=start,
     )
     return res
 
@@ -91,6 +92,22 @@ class TestActiveTimeBreakdown:
         with pytest.raises(SchedulingError):
             active_time_breakdown(result(end=0.0))
 
+    def test_normalizes_by_busy_span_not_end_time(self):
+        # First kernel starts at t=60 (e.g. an LC-only run whose first
+        # query arrives late): the busy span is 40 ms, not 100 ms.
+        # Normalizing by end_ms overstated idle lead-in as utilization.
+        tc = Timeline()
+        tc.add(60.0, 100.0)
+        stats = active_time_breakdown(
+            result(tc=tc, end=100.0, start=60.0)
+        )
+        assert stats["tc_active"] == pytest.approx(1.0)
+        assert stats["stacked"] == pytest.approx(1.0)
+
+    def test_zero_span_with_late_start_rejected(self):
+        with pytest.raises(SchedulingError):
+            active_time_breakdown(result(end=60.0, start=60.0))
+
 
 class TestGeometricMean:
     def test_value(self):
@@ -99,3 +116,11 @@ class TestGeometricMean:
     def test_rejects_non_positive(self):
         with pytest.raises(SchedulingError):
             geometric_mean([1.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(SchedulingError):
+            geometric_mean([2.0, -1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchedulingError):
+            geometric_mean([])
