@@ -1,0 +1,34 @@
+"""Cluster-scale serving: QoS-aware routing across a replicated fleet."""
+
+from conftest import run_once
+
+from repro.experiments import cluster_scale
+from repro.experiments.common import quick_mode
+
+
+def test_cluster_scale(benchmark, report):
+    result = run_once(benchmark, cluster_scale.run)
+    report(cluster_scale.HEADERS, result.rows(), result.summary())
+    summary = result.summary()
+    # Eq. 10 at fleet scale: co-location keeps its throughput gain.
+    assert summary["mean_gain_pct"] > 10.0
+    # The acceptance rail: wherever both routings satisfy fleet QoS,
+    # headroom-aware routing serves strictly more BE work.
+    assert summary["comparable_cells"] >= 1
+    assert summary["headroom_wins"] == 1.0
+    assert summary["headroom_vs_roundrobin_be_pct"] > 0
+    # Headroom-aware routing never gives up QoS to get there.
+    headroom_cells = [
+        cell for key, cell in result.cells.items() if key[2] == "headroom"
+    ]
+    assert all(cell.fleet_qos_satisfied for cell in headroom_cells)
+    if not quick_mode():
+        # At load 0.9 round-robin blindness costs the QoS target that
+        # slack-aware routing keeps (the full grid's saturation cells).
+        roundrobin_cells = [
+            cell for key, cell in result.cells.items()
+            if key[2] == "roundrobin"
+        ]
+        assert any(
+            not cell.fleet_qos_satisfied for cell in roundrobin_cells
+        )

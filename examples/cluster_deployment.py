@@ -1,23 +1,27 @@
 #!/usr/bin/env python3
-"""Cluster-level Tacker deployment (Section IV).
+"""Cluster-level Tacker deployment (Section IV) — staging, then serving.
 
-Simulates a small GPU cluster: LC services and BE applications land on
-nodes over time; once a workload's occurrence crosses the threshold it
-counts as long-running, Tacker prepares fused kernels for the pairs that
-actually co-reside, and the shared libraries are distributed to exactly
-the nodes that host the matching BE application.
+Part 1 simulates the paper's staged rollout: LC services and BE
+applications land on nodes over time; once a workload's occurrence
+crosses the threshold it counts as long-running, Tacker prepares fused
+kernels for the pairs that actually co-reside, and the shared libraries
+ship to exactly the nodes hosting the matching BE application.
+
+Part 2 then serves real traffic through the staged fleet: a
+QoS-headroom-aware dispatcher routes a merged LC arrival stream across
+the replicas, each node runs the Tacker policy against the Baymax
+baseline on its routed trace, and the fleet-level Eq. 10 gain, p99 and
+QoS satisfaction are aggregated.
 
 Run:  python examples/cluster_deployment.py
 """
 
-from repro.runtime import TackerSystem
+from repro.api import RunConfig, TackerSystem, serve_cluster
 from repro.runtime.cluster import ClusterManager
 
 
-def main() -> None:
-    system = TackerSystem()
+def stage_fleet(system: TackerSystem) -> ClusterManager:
     cluster = ClusterManager(system, occurrence_threshold=2)
-
     for node in ("gpu0", "gpu1", "gpu2"):
         cluster.add_node(node)
 
@@ -49,6 +53,34 @@ def main() -> None:
           f"{system.compiler.total_compile_ms / 1000:.1f} s for "
           f"{len(system.compiler)} fused kernels "
           f"({system.compiler.total_library_bytes // 1024} KB)")
+    return cluster
+
+
+def serve_fleet(cluster: ClusterManager) -> None:
+    spec = cluster.serving_spec(
+        routing="headroom", run=RunConfig(queries=45)
+    )
+    result = serve_cluster(spec)
+    print(f"\nserving {sum(n.n_queries for n in result.nodes)} queries "
+          f"across {len(result.nodes)} replicas "
+          f"(routing={result.routing}, QoS {result.qos_ms:.0f} ms):")
+    for node in result.nodes:
+        apps = ",".join(node.be_names) or "-"
+        print(f"  {node.name}: {node.n_queries} queries | BE {apps:<10} | "
+              f"gain {node.improvement:+.1%} | "
+              f"p99 {node.tacker.p99_latency_ms:.2f} ms | "
+              f"QoS {'ok' if node.qos_satisfied else 'VIOLATED'}")
+    print(f"fleet: BE work {result.fleet_be_work_ms:.1f} ms "
+          f"(Baymax {result.baseline_be_work_ms:.1f} ms) | "
+          f"gain {result.improvement:+.1%} | "
+          f"p99 {result.fleet_p99_ms:.2f} ms | "
+          f"QoS {'ok' if result.fleet_qos_satisfied else 'VIOLATED'}")
+
+
+def main() -> None:
+    system = TackerSystem()
+    cluster = stage_fleet(system)
+    serve_fleet(cluster)
 
 
 if __name__ == "__main__":

@@ -16,9 +16,9 @@ The Tacker pipeline::
     from repro import ptb_transform, FusionSearch, FusionCompiler
     from repro import OnlineModelManager
 
-End-to-end co-location::
+End-to-end co-location (the stable surface lives in :mod:`repro.api`)::
 
-    from repro import TackerSystem
+    from repro.api import TackerSystem
     system = TackerSystem()
     outcome = system.run_pair("resnet50", "fft")
     print(outcome.improvement, outcome.tacker.p99_latency_ms)
@@ -54,9 +54,11 @@ from .runtime import (
     BaymaxPolicy,
     ColocationServer,
     PairOutcome,
+    RunConfig,
     TackerPolicy,
     TackerSystem,
 )
+from . import api
 
 __version__ = "1.0.0"
 
@@ -90,5 +92,7 @@ __all__ = [
     "BaymaxPolicy",
     "ColocationServer",
     "PairOutcome",
+    "RunConfig",
+    "api",
     "__version__",
 ]

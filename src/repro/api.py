@@ -1,0 +1,71 @@
+"""The stable public facade of the reproduction.
+
+``repro.api`` re-exports exactly the surface documented in the README
+and tutorial, with an explicit ``__all__`` as the compatibility
+contract: symbols listed here keep their names and call signatures
+across refactors (internal modules may move underneath), and knob
+additions go through :class:`RunConfig` rather than new positional
+arguments.  Import from here in anything long-lived::
+
+    from repro.api import TackerSystem, RunConfig
+
+    system = TackerSystem(config=RunConfig(qos_ms=40.0))
+    outcome = system.run_pair("resnet50", "fft")
+
+Cluster-scale serving::
+
+    from repro.api import RunConfig, default_cluster_spec, serve_cluster
+
+    spec = default_cluster_spec(4, routing="headroom",
+                                run=RunConfig(queries=120))
+    result = serve_cluster(spec)
+    print(result.fleet_p99_ms, result.improvement)
+"""
+
+from __future__ import annotations
+
+from .config import RTX2080TI, V100, GPUConfig, gpu_preset
+from .predictor.online import OnlineModelManager
+from .runtime.cluster import (
+    ClusterDispatcher,
+    ClusterManager,
+    ClusterNode,
+    ClusterResult,
+    ClusterSpec,
+    NodeSpec,
+    default_cluster_spec,
+    serve_cluster,
+)
+from .runtime.faults import FaultPlan
+from .runtime.policies import GuardConfig
+from .runtime.runconfig import RunConfig
+from .runtime.server import ColocationServer, ServerResult
+from .runtime.system import PairOutcome, TackerSystem
+
+__all__ = [
+    # hardware presets
+    "GPUConfig",
+    "RTX2080TI",
+    "V100",
+    "gpu_preset",
+    # run-level knobs
+    "RunConfig",
+    # single-GPU serving
+    "TackerSystem",
+    "PairOutcome",
+    "ColocationServer",
+    "ServerResult",
+    "OnlineModelManager",
+    # robustness knobs
+    "FaultPlan",
+    "GuardConfig",
+    # cluster-scale serving
+    "ClusterManager",
+    "ClusterNode",
+    "ClusterDispatcher",
+    "ClusterSpec",
+    "NodeSpec",
+    "ClusterResult",
+    "default_cluster_spec",
+    "serve_cluster",
+]

@@ -6,6 +6,7 @@ Usage::
     python -m repro models                       # LC services
     python -m repro fuse tgemm_l fft             # fuse one pair
     python -m repro run-pair resnet50 fft        # Tacker vs Baymax
+    python -m repro run-cluster --nodes 4        # fleet serving sweep
     python -m repro trace resnet50 fft out.json  # Chrome trace export
     python -m repro report [--full]              # aggregate report
 """
@@ -68,6 +69,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "--guard", action="store_true",
         help="enable the mispredict guard rails (headroom inflation, "
              "graceful degradation, BE admission control)",
+    )
+
+    cluster = commands.add_parser(
+        "run-cluster",
+        help="serve LC traffic across a replicated fleet and write the "
+             "cluster-scale sweep table",
+    )
+    cluster.add_argument("--nodes", type=int, default=4)
+    cluster.add_argument(
+        "--routing", default="headroom",
+        help="LC routing strategy (roundrobin | least | headroom)",
+    )
+    cluster.add_argument(
+        "--lc", default="resnet50,vgg19", metavar="NAMES",
+        help="comma-separated LC services in the traffic mix",
+    )
+    cluster.add_argument(
+        "--be", default="fft,mriq,cutcp,sgemm", metavar="NAMES",
+        help="comma-separated BE applications rotated across the fleet",
+    )
+    cluster.add_argument("--queries", type=int, default=None)
+    cluster.add_argument("--load", type=float, default=None)
+    cluster.add_argument("--qos", type=float, default=None, metavar="MS")
+    cluster.add_argument("--seed", type=int, default=None)
+    cluster.add_argument(
+        "--no-steal", action="store_true",
+        help="disable BE work-stealing onto idle nodes",
+    )
+    cluster.add_argument(
+        "--no-guard", action="store_true",
+        help="serve without the mispredict guard rails",
+    )
+    cluster.add_argument(
+        "--be-every", type=int, default=2, metavar="N",
+        help="place a BE application on every N-th node (default 2: "
+             "a BE-sparse fleet, the case work-stealing exists for)",
+    )
+    cluster.add_argument(
+        "--out", default="benchmarks/results/cluster_scale.txt",
+        help="where to write the sweep table",
+    )
+    cluster.add_argument(
+        "--no-sweep", action="store_true",
+        help="only serve the requested fleet; skip the full "
+             "nodes x load x routing sweep and its table",
     )
 
     trace = commands.add_parser(
@@ -181,6 +227,71 @@ def _cmd_run_pair(args) -> int:
     return 0 if outcome.qos_satisfied else 1
 
 
+def _cmd_run_cluster(args) -> int:
+    import math
+    import pathlib
+
+    from .experiments import cluster_scale
+    from .experiments.common import parallel_map
+    from .runtime.cluster import default_cluster_spec, serve_cluster
+    from .runtime.runconfig import RunConfig
+
+    run_cfg = RunConfig().with_overrides(
+        qos_ms=args.qos, load=args.load, queries=args.queries,
+        seed=args.seed,
+    )
+    spec = default_cluster_spec(
+        args.nodes,
+        routing=args.routing,
+        lc_names=tuple(args.lc.split(",")),
+        be_names=tuple(args.be.split(",")),
+        run=run_cfg,
+        steal=not args.no_steal,
+        be_every=args.be_every,
+        guard=not args.no_guard,
+    )
+    result = serve_cluster(spec, gpu=args.gpu, map_fn=parallel_map)
+    print(f"{args.nodes} nodes | routing {result.routing} | "
+          f"QoS {result.qos_ms:.0f} ms | load {run_cfg.load} | "
+          f"horizon {result.horizon_ms:.0f} ms")
+    print(f"{'node':<8}{'queries':>9}{'BE apps':>18}{'be work ms':>12}"
+          f"{'gain':>8}{'p99 ms':>8}  qos")
+    for node in result.nodes:
+        # be_names already includes stolen apps; mark those with '*'
+        apps = ",".join(
+            name + ("*" if name in node.stolen else "")
+            for name in node.be_names
+        ) or "-"
+        gain = (
+            f"{node.improvement:+.1%}"
+            if not math.isnan(node.improvement) else "-"
+        )
+        print(f"{node.name:<8}{node.n_queries:>9}{apps:>18}"
+              f"{node.tacker.total_be_work_ms:>12.1f}{gain:>8}"
+              f"{node.tacker.p99_latency_ms:>8.2f}  "
+              f"{'yes' if node.qos_satisfied else 'NO'}")
+    if result.steals:
+        moves = ", ".join(
+            f"{be} {donor}->{thief}" for thief, donor, be in result.steals
+        )
+        print(f"steals: {moves}")
+    print(f"fleet: be work {result.fleet_be_work_ms:.1f} ms | "
+          f"gain {result.improvement:+.1%} | "
+          f"p99 {result.fleet_p99_ms:.2f} ms | "
+          f"QoS {'yes' if result.fleet_qos_satisfied else 'NO'} "
+          f"({result.n_nodes_satisfied}/{len(result.nodes)} nodes)")
+    if not args.no_sweep:
+        sweep = cluster_scale.run(gpu=args.gpu)
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(cluster_scale.render(sweep))
+        summary = sweep.summary()
+        print(f"\nsweep: wrote {path} "
+              f"({summary['n_cells']} cells, headroom vs roundrobin "
+              f"{summary['headroom_vs_roundrobin_be_pct']:+.2f}% BE work)")
+    return 0 if result.fleet_qos_satisfied else 1
+
+
 def _cmd_trace(args) -> int:
     from .runtime.system import TackerSystem
     from .runtime.trace_export import write_chrome_trace
@@ -211,6 +322,7 @@ _COMMANDS = {
     "models": _cmd_models,
     "fuse": _cmd_fuse,
     "run-pair": _cmd_run_pair,
+    "run-cluster": _cmd_run_cluster,
     "trace": _cmd_trace,
     "report": _cmd_report,
 }

@@ -1,0 +1,211 @@
+"""Cluster-scale serving sweep: fleet size x load x routing strategy.
+
+Section IV of the paper stops at staging fused kernels across a
+cluster; this experiment serves traffic through the staged fleet.  For
+each cell, a :class:`~repro.runtime.cluster.ClusterDispatcher` routes a
+heterogeneous LC mix (services with different solo latencies, so
+routing actually matters) across the replicas, each replica runs the
+Tacker policy and the Baymax baseline on identical routed traces, and
+the fleet-wide Eq. 10 gain, p99 and QoS satisfaction are aggregated.
+
+The question the table answers: does QoS-headroom-aware routing beat
+round-robin on fleet BE throughput at equal QoS satisfaction?  The
+mechanism favouring it: balanced reservation slack keeps *every* node's
+Eq. 9 headroom positive, and headroom is the currency the Tacker policy
+spends on fused BE launches.  The fleet runs with the mispredict guard
+rails on (the production posture): a node that round-robin overloads
+escalates its degradation ladder and sheds BE admissions, so routing
+imbalance costs real BE work instead of just tail latency.
+
+Routing is planned per cell (cheap arithmetic), then every per-node
+simulation across *all* cells fans out through one ``parallel_map``
+call, so ``REPRO_WORKERS`` scales the whole sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.cluster import (
+    ROUTING_STRATEGIES,
+    ClusterDispatcher,
+    ClusterResult,
+    default_cluster_spec,
+    run_node,
+)
+from ..runtime.runconfig import RunConfig
+from .common import (
+    default_queries,
+    format_table,
+    get_system,
+    parallel_map,
+    quick_mode,
+    register_cache,
+)
+
+#: Heterogeneous LC mix: a light and a heavy service, so round-robin's
+#: blindness to per-query cost actually shows up.
+LC_MIX = ("resnet50", "vgg19")
+
+#: BE applications rotated across nodes (compute-intensive Parboil
+#: kernels — the pairs with the largest fusion upside).
+BE_ROTATION = ("fft", "mriq", "cutcp", "sgemm")
+
+NODE_COUNTS = (4, 6)
+LOADS = (0.8, 0.85, 0.9)
+ROUTINGS = ROUTING_STRATEGIES
+
+HEADERS = [
+    "nodes", "load", "routing", "be_work_ms", "gain_pct",
+    "fleet_p99_ms", "qos_ok", "steals",
+]
+
+_CACHE: dict[tuple, "ClusterScaleResult"] = register_cache({})
+
+
+def clear_cache() -> None:
+    """Drop cached sweep results (tests that need isolation)."""
+    _CACHE.clear()
+
+
+@dataclass
+class ClusterScaleResult:
+    """The sweep's cells, keyed by (nodes, load, routing)."""
+
+    cells: dict
+
+    def rows(self) -> list[list]:
+        rows = []
+        for (nodes, load, routing) in sorted(
+            self.cells, key=lambda k: (k[0], k[1], ROUTINGS.index(k[2]))
+        ):
+            result = self.cells[(nodes, load, routing)]
+            rows.append([
+                nodes,
+                load,
+                routing,
+                round(result.fleet_be_work_ms, 1),
+                round(result.improvement * 100, 1),
+                round(result.fleet_p99_ms, 2),
+                "yes" if result.fleet_qos_satisfied else "NO",
+                len(result.steals),
+            ])
+        return rows
+
+    def _pairs(self) -> list:
+        """(headroom, roundrobin) result pairs where both meet QoS."""
+        pairs = []
+        for (nodes, load, routing), result in self.cells.items():
+            if routing != "headroom":
+                continue
+            other = self.cells.get((nodes, load, "roundrobin"))
+            if other is None:
+                continue
+            if result.fleet_qos_satisfied and other.fleet_qos_satisfied:
+                pairs.append((result, other))
+        return pairs
+
+    def summary(self) -> dict[str, float]:
+        pairs = self._pairs()
+        advantages = [
+            (hr.fleet_be_work_ms - rr.fleet_be_work_ms)
+            / rr.fleet_be_work_ms * 100
+            for hr, rr in pairs
+        ]
+        gains = [result.improvement for result in self.cells.values()]
+        return {
+            "n_cells": len(self.cells),
+            "qos_cells": sum(
+                1 for r in self.cells.values() if r.fleet_qos_satisfied
+            ),
+            "comparable_cells": len(pairs),
+            "headroom_vs_roundrobin_be_pct": round(
+                sum(advantages) / len(advantages), 2
+            ) if advantages else float("nan"),
+            "headroom_wins": float(
+                bool(advantages) and all(a > 0 for a in advantages)
+            ),
+            "mean_gain_pct": round(
+                sum(gains) / len(gains) * 100, 1
+            ) if gains else float("nan"),
+        }
+
+
+def render(result: ClusterScaleResult) -> str:
+    """The sweep as the exact text the benchmark suite writes."""
+    lines = [format_table(HEADERS, result.rows()), "", "summary:"]
+    lines.extend(
+        f"  {key} = {value}" for key, value in result.summary().items()
+    )
+    return "\n".join(lines) + "\n"
+
+
+def run(
+    gpu: str = "rtx2080ti",
+    node_counts: "tuple[int, ...] | None" = None,
+    loads: "tuple[float, ...] | None" = None,
+    routings: "tuple[str, ...] | None" = None,
+    n_queries: "int | None" = None,
+    workers: "int | None" = None,
+) -> ClusterScaleResult:
+    if node_counts is None:
+        node_counts = (4,) if quick_mode() else NODE_COUNTS
+    if loads is None:
+        loads = (0.8,) if quick_mode() else LOADS
+    if routings is None:
+        routings = ROUTINGS
+    if n_queries is None:
+        n_queries = default_queries(120, 24)
+    key = (
+        gpu, tuple(node_counts), tuple(loads), tuple(routings), n_queries,
+    )
+    if key in _CACHE:
+        return _CACHE[key]
+
+    cells = [
+        (nodes, load, routing)
+        for nodes in node_counts
+        for load in loads
+        for routing in routings
+    ]
+    # Phase 1: plan routing per cell (cheap — oracle arithmetic only).
+    plans = {}
+    for nodes, load, routing in cells:
+        run_cfg = RunConfig(load=load, queries=n_queries)
+        # BE-sparse fleet (apps on every other node): the BE-less nodes
+        # are what work-stealing exists for.  Guard rails on — see the
+        # module docstring.
+        spec = default_cluster_spec(
+            nodes, routing=routing, lc_names=LC_MIX,
+            be_names=BE_ROTATION, run=run_cfg, be_every=2, guard=True,
+        )
+        dispatcher = ClusterDispatcher(
+            spec, gpu=gpu, system=get_system(gpu, run_cfg)
+        )
+        plans[(nodes, load, routing)] = dispatcher.dispatch()
+
+    # Phase 2: one flat fan-out over every (cell, node) simulation.
+    items = []
+    extents = []
+    for cell in cells:
+        run_specs = plans[cell].node_run_specs(gpu)
+        extents.append((cell, len(run_specs)))
+        items.extend(run_specs)
+    node_results = parallel_map(run_node, items, workers=workers)
+
+    # Phase 3: regroup into per-cell fleet aggregations.
+    out = {}
+    position = 0
+    for cell, extent in extents:
+        plan = plans[cell]
+        out[cell] = ClusterResult(
+            routing=cell[2],
+            qos_ms=plan.spec.run.qos_ms,
+            horizon_ms=plan.horizon_ms,
+            nodes=node_results[position:position + extent],
+            steals=plan.steals,
+        )
+        position += extent
+    result = ClusterScaleResult(cells=out)
+    _CACHE[key] = result
+    return result

@@ -28,9 +28,10 @@ from typing import Callable, Iterable, Optional, Sequence, TypeVar
 from .. import audit
 from ..config import gpu_preset
 from ..gpusim import fastpath
+from ..runtime.runconfig import DEFAULT_RUN_CONFIG, RunConfig
 from ..runtime.system import TackerSystem
 
-_SYSTEMS: dict[str, TackerSystem] = {}
+_SYSTEMS: dict[tuple, TackerSystem] = {}
 
 #: Experiment-module result caches (e.g. fig14's); registered so
 #: :func:`reset_systems` clears them together with the systems.
@@ -51,11 +52,18 @@ def quick_mode() -> bool:
     return os.environ.get(QUICK_ENV, "") not in ("", "0", "false")
 
 
-def get_system(gpu: str = "rtx2080ti") -> TackerSystem:
-    """The process-wide shared system for one GPU preset."""
-    key = gpu.lower()
+def get_system(
+    gpu: str = "rtx2080ti", config: Optional[RunConfig] = None
+) -> TackerSystem:
+    """The process-wide shared system for one (GPU preset, run config).
+
+    ``RunConfig`` is frozen and hashable, so each distinct operating
+    point gets its own shared system while repeat callers reuse it.
+    """
+    resolved = config if config is not None else DEFAULT_RUN_CONFIG
+    key = (gpu.lower(), resolved)
     if key not in _SYSTEMS:
-        _SYSTEMS[key] = TackerSystem(gpu=gpu_preset(key))
+        _SYSTEMS[key] = TackerSystem(gpu=gpu_preset(key[0]), config=resolved)
     return _SYSTEMS[key]
 
 

@@ -107,7 +107,7 @@ def main(argv: list[str]) -> int:
         print(_section(title, run_fn, headers))
         print()
     if full:
-        from . import fig14_throughput, fig16_qos, fig19_v100
+        from . import cluster_scale, fig14_throughput, fig16_qos, fig19_v100
 
         for title, run_fn, headers in (
             ("Fig. 14 — throughput over Baymax (72 pairs)",
@@ -117,6 +117,8 @@ def main(argv: list[str]) -> int:
              ["LC", "BE", "mean", "p99", "violations %"]),
             ("Fig. 19 — V100", fig19_v100.run,
              ["LC", "BE", "improvement %", "tacker p99", "baymax p99"]),
+            ("Extension — cluster-scale serving", cluster_scale.run,
+             cluster_scale.HEADERS),
         ):
             print(_section(title, run_fn, headers))
             print()

@@ -27,10 +27,20 @@ from .workload import PoissonArrivals, be_application, peak_load_qps
 from .oracle import DurationOracle
 from .headroom import HeadroomTracker
 from .policies import BaymaxPolicy, SchedulingPolicy, TackerPolicy
+from .runconfig import RunConfig
 from .server import ColocationServer, ServerResult
 from .system import TackerSystem, PairOutcome
 from .metrics import latency_stats, throughput_improvement
-from .cluster import ClusterManager, ClusterNode
+from .cluster import (
+    ClusterDispatcher,
+    ClusterManager,
+    ClusterNode,
+    ClusterResult,
+    ClusterSpec,
+    NodeSpec,
+    default_cluster_spec,
+    serve_cluster,
+)
 from .trace_export import to_chrome_trace, write_chrome_trace
 
 __all__ = [
@@ -45,14 +55,21 @@ __all__ = [
     "SchedulingPolicy",
     "BaymaxPolicy",
     "TackerPolicy",
+    "RunConfig",
     "ColocationServer",
     "ServerResult",
     "TackerSystem",
     "PairOutcome",
     "latency_stats",
     "throughput_improvement",
+    "ClusterDispatcher",
     "ClusterManager",
     "ClusterNode",
+    "ClusterResult",
+    "ClusterSpec",
+    "NodeSpec",
+    "default_cluster_spec",
+    "serve_cluster",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

@@ -29,6 +29,46 @@ def throughput_improvement(
     return (tacker.total_be_work_ms - base_work) / base_work
 
 
+def fleet_improvement(
+    measured: Sequence[ServerResult], baseline: Sequence[ServerResult]
+) -> float:
+    """Eq. 10 at fleet scale: summed BE work over one shared horizon.
+
+    Every per-node run — measured and baseline — must cover the same
+    wall-clock window (the cluster engine pins all replicas to the
+    global horizon), so the fleet-wide work ratio is a throughput ratio.
+    """
+    if not measured or not baseline:
+        raise SchedulingError("fleet comparison needs results on both sides")
+    horizons = {
+        round(result.horizon_ms, 6)
+        for result in list(measured) + list(baseline)
+    }
+    if len(horizons) > 1:
+        raise SchedulingError(
+            f"cannot compare fleets over different horizons ({horizons})"
+        )
+    base_work = sum(result.total_be_work_ms for result in baseline)
+    if base_work <= 0:
+        raise SchedulingError("baseline fleet completed no BE work")
+    work = sum(result.total_be_work_ms for result in measured)
+    return (work - base_work) / base_work
+
+
+def merged_p99_ms(results: Sequence[ServerResult]) -> float:
+    """Fleet-wide 99th-percentile latency over all replicas' queries.
+
+    NaN when no replica served any query (a degenerate but legal
+    BE-only fleet).
+    """
+    latencies = [
+        latency for result in results for latency in result.latencies_ms
+    ]
+    if not latencies:
+        return float("nan")
+    return float(np.percentile(latencies, 99))
+
+
 def latency_stats(result: ServerResult) -> dict[str, float]:
     """Fig. 16's per-pair numbers: average and 99th-percentile latency.
 

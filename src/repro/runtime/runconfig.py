@@ -1,0 +1,90 @@
+"""The consolidated run-level knobs.
+
+Historically the QoS target, the load fraction, the query count and the
+arrival seed were scattered as loose keyword arguments across
+``TackerSystem``, ``ColocationServer`` and the experiment harnesses,
+which meant every new entry point re-declared (and could silently
+re-default) the same four numbers.  :class:`RunConfig` is the single
+home: one frozen, hashable value object that every layer shares, with
+:meth:`RunConfig.with_overrides` as the only way to vary a knob.
+
+The old keyword arguments keep working through a deprecation shim that
+warns once per owner (see :func:`warn_legacy_knobs`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Run-level knobs shared by every serving and experiment layer.
+
+    Frozen and hashable, so it can key caches (e.g. the experiment
+    layer's shared-system registry) and ship to worker processes.
+    """
+
+    #: the QoS target (Section VIII-B: 50 ms at the 99th percentile)
+    qos_ms: float = 50.0
+    #: LC arrival rate as a fraction of the calibrated peak load
+    load: float = 0.8
+    #: LC queries per run (enough for a stable 99th percentile)
+    queries: int = 200
+    #: seed of the arrival process (and anything derived from it)
+    seed: int = 2022
+
+    def __post_init__(self) -> None:
+        if self.qos_ms <= 0:
+            raise ConfigError(f"qos_ms must be positive, got {self.qos_ms}")
+        if not 0 < self.load <= 1:
+            raise ConfigError(f"load must be in (0, 1], got {self.load}")
+        if self.queries < 1:
+            raise ConfigError(f"queries must be >= 1, got {self.queries}")
+
+    def with_overrides(self, **overrides) -> "RunConfig":
+        """A copy with the given knobs replaced.
+
+        ``None`` values are ignored (so callers can forward optional
+        keyword arguments verbatim); unknown knob names raise
+        :class:`ConfigError` rather than vanishing silently.
+        """
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown run knobs {sorted(unknown)}; known: {sorted(known)}"
+            )
+        concrete = {k: v for k, v in overrides.items() if v is not None}
+        if not concrete:
+            return self
+        return replace(self, **concrete)
+
+
+#: The paper's operating point; the default everywhere.
+DEFAULT_RUN_CONFIG = RunConfig()
+
+#: Owners that already emitted their legacy-knob warning this process.
+_WARNED: set = set()
+
+
+def warn_legacy_knobs(owner: str, names) -> None:
+    """Deprecation shim: warn once per owner about loose knob kwargs."""
+    if owner in _WARNED:
+        return
+    _WARNED.add(owner)
+    listed = ", ".join(sorted(names))
+    warnings.warn(
+        f"{owner}({listed}=...) is deprecated; pass "
+        f"config=RunConfig({listed}=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_legacy_warnings() -> None:
+    """Re-arm the warn-once shim (test isolation)."""
+    _WARNED.clear()

@@ -23,6 +23,7 @@ from .faults import FaultInjector
 from .oracle import DurationOracle
 from .policies import Action, SchedulingPolicy
 from .query import BEApplication, Query
+from .runconfig import DEFAULT_RUN_CONFIG, RunConfig, warn_legacy_knobs
 
 
 @dataclass
@@ -118,17 +119,24 @@ class ColocationServer:
     def __init__(
         self,
         gpu: GPUConfig,
+        *,
         oracle: DurationOracle,
         policy: SchedulingPolicy,
-        qos_ms: float,
+        config: Optional[RunConfig] = None,
+        qos_ms: Optional[float] = None,
         record_kernels: bool = False,
         faults: Optional[FaultInjector] = None,
         audit_run: Optional[bool] = None,
     ):
+        if qos_ms is not None:
+            warn_legacy_knobs("ColocationServer", ("qos_ms",))
+        self.config = (config or DEFAULT_RUN_CONFIG).with_overrides(
+            qos_ms=qos_ms
+        )
         self.gpu = gpu
         self.oracle = oracle
         self.policy = policy
-        self.qos_ms = qos_ms
+        self.qos_ms = self.config.qos_ms
         self.record_kernels = record_kernels
         #: injected faults for this run (None = the paper's happy path)
         self.faults = faults
@@ -148,8 +156,12 @@ class ColocationServer:
         BE work is credited only for completions within the horizon
         (default: last arrival + QoS target), so throughput comparisons
         between policies cover identical wall-clock windows.
+
+        An empty trace is allowed only with an explicit ``horizon_ms``
+        (a replica that received no routed LC traffic): the server then
+        drains the BE streams until the horizon.
         """
-        if not queries:
+        if not queries and horizon_ms is None:
             raise SchedulingError("need at least one query")
         pending = sorted(queries, key=lambda q: q.arrival_ms)
         if horizon_ms is None:
@@ -198,6 +210,8 @@ class ColocationServer:
             now = self._execute(action, now, active, result)
 
             if not active and next_arrival >= len(pending):
+                if not pending and now < horizon_ms:
+                    continue  # BE-only run: keep draining to the horizon
                 break
         result.end_ms = now
         result.start_ms = start_ms if start_ms is not None else 0.0

@@ -38,14 +38,15 @@ from .policies import (
     TackerPolicy,
 )
 from .query import BEApplication
+from .runconfig import DEFAULT_RUN_CONFIG, RunConfig, warn_legacy_knobs
 from .server import ColocationServer, ServerResult
 from .workload import PoissonArrivals, be_application
 from .metrics import throughput_improvement
 
 #: The paper's QoS target (Section VIII-B).
-DEFAULT_QOS_MS = 50.0
+DEFAULT_QOS_MS = DEFAULT_RUN_CONFIG.qos_ms
 #: Queries per co-location run: enough for a stable 99th percentile.
-DEFAULT_QUERIES = 200
+DEFAULT_QUERIES = DEFAULT_RUN_CONFIG.queries
 
 
 @dataclass
@@ -73,19 +74,29 @@ class TackerSystem:
     def __init__(
         self,
         gpu: GPUConfig = RTX2080TI,
-        qos_ms: float = DEFAULT_QOS_MS,
-        load: float = 0.8,
-        seed: int = 2022,
+        *,
+        config: Optional[RunConfig] = None,
+        qos_ms: Optional[float] = None,
+        load: Optional[float] = None,
+        seed: Optional[int] = None,
         library: Optional[KernelLibrary] = None,
         store: "OracleStore | str | None" = "auto",
         faults: Optional[FaultPlan] = None,
         guard: Optional[GuardConfig] = None,
         audit: Optional[bool] = None,
     ):
+        legacy = {
+            name: value
+            for name, value in (
+                ("qos_ms", qos_ms), ("load", load), ("seed", seed)
+            )
+            if value is not None
+        }
+        if legacy:
+            warn_legacy_knobs("TackerSystem", legacy)
+        #: run-level knobs (QoS target, load, query count, seed)
+        self.config = (config or DEFAULT_RUN_CONFIG).with_overrides(**legacy)
         self.gpu = gpu
-        self.qos_ms = qos_ms
-        self.load = load
-        self.seed = seed
         #: system-wide fault plan applied to every run (None = clean)
         self.faults = faults
         #: guard-rail config attached to every policy (None = unguarded)
@@ -105,6 +116,20 @@ class TackerSystem:
         self._ptb: dict[str, PTBKernel] = {}
         self.artifacts: dict[tuple[str, str], FusedKernel] = {}
         self._searched: set[tuple[str, str]] = set()
+
+    # -- run-level knobs (views over ``self.config``) -----------------------------
+
+    @property
+    def qos_ms(self) -> float:
+        return self.config.qos_ms
+
+    @property
+    def load(self) -> float:
+        return self.config.load
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
 
     # -- offline preparation -----------------------------------------------------
 
@@ -230,7 +255,7 @@ class TackerSystem:
         model: ModelSpec,
         be_names: Sequence[str],
         policy: SchedulingPolicy,
-        n_queries: int = DEFAULT_QUERIES,
+        n_queries: Optional[int] = None,
         record_kernels: bool = False,
         faults: "FaultPlan | bool | None" = None,
     ) -> ServerResult:
@@ -245,6 +270,8 @@ class TackerSystem:
         identically seeded injector, so fault sequences are reproducible
         and independent across runs.
         """
+        if n_queries is None:
+            n_queries = self.config.queries
         if faults is None:
             faults = self.faults
         if faults is False:
@@ -260,9 +287,9 @@ class TackerSystem:
         )
         be_apps = [be_application(name, self.library) for name in be_names]
         server = ColocationServer(
-            self.gpu, self.oracle, policy, self.qos_ms,
-            record_kernels=record_kernels, faults=injector,
-            audit_run=self.audit,
+            self.gpu, oracle=self.oracle, policy=policy,
+            config=self.config, record_kernels=record_kernels,
+            faults=injector, audit_run=self.audit,
         )
         if injector is None:
             return server.run(queries, be_apps)
@@ -292,7 +319,7 @@ class TackerSystem:
         self,
         lc_names: Sequence[str],
         be_names: Sequence[str],
-        n_queries: int = DEFAULT_QUERIES,
+        n_queries: Optional[int] = None,
         policy_name: str = "tacker",
         load_split: Optional[Sequence[float]] = None,
     ) -> ServerResult:
@@ -308,6 +335,8 @@ class TackerSystem:
         """
         if not lc_names:
             raise SchedulingError("need at least one LC service")
+        if n_queries is None:
+            n_queries = self.config.queries
         if load_split is None:
             load_split = [1.0 / len(lc_names)] * len(lc_names)
         if len(load_split) != len(lc_names) or sum(load_split) > 1.0 + 1e-9:
@@ -332,8 +361,9 @@ class TackerSystem:
             queries.extend(arrivals.queries(n_queries))
         be_apps = [be_application(name, self.library) for name in be_names]
         server = ColocationServer(
-            self.gpu, self.oracle, self._make_policy(policy_name),
-            self.qos_ms, audit_run=self.audit,
+            self.gpu, oracle=self.oracle,
+            policy=self._make_policy(policy_name),
+            config=self.config, audit_run=self.audit,
         )
         return server.run(queries, be_apps)
 
@@ -341,7 +371,7 @@ class TackerSystem:
         self,
         lc_name: "str | ModelSpec",
         be_name: str,
-        n_queries: int = DEFAULT_QUERIES,
+        n_queries: Optional[int] = None,
         record_kernels: bool = False,
     ) -> PairOutcome:
         """Evaluate one LC x BE co-location under Tacker and Baymax.

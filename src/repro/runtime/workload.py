@@ -192,6 +192,51 @@ class PoissonArrivals:
         ]
 
 
+def merged_arrival_stream(
+    models: "list[ModelSpec] | tuple[ModelSpec, ...]",
+    library: KernelLibrary,
+    oracle: DurationOracle,
+    count: int,
+    seed: int,
+    load: float = DEFAULT_LOAD,
+    qos_ms: float = 50.0,
+    rate_scale: float = 1.0,
+    process: str = "paced",
+) -> list[tuple[float, str]]:
+    """A fleet's merged LC arrival stream: ``(arrival_ms, model_name)``.
+
+    Each service gets its own seeded arrival process at ``load`` of its
+    calibrated peak rate, scaled by ``rate_scale`` (a fleet of ``N``
+    replicas serving ``M`` services absorbs ``N / M`` single-node
+    streams per service); ``count`` queries are split evenly across
+    services (earlier services take the remainder).  Streams are merged
+    and time-sorted, ties broken by model name, so the result is a
+    deterministic function of its arguments.
+    """
+    if not models:
+        raise SchedulingError("need at least one LC service")
+    if count < len(models):
+        raise SchedulingError(
+            f"need at least one query per service ({len(models)} services)"
+        )
+    stream: list[tuple[float, str]] = []
+    per_service, remainder = divmod(count, len(models))
+    for index, model in enumerate(models):
+        arrivals = PoissonArrivals(
+            model, library, oracle,
+            load=load, seed=seed + index, qos_ms=qos_ms, process=process,
+        )
+        n = per_service + (1 if index < remainder else 0)
+        gaps = arrival_gaps(
+            arrivals.rate_per_ms * rate_scale, n, seed + index, process
+        )
+        stream.extend(
+            (float(t), model.name) for t in np.cumsum(gaps)
+        )
+    stream.sort(key=lambda item: (item[0], item[1]))
+    return stream
+
+
 def be_application(name: str, library: KernelLibrary) -> BEApplication:
     """Build one of the paper's twelve BE applications by name.
 

@@ -314,7 +314,7 @@ class TestGuardedPolicies:
             system.gpu, system.models, 50.0, system.artifacts, guard=guard
         )
         server = ColocationServer(
-            system.gpu, system.oracle, policy, 50.0
+            system.gpu, oracle=system.oracle, policy=policy
         )
         result = server.run(make_queries(system, 4), [be_app(system)])
         assert result.n_fused_kernels == 0
@@ -344,7 +344,7 @@ class TestAdmissionControl:
             system.gpu, system.models, 50.0, guard=guard
         )
         return ColocationServer(
-            system.gpu, system.oracle, policy, 50.0
+            system.gpu, oracle=system.oracle, policy=policy
         )
 
     def test_be_shed_when_slack_gone(self, system):
@@ -401,7 +401,7 @@ class TestFaultedServerRuns:
         plan = FaultPlan(be_drop=1.0)
         policy = BaymaxPolicy(system.gpu, system.models, 50.0)
         server = ColocationServer(
-            system.gpu, system.oracle, policy, 50.0,
+            system.gpu, oracle=system.oracle, policy=policy,
             faults=FaultInjector(plan),
         )
         result = server.run(
@@ -415,7 +415,7 @@ class TestFaultedServerRuns:
         plan = FaultPlan(be_delay=1.0, be_delay_factor=2.0)
         policy = BaymaxPolicy(system.gpu, system.models, 50.0)
         server = ColocationServer(
-            system.gpu, system.oracle, policy, 50.0,
+            system.gpu, oracle=system.oracle, policy=policy,
             faults=FaultInjector(plan),
         )
         queries = make_queries(system, 3, gap_ms=100.0)

@@ -45,7 +45,7 @@ def run(system, policy_cls, queries, apps, **kwargs):
     else:
         policy = BaymaxPolicy(system.gpu, system.models, 50.0)
     server = ColocationServer(
-        system.gpu, system.oracle, policy, 50.0, **kwargs
+        system.gpu, oracle=system.oracle, policy=policy, **kwargs
     )
     return server.run(queries, apps)
 

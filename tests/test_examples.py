@@ -44,3 +44,10 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "opportune load ratio" in result.stdout
         assert "worst two-stage prediction error" in result.stdout
+
+    def test_cluster_deployment(self):
+        result = run_example("cluster_deployment.py")
+        assert result.returncode == 0, result.stderr
+        assert "staged libraries per node" in result.stdout
+        assert "serving" in result.stdout
+        assert "fleet: BE work" in result.stdout
