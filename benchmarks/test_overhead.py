@@ -20,3 +20,6 @@ def test_overhead(benchmark, report):
     # The offline compile is a one-time cost; the online decision is
     # three orders of magnitude cheaper than JIT fusion would be.
     assert summary["modeled_scheduling_ms"] < summary["online_jit_ms"] / 100
+    # Telemetry makes the decision more expensive but stays the same
+    # order of magnitude (the bound is loose: host timers are noisy).
+    assert 0.5 < summary["telemetry_overhead_x"] < 20

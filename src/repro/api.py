@@ -20,6 +20,15 @@ Cluster-scale serving::
                                 run=RunConfig(queries=120))
     result = serve_cluster(spec)
     print(result.fleet_p99_ms, result.improvement)
+
+Observability (see ``docs/observability.md``)::
+
+    from repro.api import RunConfig, TackerSystem, telemetry_registry
+
+    system = TackerSystem(config=RunConfig(telemetry=True))
+    outcome = system.run_pair("resnet50", "fft")
+    print(len(outcome.tacker.telemetry.decisions))
+    print(telemetry_registry().prometheus_text())
 """
 
 from __future__ import annotations
@@ -37,10 +46,32 @@ from .runtime.cluster import (
     serve_cluster,
 )
 from .runtime.faults import FaultPlan
+from .runtime.metrics import (
+    active_time_breakdown_by_service,
+    latency_stats_by_service,
+)
 from .runtime.policies import GuardConfig
 from .runtime.runconfig import RunConfig
 from .runtime.server import ColocationServer, ServerResult
 from .runtime.system import PairOutcome, TackerSystem
+from .runtime.trace_export import (
+    cluster_to_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_cluster_trace,
+)
+from .telemetry import (
+    DecisionRecord,
+    FusionCandidate,
+    MetricsRegistry,
+    ReservationRecord,
+    RunTelemetry,
+    Span,
+    decision_log_jsonl,
+    validate_decision_jsonl,
+    write_decision_log,
+)
+from .telemetry import registry as telemetry_registry
 
 __all__ = [
     # hardware presets
@@ -68,4 +99,21 @@ __all__ = [
     "ClusterResult",
     "default_cluster_spec",
     "serve_cluster",
+    # observability
+    "RunTelemetry",
+    "DecisionRecord",
+    "FusionCandidate",
+    "ReservationRecord",
+    "Span",
+    "MetricsRegistry",
+    "telemetry_registry",
+    "decision_log_jsonl",
+    "write_decision_log",
+    "validate_decision_jsonl",
+    "latency_stats_by_service",
+    "active_time_breakdown_by_service",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "cluster_to_chrome_trace",
+    "write_cluster_trace",
 ]

@@ -42,6 +42,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "violations abort with an AuditViolation, and a per-invariant "
              "check summary prints after the command",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="enable structured telemetry (span tracing, the scheduler "
+             "decision log and the metrics registry; see "
+             "docs/observability.md); a metrics summary prints after "
+             "the command",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("kernels", help="list the kernel library")
@@ -123,6 +130,28 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("be_app")
     trace.add_argument("output", help="output JSON path")
     trace.add_argument("--queries", type=int, default=20)
+    trace.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="render an N-node cluster run as one multi-process "
+             "Perfetto trace instead of a single-server run",
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="run one co-location pair with telemetry on and print the "
+             "metrics registry (Prometheus text exposition)",
+    )
+    metrics.add_argument("lc_model")
+    metrics.add_argument("be_app")
+    metrics.add_argument("--queries", type=int, default=20)
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="print the JSON snapshot instead of Prometheus text",
+    )
+    metrics.add_argument(
+        "--decisions", default=None, metavar="PATH",
+        help="also export the scheduler decision log as JSONL to PATH",
+    )
 
     report = commands.add_parser("report", help="aggregate reproduction report")
     report.add_argument("--full", action="store_true")
@@ -293,11 +322,30 @@ def _cmd_run_cluster(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from .runtime.system import TackerSystem
-    from .runtime.trace_export import write_chrome_trace
     from .models.zoo import model_by_name
+    from .runtime.system import TackerSystem
+    from .runtime.trace_export import write_chrome_trace, write_cluster_trace
     from .runtime.workload import be_application
 
+    if args.nodes is not None:
+        from . import telemetry
+        from .experiments.common import parallel_map
+        from .runtime.cluster import default_cluster_spec, serve_cluster
+        from .runtime.runconfig import RunConfig
+
+        spec = default_cluster_spec(
+            args.nodes,
+            lc_names=(args.lc_model,),
+            be_names=(args.be_app,),
+            run=RunConfig(queries=args.queries, telemetry=telemetry.active()),
+            record_kernels=True,
+        )
+        cluster = serve_cluster(spec, gpu=args.gpu, map_fn=parallel_map)
+        path = write_cluster_trace(cluster, args.output)
+        events = sum(len(node.tacker.executed) for node in cluster.nodes)
+        print(f"wrote {events} kernel events across {args.nodes} nodes "
+              f"to {path} (open in chrome://tracing or Perfetto)")
+        return 0
     system = TackerSystem(gpu=gpu_preset(args.gpu))
     model = model_by_name(args.lc_model)
     system.prepare_pair(model, be_application(args.be_app, system.library))
@@ -308,6 +356,39 @@ def _cmd_trace(args) -> int:
     path = write_chrome_trace(result, args.output)
     print(f"wrote {len(result.executed)} kernel events to {path} "
           "(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import os
+
+    from . import telemetry
+    from .experiments.common import get_system
+    from .telemetry import write_decision_log
+
+    # The whole point of this command is the registry output, so the
+    # switch is forced on regardless of --telemetry / REPRO_TELEMETRY.
+    telemetry.enable()
+    os.environ["REPRO_TELEMETRY"] = "1"
+    system = get_system(args.gpu)
+    outcome = system.run_pair(
+        args.lc_model, args.be_app, n_queries=args.queries
+    )
+    registry = telemetry.registry()
+    if args.json:
+        import json
+
+        print(json.dumps(registry.json_snapshot(), sort_keys=True,
+                         indent=2))
+    else:
+        print(registry.prometheus_text(), end="")
+    session = outcome.tacker.telemetry
+    if args.decisions is not None:
+        if session is None:
+            raise SystemExit("no decision log recorded (telemetry is off?)")
+        write_decision_log(session.decisions, args.decisions)
+        print(f"wrote {len(session.decisions)} decision records to "
+              f"{args.decisions}")
     return 0
 
 
@@ -324,6 +405,7 @@ _COMMANDS = {
     "run-pair": _cmd_run_pair,
     "run-cluster": _cmd_run_cluster,
     "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "report": _cmd_report,
 }
 
@@ -341,6 +423,11 @@ def main(argv: list[str] | None = None) -> int:
         audit.enable()
         # Workers inherit the switch through the environment.
         os.environ["REPRO_AUDIT"] = "1"
+    if args.telemetry:
+        from . import telemetry
+
+        telemetry.enable()
+        os.environ["REPRO_TELEMETRY"] = "1"
     if not args.perf:
         status = _COMMANDS[args.command](args)
     else:
@@ -360,6 +447,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\naudit: {total} checks, 0 violations")
         for invariant, count in checks.items():
             print(f"  {invariant} = {count}")
+    if args.telemetry and args.command != "metrics":
+        registry = telemetry.registry()
+        print(f"\ntelemetry: {len(registry)} metric families "
+              "(run 'repro metrics' for the full exposition)")
     return status
 
 

@@ -25,7 +25,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
-from .. import audit
+from .. import audit, telemetry
 from ..config import gpu_preset
 from ..gpusim import fastpath
 from ..runtime.runconfig import DEFAULT_RUN_CONFIG, RunConfig
@@ -132,11 +132,18 @@ def _store_snapshot() -> dict[str, dict]:
 
 
 def _invoke_task(payload):
-    """Worker-side wrapper: run the item, ship back new store entries."""
+    """Worker-side wrapper: run the item, ship back new store entries.
+
+    Also ships the *delta* of the worker's process-global metrics
+    registry across this item — a delta, not a snapshot, because pooled
+    worker processes are reused across items and a snapshot would
+    double-count earlier items' metrics when the parent folds them in.
+    """
     fn, item = payload
     os.environ[_IN_WORKER_ENV] = "1"
+    before = telemetry.registry().snapshot()
     result = fn(item)
-    return result, _store_snapshot()
+    return result, _store_snapshot(), telemetry.registry().diff(before)
 
 
 def _merge_store_snapshots(snapshots: Iterable[dict[str, dict]]) -> None:
@@ -176,8 +183,15 @@ def parallel_map(
     payloads = [(fn, item) for item in items]
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
         shipped = list(pool.map(_invoke_task, payloads))
-    _merge_store_snapshots(snapshot for _, snapshot in shipped)
-    results = [result for result, _ in shipped]
+    _merge_store_snapshots(snapshot for _, snapshot, _ in shipped)
+    # Metrics registries merge in submission order: counter/histogram
+    # deltas add (commutative), gauges last-write-wins — the same final
+    # state a serial run would leave.
+    registry = telemetry.registry()
+    for _, _, metrics_delta in shipped:
+        if metrics_delta:
+            registry.merge_snapshot(metrics_delta)
+    results = [result for result, _, _ in shipped]
     if audit.active():
         _audit_parallel_results(fn, items, results)
     return results
@@ -254,6 +268,39 @@ def perf_counters() -> PerfCounters:
     return counters
 
 
+def publish_perf_metrics(registry=None) -> PerfCounters:
+    """Publish the perf totals into a metrics registry.
+
+    The report's ad-hoc counters live on the registry now: this folds
+    the same :func:`perf_counters` totals into Prometheus families
+    (``repro_oracle_lookups_total``, ``repro_fastpath_dispatch_total``)
+    at collection time, so ``repro metrics`` and ``--perf`` expose one
+    set of numbers.  Returns the collected totals.
+    """
+    reg = registry if registry is not None else telemetry.registry()
+    counters = perf_counters()
+    for outcome, total in (
+        ("hit", counters.oracle_hits),
+        ("miss", counters.oracle_misses),
+        ("persistent_hit", counters.oracle_persistent_hits),
+    ):
+        reg.counter(
+            "repro_oracle_lookups_total",
+            "Duration-oracle lookups by outcome.",
+            outcome=outcome,
+        ).set_total(total)
+    for path, total in (
+        ("fast", counters.fastpath_fast),
+        ("engine", counters.fastpath_engine),
+    ):
+        reg.counter(
+            "repro_fastpath_dispatch_total",
+            "SM simulations by dispatch path.",
+            path=path,
+        ).set_total(total)
+    return counters
+
+
 @dataclass
 class TimedResult:
     """An experiment result with its wall clock and counter deltas."""
@@ -272,12 +319,26 @@ class TimedResult:
         )
 
 
-def timed_run(fn: Callable[[], R]) -> TimedResult:
-    """Run an experiment entry point under perf instrumentation."""
+def timed_run(fn: Callable[[], R],
+              label: Optional[str] = None) -> TimedResult:
+    """Run an experiment entry point under perf instrumentation.
+
+    With telemetry on, the phase's wall clock is also published as a
+    ``repro_phase_wall_seconds`` gauge (labelled by ``label`` or the
+    function's qualified name) and the perf totals land on the registry.
+    """
     before = perf_counters()
     start = time.perf_counter()
     value = fn()
     wall = time.perf_counter() - start
+    if telemetry.active():
+        phase = label or getattr(fn, "__module__", "") or "phase"
+        telemetry.registry().gauge(
+            "repro_phase_wall_seconds",
+            "Host wall clock of one experiment phase.",
+            phase=phase,
+        ).set(wall)
+        publish_perf_metrics()
     return TimedResult(
         value=value,
         wall_s=wall,

@@ -34,7 +34,13 @@ from . import (
     tab03_cudnn,
     tab_overhead,
 )
-from .common import format_table, perf_counters, timed_run
+from .. import telemetry
+from .common import (
+    format_table,
+    perf_counters,
+    publish_perf_metrics,
+    timed_run,
+)
 
 #: (title, module.run, headers) for the light experiments.
 _LIGHT = (
@@ -86,7 +92,7 @@ _SERVER = (
 
 
 def _section(title: str, run_fn, headers) -> str:
-    timed = timed_run(run_fn)
+    timed = timed_run(run_fn, label=title)
     result = timed.value
     rows = result.rows()
     if len(rows) > 24:
@@ -122,7 +128,12 @@ def main(argv: list[str]) -> int:
         ):
             print(_section(title, run_fn, headers))
             print()
-    totals = perf_counters()
+    # With telemetry on, the same totals also land on the metrics
+    # registry (the report's perf counters are registry-backed now);
+    # the printed lines stay byte-identical either way.
+    totals = (
+        publish_perf_metrics() if telemetry.active() else perf_counters()
+    )
     print("== performance ==")
     print(f"total wall clock: {time.perf_counter() - start:.2f}s")
     for key, value in totals.as_dict().items():

@@ -14,6 +14,7 @@ from typing import Callable
 
 from ..audit import core as audit
 from ..errors import SimulationError
+from ..telemetry import core as telemetry
 
 #: A scheduled callback; receives the current simulation time.
 EventCallback = Callable[[float], None]
@@ -88,6 +89,10 @@ class EventQueue:
                 )
         if auditing:
             audit.note("event-monotone", executed)
+        if telemetry.active():
+            telemetry.sim_span(
+                "engine.run", 0.0, self._now, events=executed,
+            )
         return self._now
 
     def __len__(self) -> int:

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 from ..config import SMConfig
 from ..errors import SimulationError
+from ..telemetry import core as telemetry
 from .sm import BlockSpec, SMResult
 from .trace import Timeline
 from .warp import ComputeSegment, MemorySegment, SyncSegment
@@ -386,6 +387,10 @@ def run_blocks(sm: SMConfig, bandwidth_bytes_per_cycle: float,
     sim = _FastSimulation(sm, bandwidth_bytes_per_cycle)
     sim.run(_fragments(blocks, sim.group_finish))
     finish = sim.finish
+    if telemetry.active():
+        telemetry.sim_span(
+            "fastpath.run", 0.0, finish, blocks=len(blocks),
+        )
     for pipe in sim.pipes.values():
         pipe.timeline.close(finish)
     return SMResult(

@@ -30,7 +30,13 @@ from .policies import BaymaxPolicy, SchedulingPolicy, TackerPolicy
 from .runconfig import RunConfig
 from .server import ColocationServer, ServerResult
 from .system import TackerSystem, PairOutcome
-from .metrics import latency_stats, throughput_improvement
+from .metrics import (
+    active_time_breakdown,
+    active_time_breakdown_by_service,
+    latency_stats,
+    latency_stats_by_service,
+    throughput_improvement,
+)
 from .cluster import (
     ClusterDispatcher,
     ClusterManager,
@@ -41,7 +47,12 @@ from .cluster import (
     default_cluster_spec,
     serve_cluster,
 )
-from .trace_export import to_chrome_trace, write_chrome_trace
+from .trace_export import (
+    cluster_to_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_cluster_trace,
+)
 
 __all__ = [
     "BEApplication",
@@ -61,6 +72,9 @@ __all__ = [
     "TackerSystem",
     "PairOutcome",
     "latency_stats",
+    "latency_stats_by_service",
+    "active_time_breakdown",
+    "active_time_breakdown_by_service",
     "throughput_improvement",
     "ClusterDispatcher",
     "ClusterManager",
@@ -72,4 +86,6 @@ __all__ = [
     "serve_cluster",
     "to_chrome_trace",
     "write_chrome_trace",
+    "cluster_to_chrome_trace",
+    "write_cluster_trace",
 ]

@@ -254,6 +254,10 @@ class ClusterSpec:
     #: the measured policy and the baseline it is compared against
     policy: str = "tacker"
     baseline: str = "baymax"
+    #: record per-kernel execution traces on every node (needed for
+    #: fleet-wide Chrome-trace export; off by default — it is the one
+    #: per-launch allocation the serving hot path otherwise avoids)
+    record_kernels: bool = False
 
     def __post_init__(self) -> None:
         if not self.nodes:
@@ -281,6 +285,7 @@ def default_cluster_spec(
     steal: bool = True,
     be_every: int = 1,
     guard: bool = False,
+    record_kernels: bool = False,
 ) -> ClusterSpec:
     """A homogeneous fleet with BE applications rotated across nodes.
 
@@ -314,6 +319,7 @@ def default_cluster_spec(
         routing=routing,
         run=run if run is not None else DEFAULT_RUN_CONFIG,
         steal=steal,
+        record_kernels=record_kernels,
     )
 
 
@@ -485,6 +491,7 @@ class NodeRunSpec:
     baseline: str
     guard: bool
     faults: Optional[FaultPlan]
+    record_kernels: bool = False
 
 
 @dataclass
@@ -526,6 +533,7 @@ class RoutingPlan:
                     baseline=self.spec.baseline,
                     guard=node.guard,
                     faults=faults,
+                    record_kernels=self.spec.record_kernels,
                 )
             )
         return specs
@@ -684,6 +692,7 @@ def run_node(spec: NodeRunSpec) -> "NodeResult":
         server = ColocationServer(
             system.gpu, oracle=system.oracle, policy=policy,
             config=spec.run, faults=injector,
+            record_kernels=spec.record_kernels,
         )
         queries = [
             Query(models[name], arrival_ms, instances[name])

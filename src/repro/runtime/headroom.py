@@ -118,3 +118,35 @@ class HeadroomTracker:
             )
             reserved_ahead += remaining
         return slack
+
+    def headroom_detail(
+        self, now_ms: float, active: Sequence[Query]
+    ) -> tuple[float, tuple]:
+        """:meth:`headroom_ms` plus the per-query Eq. 9 math.
+
+        Returns ``(headroom, entries)`` where each entry is a
+        :class:`repro.telemetry.ReservationEntry` — the elapsed time,
+        predicted remaining work, reserved time ahead and resulting
+        slack for one active query.  Only called when telemetry is on;
+        the plain :meth:`headroom_ms` stays the hot path.
+        """
+        from ..telemetry.decisions import ReservationEntry
+
+        slack = float("inf")
+        reserved_ahead = 0.0
+        entries = []
+        for query in active:
+            remaining = self.predicted_remaining_ms(query)
+            elapsed = now_ms - query.arrival_ms
+            own = self.qos_ms - elapsed - reserved_ahead - remaining
+            entries.append(ReservationEntry(
+                service=query.model.name,
+                arrival_ms=query.arrival_ms,
+                elapsed_ms=elapsed,
+                remaining_ms=remaining,
+                reserved_ahead_ms=reserved_ahead,
+                slack_ms=own,
+            ))
+            slack = min(slack, own)
+            reserved_ahead += remaining
+        return slack, tuple(entries)

@@ -96,6 +96,33 @@ def latency_stats(result: ServerResult) -> dict[str, float]:
     }
 
 
+def latency_stats_by_service(
+    result: ServerResult,
+) -> dict[str, dict[str, float]]:
+    """Per-LC-service latency statistics (multi-tenant runs).
+
+    One :func:`latency_stats`-shaped dict per service, keyed by model
+    name — the join key the telemetry decision log uses
+    (``DecisionRecord.lc_service``), so per-service QoS can be lined up
+    against the scheduling decisions taken while that service was at
+    the head of the FIFO.
+    """
+    stats: dict[str, dict[str, float]] = {}
+    for service in sorted(result.latencies_by_model):
+        latencies = np.asarray(
+            result.latencies_by_model[service], dtype=float
+        )
+        violations = int((latencies > result.qos_ms).sum())
+        stats[service] = {
+            "mean_ms": float(latencies.mean()),
+            "p99_ms": float(np.percentile(latencies, 99)),
+            "max_ms": float(latencies.max()),
+            "qos_ms": result.qos_ms,
+            "violation_rate": violations / latencies.size,
+        }
+    return stats
+
+
 def active_time_breakdown(result: ServerResult) -> dict[str, float]:
     """Fig. 2's stacked bars: TC and CD active time over the run window.
 
@@ -118,6 +145,50 @@ def active_time_breakdown(result: ServerResult) -> dict[str, float]:
         "both_active": both / span,
         "stacked": (tc + cd) / span,
     }
+
+
+def active_time_breakdown_by_service(
+    result: ServerResult,
+) -> dict[str, dict[str, float]]:
+    """Per-service TC/CD active time over the run window.
+
+    Requires the run to have been recorded with ``record_kernels=True``
+    (the per-launch service attribution lives on
+    :class:`~repro.runtime.server.ExecutedKernel`).  A fused launch is
+    charged to the LC service it carried.  Every service is normalized
+    by the *shared* run span, so the per-service stacked values sum to
+    (at most) the global :func:`active_time_breakdown` ones.
+    """
+    from ..gpusim.trace import Timeline
+
+    if not result.executed:
+        raise SchedulingError(
+            "no kernel trace recorded; run the server with "
+            "record_kernels=True"
+        )
+    span = result.end_ms - result.start_ms
+    if span <= 0:
+        raise SchedulingError("empty run")
+    timelines: dict[str, tuple[Timeline, Timeline]] = {}
+    for kernel in result.executed:
+        service = kernel.service or kernel.name
+        tc, cd = timelines.setdefault(service, (Timeline(), Timeline()))
+        if kernel.tc_end_ms > kernel.start_ms:
+            tc.add(kernel.start_ms, kernel.tc_end_ms)
+        if kernel.cd_end_ms > kernel.start_ms:
+            cd.add(kernel.start_ms, kernel.cd_end_ms)
+    breakdown: dict[str, dict[str, float]] = {}
+    for service in sorted(timelines):
+        tc, cd = timelines[service]
+        tc_total = tc.total()
+        cd_total = cd.total()
+        breakdown[service] = {
+            "tc_active": tc_total / span,
+            "cd_active": cd_total / span,
+            "both_active": tc.intersection(cd).total() / span,
+            "stacked": (tc_total + cd_total) / span,
+        }
+    return breakdown
 
 
 def geometric_mean(values: Sequence[float]) -> float:

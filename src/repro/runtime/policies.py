@@ -28,6 +28,14 @@ from ..config import GPUConfig
 from ..errors import ConfigError
 from ..fusion.fuser import FusedKernel
 from ..predictor.online import OnlineModelManager, PredictionErrorTracker
+from ..telemetry.decisions import (
+    REJECT_EQ8,
+    REJECT_KIND_MISMATCH,
+    REJECT_NO_ARTIFACT,
+    DecisionRecord,
+    FusionCandidate,
+    ReservationRecord,
+)
 from .headroom import HeadroomTracker
 from .query import BEApplication, KernelInstance, Query
 
@@ -209,6 +217,9 @@ QOS_GUARD = 0.9
 class SchedulingPolicy(ABC):
     """Base: owns the duration models and the headroom tracker."""
 
+    #: name stamped on telemetry decision records
+    policy_name = "policy"
+
     def __init__(
         self,
         gpu: GPUConfig,
@@ -233,6 +244,9 @@ class SchedulingPolicy(ABC):
         #: decision counters for the overhead study
         self.decisions = 0
         self.fusions = 0
+        #: per-run telemetry session the server attaches; None keeps
+        #: every recording site a single attribute check
+        self.telemetry = None
 
     # -- predictions -----------------------------------------------------------
 
@@ -292,6 +306,73 @@ class SchedulingPolicy(ABC):
         return self._guarded_thr(
             self.headroom.headroom_ms(now_ms, active), active
         )
+
+    # -- telemetry --------------------------------------------------------------
+
+    def _thr_with_reservation(
+        self, now_ms: float, active: Sequence[Query]
+    ) -> tuple[float, ReservationRecord]:
+        """``Thr`` plus the Eq. 9 record backing it (telemetry path).
+
+        Computes the same value as :meth:`current_thr_ms` — the per-query
+        reservation entries reuse the identical predicted-remaining sums
+        — but keeps the math, so the decision log can show *why* the
+        threshold was what it was.
+        """
+        headroom, entries = self.headroom.headroom_detail(now_ms, active)
+        margin = 0.0
+        if self.guard is not None:
+            margin = self.guard.margin_ms(
+                sum(entry.remaining_ms for entry in entries)
+            )
+        thr = headroom - margin
+        record = ReservationRecord(
+            qos_ms=self.headroom.qos_ms,
+            entries=entries,
+            headroom_ms=headroom,
+            guard_margin_ms=margin,
+            thr_ms=thr,
+        )
+        return thr, record
+
+    def _record_decision(
+        self,
+        now_ms: float,
+        action: Action,
+        *,
+        query: Optional[Query] = None,
+        thr_ms: Optional[float] = None,
+        reserve_ms: Optional[float] = None,
+        candidates: Sequence[FusionCandidate] = (),
+        reservation: Optional[ReservationRecord] = None,
+        gain_ms: Optional[float] = None,
+        guard_mode: Optional[str] = None,
+    ) -> Action:
+        """Append one decision record to the attached session."""
+        session = self.telemetry
+        session.record_decision(DecisionRecord(
+            index=session.next_decision_index(),
+            now_ms=now_ms,
+            policy=self.policy_name,
+            kind=action.kind,
+            lc_service=query.model.name if query is not None else None,
+            lc_arrival_ms=query.arrival_ms if query is not None else None,
+            lc_kernel=query.current.name if query is not None else None,
+            be_app=action.be_app.name if action.be_app is not None else None,
+            fused_kernel=(
+                action.fused.name if action.fused is not None else None
+            ),
+            guard_mode=guard_mode,
+            thr_ms=thr_ms,
+            reserve_ms=reserve_ms,
+            predicted_lc_ms=action.predicted_lc_ms,
+            predicted_be_ms=action.predicted_be_ms,
+            predicted_fused_ms=action.predicted_fused_ms,
+            gain_ms=gain_ms,
+            candidates=tuple(candidates),
+            reservation=reservation,
+        ))
+        return action
 
     # -- decisions --------------------------------------------------------------
 
@@ -358,18 +439,38 @@ class SchedulingPolicy(ABC):
 class BaymaxPolicy(SchedulingPolicy):
     """Reorder-only baseline (Baymax, ref [19])."""
 
+    policy_name = "baymax"
+
     def decide(self, now_ms, active, be_apps):
         self.decisions += 1
+        session = self.telemetry
         if not active:
-            return self._pure_be(be_apps)
+            action = self._pure_be(be_apps)
+            if session is not None and action is not None:
+                self._record_decision(now_ms, action)
+            return action
         query = active[0]
+        guard_mode = None
         if self.guard is not None:
             self.guard.note_decision()
-            if self.guard.mode == "exclusive":
-                return Action(
+            guard_mode = self.guard.mode
+            if guard_mode == "exclusive":
+                action = Action(
                     kind="lc", query=query,
                     predicted_lc_ms=self.predict_ms(query.current),
                 )
+                if session is not None:
+                    self._record_decision(
+                        now_ms, action, query=query, guard_mode=guard_mode,
+                    )
+                return action
+        if session is not None:
+            thr, reservation = self._thr_with_reservation(now_ms, active)
+            action = self._reorder_or_lc(query, be_apps, thr)
+            return self._record_decision(
+                now_ms, action, query=query, thr_ms=thr,
+                reservation=reservation, guard_mode=guard_mode,
+            )
         thr = self.current_thr_ms(now_ms, active)
         return self._reorder_or_lc(query, be_apps, thr)
 
@@ -381,6 +482,8 @@ class TackerPolicy(SchedulingPolicy):
     fused kernel produced by the offline search; pairs the search
     rejected are simply absent, so the runtime never reconsiders them.
     """
+
+    policy_name = "tacker"
 
     def __init__(
         self,
@@ -424,10 +527,13 @@ class TackerPolicy(SchedulingPolicy):
         lc_instance: KernelInstance,
         app: BEApplication,
         thr_ms: float,
+        log: Optional[list] = None,
     ) -> Optional[tuple[float, Action]]:
         """Evaluate fusing the LC kernel with one BE app's head kernel.
 
-        Returns (Tgain, action) when Eq. 8 admits the fusion.
+        Returns (Tgain, action) when Eq. 8 admits the fusion.  When
+        ``log`` is given (telemetry on), every evaluation — including
+        rejected ones, with the reason — is appended to it.
         """
         be = app.head
         if lc_instance.kind == "tc" and be.kind == "cd":
@@ -439,8 +545,19 @@ class TackerPolicy(SchedulingPolicy):
             fused = self.artifacts.get((tc_inst.name, cd_inst.name))
             lc_is_tc = False
         else:
+            if log is not None:
+                log.append(FusionCandidate(
+                    be_app=app.name,
+                    lc_is_tc=lc_instance.kind == "tc",
+                    reason=REJECT_KIND_MISMATCH,
+                ))
             return None
         if fused is None:
+            if log is not None:
+                log.append(FusionCandidate(
+                    be_app=app.name, tc=tc_inst.name, cd=cd_inst.name,
+                    lc_is_tc=lc_is_tc, reason=REJECT_NO_ARTIFACT,
+                ))
             return None
         tc_ms = self.predict_ms(tc_inst)
         cd_ms = self.predict_ms(cd_inst)
@@ -448,9 +565,18 @@ class TackerPolicy(SchedulingPolicy):
         lc_ms = tc_ms if lc_is_tc else cd_ms
         be_ms = cd_ms if lc_is_tc else tc_ms
         extra_lc_ms = fused_ms - lc_ms
-        if not (tc_ms + cd_ms > fused_ms and extra_lc_ms < thr_ms):
-            return None
+        admissible = tc_ms + cd_ms > fused_ms and extra_lc_ms < thr_ms
         gain = be_ms - extra_lc_ms
+        if log is not None:
+            log.append(FusionCandidate(
+                be_app=app.name, tc=tc_inst.name, cd=cd_inst.name,
+                ttc_ms=tc_ms, tcd_ms=cd_ms, tk_fuse_ms=fused_ms,
+                lc_is_tc=lc_is_tc, extra_lc_ms=extra_lc_ms, gain_ms=gain,
+                admissible=admissible,
+                reason="" if admissible else REJECT_EQ8,
+            ))
+        if not admissible:
+            return None
         action = Action(
             kind="fused",
             be_app=app,
@@ -519,24 +645,39 @@ class TackerPolicy(SchedulingPolicy):
 
     def decide(self, now_ms, active, be_apps):
         self.decisions += 1
+        session = self.telemetry
         if not active:
-            return self._pure_be(be_apps)
+            action = self._pure_be(be_apps)
+            if session is not None and action is not None:
+                self._record_decision(now_ms, action)
+            return action
         query = active[0]
         mode = "fuse"
+        guard_mode = None
         if self.guard is not None:
             self.guard.note_decision()
-            mode = self.guard.mode
+            mode = guard_mode = self.guard.mode
             if mode == "exclusive":
-                return Action(
+                action = Action(
                     kind="lc", query=query,
                     predicted_lc_ms=self.predict_ms(query.current),
                 )
-        thr = self.current_thr_ms(now_ms, active)
+                if session is not None:
+                    self._record_decision(
+                        now_ms, action, query=query, guard_mode=guard_mode,
+                    )
+                return action
+        reservation = None
+        if session is not None:
+            thr, reservation = self._thr_with_reservation(now_ms, active)
+        else:
+            thr = self.current_thr_ms(now_ms, active)
         lc_instance = query.current
+        candidates: Optional[list] = [] if session is not None else None
         if mode == "fuse" and (lc_instance.fusable or lc_instance.kind == "cd"):
             best: Optional[tuple[float, Action]] = None
             for app in be_apps:
-                scored = self._fusion_for(lc_instance, app, thr)
+                scored = self._fusion_for(lc_instance, app, thr, candidates)
                 if scored is None or scored[0] <= 0:
                     continue
                 if best is None or scored[0] > best[0]:
@@ -546,7 +687,7 @@ class TackerPolicy(SchedulingPolicy):
             if best is not None and best[0] > 0:
                 self.fusions += 1
                 gain, action = best
-                return Action(
+                chosen = Action(
                     kind="fused",
                     query=query,
                     be_app=action.be_app,
@@ -555,10 +696,31 @@ class TackerPolicy(SchedulingPolicy):
                     predicted_be_ms=action.predicted_be_ms,
                     predicted_fused_ms=action.predicted_fused_ms,
                 )
+                if session is not None:
+                    self._record_decision(
+                        now_ms, chosen, query=query, thr_ms=thr,
+                        candidates=candidates, reservation=reservation,
+                        gain_ms=gain, guard_mode=guard_mode,
+                    )
+                return chosen
         if not self.enable_reorder:
-            return Action(
+            action = Action(
                 kind="lc", query=query,
                 predicted_lc_ms=self.predict_ms(lc_instance),
             )
+            if session is not None:
+                self._record_decision(
+                    now_ms, action, query=query, thr_ms=thr,
+                    candidates=candidates or (), reservation=reservation,
+                    guard_mode=guard_mode,
+                )
+            return action
         reserve = self._fusion_reserve_ms(query, be_apps)
-        return self._reorder_or_lc(query, be_apps, thr - reserve)
+        action = self._reorder_or_lc(query, be_apps, thr - reserve)
+        if session is not None:
+            self._record_decision(
+                now_ms, action, query=query, thr_ms=thr, reserve_ms=reserve,
+                candidates=candidates or (), reservation=reservation,
+                guard_mode=guard_mode,
+            )
+        return action

@@ -36,6 +36,9 @@ class RunConfig:
     queries: int = 200
     #: seed of the arrival process (and anything derived from it)
     seed: int = 2022
+    #: collect telemetry (spans, decision log, run metrics) for runs
+    #: under this config; False keeps the hot path a strict no-op
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.qos_ms <= 0:

@@ -15,10 +15,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .. import audit
+from .. import audit, telemetry
 from ..config import GPUConfig
 from ..errors import SchedulingError
 from ..gpusim.trace import Timeline
+from ..telemetry import RunTelemetry
 from .faults import FaultInjector
 from .oracle import DurationOracle
 from .policies import Action, SchedulingPolicy
@@ -36,6 +37,9 @@ class ExecutedKernel:
     name: str
     tc_end_ms: float
     cd_end_ms: float
+    #: owning service: the LC model for "lc"/"fused" launches (a fused
+    #: launch is charged to the query it carries), the BE app for "be"
+    service: str = ""
 
 
 @dataclass
@@ -69,6 +73,8 @@ class ServerResult:
     guard_mode_decisions: dict[str, int] = field(default_factory=dict)
     #: fault-injector event counters ({} when fault-free)
     fault_events: dict[str, int] = field(default_factory=dict)
+    #: the run's telemetry session (None when telemetry was off)
+    telemetry: Optional[RunTelemetry] = None
 
     def p99_by_model(self) -> dict[str, float]:
         """99th-percentile latency per LC service."""
@@ -127,6 +133,7 @@ class ColocationServer:
         record_kernels: bool = False,
         faults: Optional[FaultInjector] = None,
         audit_run: Optional[bool] = None,
+        telemetry_run: Optional[bool] = None,
     ):
         if qos_ms is not None:
             warn_legacy_knobs("ColocationServer", ("qos_ms",))
@@ -144,6 +151,10 @@ class ColocationServer:
         #: process-wide switch (see :mod:`repro.audit`)
         self.audit_run = audit_run
         self._auditor: Optional[audit.ServerAuditor] = None
+        #: telemetry collection: True/False overrides, None follows the
+        #: run config and the process-wide switch (:mod:`repro.telemetry`)
+        self.telemetry_run = telemetry_run
+        self._telemetry: Optional[RunTelemetry] = None
 
     def run(
         self,
@@ -182,6 +193,15 @@ class ColocationServer:
             audit.ServerAuditor(self.policy, self.qos_ms, horizon_ms)
             if auditing else None
         )
+        tracing = (
+            self.telemetry_run
+            if self.telemetry_run is not None
+            else (self.config.telemetry or telemetry.active())
+        )
+        self._telemetry = (
+            RunTelemetry(policy=self.policy.policy_name) if tracing else None
+        )
+        self.policy.telemetry = self._telemetry
         now = 0.0
         start_ms: Optional[float] = None
         next_arrival = 0
@@ -223,6 +243,13 @@ class ColocationServer:
         if self._auditor is not None:
             self._auditor.on_run_complete(result)
             self._auditor = None
+        if self._telemetry is not None:
+            session = self._telemetry
+            session.publish_result(result, guard=guard)
+            result.telemetry = session
+            telemetry.merge_session(session, telemetry.registry())
+            self.policy.telemetry = None
+            self._telemetry = None
         return result
 
     # -- admission control ----------------------------------------------------
@@ -277,10 +304,14 @@ class ColocationServer:
         slack = self.true_headroom_ms(now, active)
         if slack <= 0:
             result.n_shed_be += 1
+            override = "shed"
         elif slack < guard.config.admission_margin_ms:
             result.n_deferred_be += 1
+            override = "deferred"
         else:
             return action
+        if self._telemetry is not None:
+            self._telemetry.note_admission_override(override)
         query = active[0]
         return Action(
             kind="lc", query=query,
@@ -316,9 +347,12 @@ class ColocationServer:
                 query.model.name, []
             ).append(query.latency_ms)
             self.policy.note_query_done(query.latency_ms)
+            if self._telemetry is not None:
+                self._telemetry.note_query_complete(query, end)
 
     def _record(self, result: ServerResult, start: float, end: float,
-                kind: str, name: str, tc_end: float, cd_end: float) -> None:
+                kind: str, name: str, tc_end: float, cd_end: float,
+                service: str = "") -> None:
         if self._auditor is not None:
             self._auditor.on_kernel(start, end, kind, name)
         if tc_end > start:
@@ -327,17 +361,21 @@ class ColocationServer:
             result.cd_timeline.add(start, cd_end)
         if self.record_kernels:
             result.executed.append(
-                ExecutedKernel(start, end, kind, name, tc_end, cd_end)
+                ExecutedKernel(start, end, kind, name, tc_end, cd_end,
+                               service)
             )
 
     def _run_lc(self, action, now, active, result) -> float:
         query = action.query
         instance = query.current
+        if self._telemetry is not None and query.cursor == 0:
+            self._telemetry.note_first_launch(query.qid, now)
         duration = self.oracle.solo_ms(instance.kernel, instance.grid)
         end = now + duration
         tc_end = end if instance.kind == "tc" else now
         cd_end = end if instance.kind == "cd" else now
-        self._record(result, now, end, "lc", instance.name, tc_end, cd_end)
+        self._record(result, now, end, "lc", instance.name, tc_end, cd_end,
+                     query.model.name)
         result.n_lc_kernels += 1
         self.policy.note_outcome(
             "lc", instance.name, action.predicted_lc_ms, duration
@@ -360,7 +398,8 @@ class ColocationServer:
         end = now + duration
         tc_end = end if instance.kind == "tc" else now
         cd_end = end if instance.kind == "cd" else now
-        self._record(result, now, end, "be", instance.name, tc_end, cd_end)
+        self._record(result, now, end, "be", instance.name, tc_end, cd_end,
+                     app.name)
         result.n_be_kernels += 1
         self.policy.note_outcome(
             "be", instance.name, action.predicted_be_ms, duration
@@ -382,6 +421,8 @@ class ColocationServer:
         fused = action.fused
         lc_instance = query.current
         be_instance = app.head
+        if self._telemetry is not None and query.cursor == 0:
+            self._telemetry.note_first_launch(query.qid, now)
         if lc_instance.kind == "tc":
             tc_grid, cd_grid = lc_instance.grid, be_instance.grid
         else:
@@ -391,7 +432,8 @@ class ColocationServer:
         end = now + duration
         tc_end = now + self.gpu.cycles_to_ms(corun.finish_a_cycles)
         cd_end = now + self.gpu.cycles_to_ms(corun.finish_b_cycles)
-        self._record(result, now, end, "fused", fused.name, tc_end, cd_end)
+        self._record(result, now, end, "fused", fused.name, tc_end, cd_end,
+                     query.model.name)
         result.n_fused_kernels += 1
         self.policy.note_outcome(
             "fused", fused.name, action.predicted_fused_ms, duration

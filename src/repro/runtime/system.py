@@ -84,6 +84,7 @@ class TackerSystem:
         faults: Optional[FaultPlan] = None,
         guard: Optional[GuardConfig] = None,
         audit: Optional[bool] = None,
+        telemetry: Optional[bool] = None,
     ):
         legacy = {
             name: value
@@ -104,6 +105,9 @@ class TackerSystem:
         #: invariant auditing for every run this system launches:
         #: True/False overrides, None follows the process-wide switch
         self.audit = audit
+        #: telemetry for every run this system launches: True/False
+        #: overrides, None follows ``config.telemetry`` / the switch
+        self.telemetry = telemetry
         self.library = library if library is not None else default_library()
         if store == "auto":
             # Default deployment: durations persist across processes
@@ -290,6 +294,7 @@ class TackerSystem:
             self.gpu, oracle=self.oracle, policy=policy,
             config=self.config, record_kernels=record_kernels,
             faults=injector, audit_run=self.audit,
+            telemetry_run=self.telemetry,
         )
         if injector is None:
             return server.run(queries, be_apps)
@@ -364,6 +369,7 @@ class TackerSystem:
             self.gpu, oracle=self.oracle,
             policy=self._make_policy(policy_name),
             config=self.config, audit_run=self.audit,
+            telemetry_run=self.telemetry,
         )
         return server.run(queries, be_apps)
 

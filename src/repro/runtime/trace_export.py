@@ -2,9 +2,17 @@
 
 The paper's Figs. 1 and 15 are timeline plots produced from profiler
 traces.  This module exports a :class:`ServerResult`'s kernel-level
-trace as Chrome ``chrome://tracing`` / Perfetto JSON, with one row per
-execution unit (Tensor cores / CUDA cores), so the reproduction's
-timelines can be inspected with the same kind of tooling.
+trace as Chrome ``chrome://tracing`` / Perfetto JSON:
+
+* one row per execution unit (Tensor cores / CUDA cores) showing true
+  unit occupancy, plus a dedicated *Fused kernels* row so fused
+  launches stand apart from the solo kernels they interleave with;
+* when the run carried a telemetry session, instant events on a
+  *Scheduler* row mark every decision with its kind, threshold and
+  (for fusions) the Eq. 8 gain;
+* every emitter takes a ``pid``, and :func:`cluster_to_chrome_trace`
+  assigns one pid per node, so a whole :class:`ClusterResult` renders
+  as one multi-process Perfetto trace.
 """
 
 from __future__ import annotations
@@ -15,50 +23,120 @@ from typing import Optional
 from ..errors import SchedulingError
 from .server import ExecutedKernel, ServerResult
 
-#: Synthetic pid/tids for the two execution units.
+#: Default synthetic pid; per-node pids start here for cluster traces.
 _PID = 1
 _TENSOR_TID = 1
 _CUDA_TID = 2
+_FUSED_TID = 3
+_SCHED_TID = 4
+
+_TRACK_NAMES = (
+    (_TENSOR_TID, "Tensor cores"),
+    (_CUDA_TID, "CUDA cores"),
+    (_FUSED_TID, "Fused kernels"),
+)
 
 _COLOURS = {"lc": "thread_state_running", "be": "thread_state_iowait",
             "fused": "thread_state_runnable"}
 
 
-def _event(name: str, tid: int, start_ms: float, end_ms: float,
-           kind: str) -> dict:
+def _event(name: str, pid: int, tid: int, start_ms: float, end_ms: float,
+           kind: str, service: str = "") -> dict:
+    args = {"kind": kind}
+    if service:
+        args["service"] = service
     return {
         "name": name,
         "cat": kind,
         "ph": "X",  # complete event
-        "pid": _PID,
+        "pid": pid,
         "tid": tid,
         "ts": start_ms * 1000.0,   # Chrome wants microseconds
         "dur": (end_ms - start_ms) * 1000.0,
         "cname": _COLOURS.get(kind, "generic_work"),
-        "args": {"kind": kind},
+        "args": args,
     }
 
 
-def _unit_events(kernel: ExecutedKernel) -> list[dict]:
+def _unit_events(kernel: ExecutedKernel, pid: int) -> list[dict]:
     events = []
     if kernel.tc_end_ms > kernel.start_ms:
         events.append(_event(
-            kernel.name, _TENSOR_TID, kernel.start_ms, kernel.tc_end_ms,
-            kernel.kind,
+            kernel.name, pid, _TENSOR_TID, kernel.start_ms,
+            kernel.tc_end_ms, kernel.kind, kernel.service,
         ))
     if kernel.cd_end_ms > kernel.start_ms:
         events.append(_event(
-            kernel.name, _CUDA_TID, kernel.start_ms, kernel.cd_end_ms,
-            kernel.kind,
+            kernel.name, pid, _CUDA_TID, kernel.start_ms,
+            kernel.cd_end_ms, kernel.kind, kernel.service,
+        ))
+    if kernel.kind == "fused":
+        events.append(_event(
+            kernel.name, pid, _FUSED_TID, kernel.start_ms, kernel.end_ms,
+            kernel.kind, kernel.service,
         ))
     return events
 
 
+def _decision_events(result: ServerResult, pid: int) -> list[dict]:
+    """Instant events marking each recorded scheduling decision."""
+    session = result.telemetry
+    if session is None or not session.decisions:
+        return []
+    events = []
+    for record in session.decisions:
+        args: dict = {"kind": record.final_kind or record.kind}
+        if record.thr_ms is not None:
+            args["thr_ms"] = record.thr_ms
+        if record.gain_ms is not None:
+            args["gain_ms"] = record.gain_ms
+        if record.be_app is not None:
+            args["be_app"] = record.be_app
+        if record.admission is not None:
+            args["admission"] = record.admission
+        events.append({
+            "name": f"decide:{args['kind']}",
+            "cat": "decision",
+            "ph": "i",       # instant event
+            "s": "t",        # thread-scoped
+            "pid": pid,
+            "tid": _SCHED_TID,
+            "ts": record.now_ms * 1000.0,
+            "args": args,
+        })
+    return events
+
+
+def _metadata_events(pid: int, process_name: Optional[str],
+                     with_scheduler: bool) -> list[dict]:
+    events = []
+    if process_name is not None:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid,
+            "args": {"name": process_name},
+        })
+    for tid, label in _TRACK_NAMES:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": tid, "args": {"name": label},
+        })
+    if with_scheduler:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": _SCHED_TID, "args": {"name": "Scheduler"},
+        })
+    return events
+
+
 def to_chrome_trace(result: ServerResult,
-                    limit: Optional[int] = None) -> dict:
+                    limit: Optional[int] = None,
+                    pid: int = _PID,
+                    process_name: Optional[str] = None) -> dict:
     """Build the Chrome trace object for one run.
 
     Requires the run to have been recorded with ``record_kernels=True``.
+    ``pid`` offsets every event so several results (e.g. the nodes of a
+    cluster) can share one trace file without colliding.
     """
     if not result.executed:
         raise SchedulingError(
@@ -66,18 +144,11 @@ def to_chrome_trace(result: ServerResult,
             "record_kernels=True"
         )
     kernels = result.executed[:limit] if limit else result.executed
-    events: list[dict] = [
-        {
-            "name": "thread_name", "ph": "M", "pid": _PID,
-            "tid": _TENSOR_TID, "args": {"name": "Tensor cores"},
-        },
-        {
-            "name": "thread_name", "ph": "M", "pid": _PID,
-            "tid": _CUDA_TID, "args": {"name": "CUDA cores"},
-        },
-    ]
+    decisions = _decision_events(result, pid)
+    events = _metadata_events(pid, process_name, bool(decisions))
     for kernel in kernels:
-        events.extend(_unit_events(kernel))
+        events.extend(_unit_events(kernel, pid))
+    events.extend(decisions)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -92,6 +163,46 @@ def write_chrome_trace(result: ServerResult, path: str,
                        limit: Optional[int] = None) -> str:
     """Write the trace JSON to ``path``; returns the path."""
     trace = to_chrome_trace(result, limit=limit)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return path
+
+
+def cluster_to_chrome_trace(cluster, limit: Optional[int] = None) -> dict:
+    """One Perfetto trace for a whole :class:`ClusterResult`.
+
+    Each node's measured-policy run becomes one process (pid = node
+    index + 1, named after the node), so Perfetto renders the fleet as
+    parallel process groups over the shared horizon.  Requires the
+    cluster to have been served with ``record_kernels=True`` on its
+    spec.
+    """
+    if not cluster.nodes:
+        raise SchedulingError("cluster result has no nodes")
+    events: list[dict] = []
+    n_fused = 0
+    for index, node in enumerate(cluster.nodes):
+        trace = to_chrome_trace(
+            node.tacker, limit=limit, pid=index + 1,
+            process_name=node.name,
+        )
+        events.extend(trace["traceEvents"])
+        n_fused += node.tacker.n_fused_kernels
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "n_nodes": len(cluster.nodes),
+            "horizon_ms": cluster.horizon_ms,
+            "n_fused": n_fused,
+        },
+    }
+
+
+def write_cluster_trace(cluster, path: str,
+                        limit: Optional[int] = None) -> str:
+    """Write the whole-fleet trace JSON to ``path``; returns the path."""
+    trace = cluster_to_chrome_trace(cluster, limit=limit)
     with open(path, "w") as handle:
         json.dump(trace, handle)
     return path

@@ -1,0 +1,76 @@
+"""Structured observability for the Tacker reproduction.
+
+Three layers (see ``docs/observability.md``):
+
+* **spans** — query-lifecycle intervals on the simulated clock
+  (:mod:`repro.telemetry.spans`) plus simulator-phase spans;
+* **decision log** — every Eq. 8 evaluation and Eq. 9 reservation with
+  the numbers that produced it (:mod:`repro.telemetry.decisions`),
+  queryable from ``ServerResult.telemetry`` and exportable as JSONL;
+* **metrics registry** — counters/gauges/histograms with Prometheus
+  text exposition and deterministic worker merges
+  (:mod:`repro.telemetry.registry`).
+
+Enable with ``RunConfig(telemetry=True)``, the CLI ``--telemetry``
+flag, ``REPRO_TELEMETRY=1``, or :func:`enable`.  Disabled, the whole
+layer is a no-op behind per-site ``None`` checks.
+"""
+
+from .core import (
+    SIM_SPAN_CAP,
+    TELEMETRY_ENVS,
+    active,
+    disable,
+    enable,
+    registry,
+    reset,
+    sim_span,
+    sim_spans,
+    sim_spans_dropped,
+)
+from .decisions import (
+    DecisionRecord,
+    FusionCandidate,
+    ReservationEntry,
+    ReservationRecord,
+    decision_log_jsonl,
+    validate_decision_jsonl,
+    write_decision_log,
+)
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .session import RunTelemetry, merge_session
+from .spans import Span
+
+__all__ = [
+    "SIM_SPAN_CAP",
+    "TELEMETRY_ENVS",
+    "active",
+    "disable",
+    "enable",
+    "registry",
+    "reset",
+    "sim_span",
+    "sim_spans",
+    "sim_spans_dropped",
+    "DecisionRecord",
+    "FusionCandidate",
+    "ReservationEntry",
+    "ReservationRecord",
+    "decision_log_jsonl",
+    "validate_decision_jsonl",
+    "write_decision_log",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunTelemetry",
+    "merge_session",
+    "Span",
+]

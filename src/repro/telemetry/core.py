@@ -1,0 +1,89 @@
+"""Process-wide telemetry switch and shared state.
+
+Mirrors :mod:`repro.audit`: telemetry is off by default, can be forced
+on/off programmatically (:func:`enable` / :func:`disable`), and
+otherwise follows the ``REPRO_TELEMETRY`` environment variable — the
+form worker processes inherit.  While off, every call site is a single
+attribute/None check: no spans, no records, no dict churn.
+
+The process-global :class:`MetricsRegistry` accumulates run sessions
+(and, through ``parallel_map``, worker registries); a bounded sink
+collects simulator-phase spans, which only exist for simulations that
+actually ran the engine or fast path (cache hits never simulate).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .registry import MetricsRegistry
+from .spans import Span
+
+#: Environment switches that turn telemetry on for a whole process tree.
+TELEMETRY_ENVS = ("REPRO_TELEMETRY",)
+
+_OFF_VALUES = ("", "0", "false", "off")
+
+#: Simulator spans kept per process; further spans are counted, not kept.
+SIM_SPAN_CAP = 10_000
+
+
+class _TelemetryState:
+    def __init__(self) -> None:
+        self.forced: Optional[bool] = None
+        self.registry = MetricsRegistry()
+        self.sim_spans: list[Span] = []
+        self.sim_spans_dropped = 0
+
+
+_STATE = _TelemetryState()
+
+
+def active() -> bool:
+    """Is telemetry collection on for this process?"""
+    if _STATE.forced is not None:
+        return _STATE.forced
+    return any(
+        os.environ.get(env, "").strip().lower() not in _OFF_VALUES
+        for env in TELEMETRY_ENVS
+    )
+
+
+def enable() -> None:
+    _STATE.forced = True
+
+
+def disable() -> None:
+    _STATE.forced = False
+
+
+def reset() -> None:
+    """Back to environment-driven behaviour, with empty state."""
+    _STATE.forced = None
+    _STATE.registry = MetricsRegistry()
+    _STATE.sim_spans = []
+    _STATE.sim_spans_dropped = 0
+
+
+def registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _STATE.registry
+
+
+def sim_span(name: str, start: float, end: float, **attrs) -> None:
+    """Record one simulator-phase span (callers gate on :func:`active`)."""
+    if len(_STATE.sim_spans) >= SIM_SPAN_CAP:
+        _STATE.sim_spans_dropped += 1
+        return
+    _STATE.sim_spans.append(
+        Span(name=name, category="sim", start=start, end=end, attrs=attrs)
+    )
+
+
+def sim_spans() -> list[Span]:
+    return list(_STATE.sim_spans)
+
+
+def sim_spans_dropped() -> int:
+    return _STATE.sim_spans_dropped

@@ -1,0 +1,202 @@
+"""The scheduler decision log: Eq. 8 evaluations and Eq. 9 reservations.
+
+Every scheduling decision the kernel manager takes is recorded with the
+inputs that produced it: the Eq. 9 headroom math (per-query elapsed /
+predicted-remaining / reserved-ahead / slack), the guard margin, the
+resulting threshold ``Thr``, and — for fusion decisions — the full
+Eq. 8 candidate set with ``Ttc``, ``Tcd``, ``Tk_fuse``, the extra LC
+time and ``Tgain = Tcd - (Tk_fuse - Ttc)`` per candidate, plus the
+chosen pair.
+
+Records are plain dataclasses: picklable (worker results carry them
+back through ``parallel_map``), value-comparable, and exportable as
+JSONL with sorted keys so the log is byte-identical between serial and
+parallel runs of the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Optional
+
+from ..errors import ConfigError
+
+#: Reasons an Eq. 8 candidate was rejected ("" = admitted).
+REJECT_KIND_MISMATCH = "kind-mismatch"
+REJECT_NO_ARTIFACT = "no-artifact"
+REJECT_EQ8 = "eq8-reject"
+
+
+@dataclass(frozen=True)
+class FusionCandidate:
+    """One Eq. 8 evaluation: the LC kernel against one BE app's head."""
+
+    be_app: str
+    tc: Optional[str] = None
+    cd: Optional[str] = None
+    #: predicted solo durations and the fused prediction (ms); None when
+    #: the pair was rejected before prediction (no artifact / kinds)
+    ttc_ms: Optional[float] = None
+    tcd_ms: Optional[float] = None
+    tk_fuse_ms: Optional[float] = None
+    #: True when the LC kernel is the TC half of the pair
+    lc_is_tc: bool = True
+    extra_lc_ms: Optional[float] = None
+    gain_ms: Optional[float] = None
+    admissible: bool = False
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class ReservationEntry:
+    """One active query's row in the Eq. 9 FIFO reservation."""
+
+    service: str
+    arrival_ms: float
+    elapsed_ms: float
+    remaining_ms: float
+    reserved_ahead_ms: float
+    slack_ms: float
+
+
+@dataclass(frozen=True)
+class ReservationRecord:
+    """The Eq. 9 headroom math behind one decision."""
+
+    qos_ms: float
+    entries: tuple = ()
+    headroom_ms: float = 0.0
+    guard_margin_ms: float = 0.0
+    thr_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One scheduling decision with the inputs that produced it."""
+
+    index: int
+    now_ms: float
+    policy: str
+    kind: str                       # "lc" | "be" | "fused"
+    lc_service: Optional[str] = None
+    lc_arrival_ms: Optional[float] = None
+    lc_kernel: Optional[str] = None
+    be_app: Optional[str] = None
+    fused_kernel: Optional[str] = None
+    guard_mode: Optional[str] = None
+    thr_ms: Optional[float] = None
+    reserve_ms: Optional[float] = None
+    predicted_lc_ms: float = 0.0
+    predicted_be_ms: float = 0.0
+    predicted_fused_ms: float = 0.0
+    gain_ms: Optional[float] = None
+    candidates: tuple = ()
+    reservation: Optional[ReservationRecord] = None
+    #: set post-hoc when server-side admission control overrode the
+    #: policy's BE launch: "shed" | "deferred" (final kind is "lc")
+    admission: Optional[str] = None
+    final_kind: Optional[str] = None
+
+    def chosen_candidate(self) -> Optional[FusionCandidate]:
+        """The admitted candidate this fused decision selected."""
+        if self.kind != "fused":
+            return None
+        for candidate in self.candidates:
+            if candidate.admissible and candidate.be_app == self.be_app:
+                return candidate
+        return None
+
+
+def decision_log_jsonl(decisions: Iterable[DecisionRecord]) -> str:
+    """Serialize a decision log as JSONL (one record per line).
+
+    Keys are sorted and separators fixed, so the same decisions always
+    produce the same bytes — the property the serial-vs-parallel
+    determinism gate checks.
+    """
+    lines = []
+    for record in decisions:
+        payload = asdict(record)
+        payload["final_kind"] = record.final_kind or record.kind
+        lines.append(
+            json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_decision_log(decisions: Iterable[DecisionRecord],
+                       path: str) -> str:
+    with open(path, "w") as handle:
+        handle.write(decision_log_jsonl(decisions))
+    return path
+
+
+#: required top-level fields of one JSONL record and their types
+_SCHEMA = {
+    "index": int,
+    "now_ms": (int, float),
+    "policy": str,
+    "kind": str,
+    "final_kind": str,
+    "candidates": list,
+    "predicted_lc_ms": (int, float),
+    "predicted_be_ms": (int, float),
+    "predicted_fused_ms": (int, float),
+}
+
+_CANDIDATE_SCHEMA = {
+    "be_app": str,
+    "lc_is_tc": bool,
+    "admissible": bool,
+    "reason": str,
+}
+
+
+def validate_decision_jsonl(path: str) -> int:
+    """Validate an exported decision log; returns the record count.
+
+    Raises :class:`~repro.errors.ConfigError` on the first malformed
+    record — used by the CI smoke job and the round-trip tests.
+    """
+    count = 0
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            for key, types in _SCHEMA.items():
+                if key not in record:
+                    raise ConfigError(
+                        f"{path}:{lineno}: missing field {key!r}"
+                    )
+                if not isinstance(record[key], types):
+                    raise ConfigError(
+                        f"{path}:{lineno}: field {key!r} has type "
+                        f"{type(record[key]).__name__}"
+                    )
+            if record["kind"] not in ("lc", "be", "fused"):
+                raise ConfigError(
+                    f"{path}:{lineno}: unknown kind {record['kind']!r}"
+                )
+            for candidate in record["candidates"]:
+                for key, types in _CANDIDATE_SCHEMA.items():
+                    if key not in candidate or not isinstance(
+                        candidate[key], types
+                    ):
+                        raise ConfigError(
+                            f"{path}:{lineno}: bad candidate field {key!r}"
+                        )
+            if record["kind"] == "fused":
+                chosen = [
+                    c for c in record["candidates"]
+                    if c["admissible"] and c["be_app"] == record["be_app"]
+                ]
+                if not chosen:
+                    raise ConfigError(
+                        f"{path}:{lineno}: fused decision without a "
+                        "matching admitted candidate"
+                    )
+            count += 1
+    return count

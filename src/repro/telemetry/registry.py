@@ -1,0 +1,353 @@
+"""Counters, gauges and histograms with deterministic exposition.
+
+The registry is deliberately small: three metric kinds, label support,
+a Prometheus text exposition, a JSON snapshot, and snapshot arithmetic
+(``diff`` / ``merge_snapshot``) so worker-process registries can be
+shipped through :func:`repro.experiments.common.parallel_map` and folded
+into the parent deterministically.  Counters and histogram buckets merge
+by addition (commutative, so merge order never matters); gauges merge
+last-write-wins in submission order.
+
+Everything is plain dicts/tuples — registries pickle, compare by value,
+and serialize without custom machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..errors import ConfigError
+
+#: Default latency buckets (milliseconds) — sized for QoS targets in the
+#: tens of milliseconds, the paper's operating range.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 75.0, 100.0, 150.0, 200.0,
+)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample formatting: integral values print as integers."""
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _fmt_le(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else _fmt(bound)
+
+
+class _Family:
+    """One metric family: a kind, help text, and per-label samples."""
+
+    __slots__ = ("kind", "help", "buckets", "samples")
+
+    def __init__(self, kind: str, help_text: str,
+                 buckets: Optional[tuple] = None):
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        # label key (sorted (k, v) tuple) -> float, or histogram state
+        # {"counts": list[int], "sum": float, "count": int}
+        self.samples: dict = {}
+
+
+class Counter:
+    """Handle to one counter sample (a family + label combination)."""
+
+    __slots__ = ("_family", "_key")
+
+    def __init__(self, family: _Family, key: tuple):
+        self._family = family
+        self._key = key
+
+    @property
+    def value(self) -> float:
+        return self._family.samples.get(self._key, 0.0)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError("counters only go up")
+        self._family.samples[self._key] = self.value + amount
+
+    def set_total(self, total: float) -> None:
+        """Publish an externally tracked monotone total (e.g. the oracle
+        hit counters), replacing the sample rather than adding."""
+        self._family.samples[self._key] = float(total)
+
+
+class Gauge:
+    """Handle to one gauge sample."""
+
+    __slots__ = ("_family", "_key")
+
+    def __init__(self, family: _Family, key: tuple):
+        self._family = family
+        self._key = key
+
+    @property
+    def value(self) -> float:
+        return self._family.samples.get(self._key, 0.0)
+
+    def set(self, value: float) -> None:
+        self._family.samples[self._key] = float(value)
+
+
+class Histogram:
+    """Handle to one histogram sample."""
+
+    __slots__ = ("_family", "_key")
+
+    def __init__(self, family: _Family, key: tuple):
+        self._family = family
+        self._key = key
+
+    def _state(self) -> dict:
+        state = self._family.samples.get(self._key)
+        if state is None:
+            state = {
+                "counts": [0] * (len(self._family.buckets) + 1),
+                "sum": 0.0,
+                "count": 0,
+            }
+            self._family.samples[self._key] = state
+        return state
+
+    def observe(self, value: float) -> None:
+        state = self._state()
+        buckets = self._family.buckets
+        index = len(buckets)
+        for i, bound in enumerate(buckets):
+            if value <= bound:
+                index = i
+                break
+        state["counts"][index] += 1
+        state["sum"] += float(value)
+        state["count"] += 1
+
+    @property
+    def count(self) -> int:
+        return self._family.samples.get(self._key, {"count": 0})["count"]
+
+
+class MetricsRegistry:
+    """A process- or run-scoped collection of metric families."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # -- creation -------------------------------------------------------------
+
+    def _family(self, name: str, kind: str, help_text: str,
+                buckets: Optional[Iterable[float]] = None) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(
+                kind, help_text,
+                tuple(buckets) if buckets is not None else None,
+            )
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ConfigError(
+                f"metric {name!r} already registered as {family.kind}"
+            )
+        return family
+
+    def counter(self, name: str, help_text: str = "", **labels) -> Counter:
+        family = self._family(name, "counter", help_text)
+        return Counter(family, _label_key(labels))
+
+    def gauge(self, name: str, help_text: str = "", **labels) -> Gauge:
+        family = self._family(name, "gauge", help_text)
+        return Gauge(family, _label_key(labels))
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Optional[Iterable[float]] = None,
+                  **labels) -> Histogram:
+        family = self._family(
+            name, "histogram", help_text,
+            buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS_MS,
+        )
+        return Histogram(family, _label_key(labels))
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(f.samples) for f in self._families.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
+
+    def families(self) -> tuple[str, ...]:
+        return tuple(sorted(self._families))
+
+    def value(self, name: str, **labels) -> float:
+        """Current value of one counter/gauge sample (0.0 if absent)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        sample = family.samples.get(_label_key(labels), 0.0)
+        if isinstance(sample, dict):
+            raise ConfigError("use histogram handles to read histograms")
+        return sample
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data copy: {name: {kind, help, buckets, samples}}."""
+        out: dict = {}
+        for name, family in self._families.items():
+            samples: dict = {}
+            for key, value in family.samples.items():
+                if isinstance(value, dict):
+                    samples[key] = {
+                        "counts": list(value["counts"]),
+                        "sum": value["sum"],
+                        "count": value["count"],
+                    }
+                else:
+                    samples[key] = value
+            out[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "buckets": family.buckets,
+                "samples": samples,
+            }
+        return out
+
+    def diff(self, before: dict) -> dict:
+        """The changes since ``before`` (a prior :meth:`snapshot`).
+
+        Counters and histograms subtract; gauges report their current
+        value.  Families and samples with no change are omitted, so the
+        payload shipped back from an idle worker is empty.
+        """
+        delta: dict = {}
+        for name, family in self.snapshot().items():
+            prior = before.get(name, {"samples": {}})
+            changed: dict = {}
+            for key, value in family["samples"].items():
+                old = prior["samples"].get(key)
+                if family["kind"] == "counter":
+                    base = old if old is not None else 0.0
+                    if value != base:
+                        changed[key] = value - base
+                elif family["kind"] == "gauge":
+                    if old is None or value != old:
+                        changed[key] = value
+                else:
+                    counts = list(value["counts"])
+                    total = value["sum"]
+                    n = value["count"]
+                    if old is not None:
+                        counts = [
+                            c - p for c, p in zip(counts, old["counts"])
+                        ]
+                        total -= old["sum"]
+                        n -= old["count"]
+                    if n:
+                        changed[key] = {
+                            "counts": counts, "sum": total, "count": n,
+                        }
+            if changed:
+                delta[name] = {
+                    "kind": family["kind"],
+                    "help": family["help"],
+                    "buckets": family["buckets"],
+                    "samples": changed,
+                }
+        return delta
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a snapshot/diff into this registry."""
+        for name, data in snapshot.items():
+            family = self._family(
+                name, data["kind"], data["help"], data["buckets"],
+            )
+            for key, value in data["samples"].items():
+                if data["kind"] == "counter":
+                    family.samples[key] = (
+                        family.samples.get(key, 0.0) + value
+                    )
+                elif data["kind"] == "gauge":
+                    family.samples[key] = value
+                else:
+                    state = family.samples.get(key)
+                    if state is None:
+                        family.samples[key] = {
+                            "counts": list(value["counts"]),
+                            "sum": value["sum"],
+                            "count": value["count"],
+                        }
+                    else:
+                        state["counts"] = [
+                            a + b
+                            for a, b in zip(state["counts"], value["counts"])
+                        ]
+                        state["sum"] += value["sum"]
+                        state["count"] += value["count"]
+
+    def clear(self) -> None:
+        self._families.clear()
+
+    # -- exposition -----------------------------------------------------------
+
+    def prometheus_text(self) -> str:
+        """Deterministic Prometheus text exposition (sorted families,
+        sorted label sets)."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.samples):
+                labels = ",".join(f'{k}="{v}"' for k, v in key)
+                value = family.samples[key]
+                if family.kind == "histogram":
+                    cumulative = 0
+                    bounds = list(family.buckets) + [float("inf")]
+                    prefix = f"{labels}," if labels else ""
+                    for bound, count in zip(bounds, value["counts"]):
+                        cumulative += count
+                        lines.append(
+                            f'{name}_bucket{{{prefix}le="{_fmt_le(bound)}"}}'
+                            f" {cumulative}"
+                        )
+                    suffix = f"{{{labels}}}" if labels else ""
+                    lines.append(f"{name}_sum{suffix} {_fmt(value['sum'])}")
+                    lines.append(f"{name}_count{suffix} {value['count']}")
+                else:
+                    suffix = f"{{{labels}}}" if labels else ""
+                    lines.append(f"{name}{suffix} {_fmt(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def json_snapshot(self) -> dict:
+        """JSON-ready snapshot: label tuples become objects."""
+        out: dict = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples = []
+            for key in sorted(family.samples):
+                value = family.samples[key]
+                entry: dict = {"labels": {k: v for k, v in key}}
+                if family.kind == "histogram":
+                    entry["buckets"] = list(family.buckets)
+                    entry["counts"] = list(value["counts"])
+                    entry["sum"] = value["sum"]
+                    entry["count"] = value["count"]
+                else:
+                    entry["value"] = value
+                samples.append(entry)
+            out[name] = {
+                "kind": family.kind, "help": family.help, "samples": samples,
+            }
+        return out

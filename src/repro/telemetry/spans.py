@@ -1,0 +1,41 @@
+"""Lightweight spans over the simulated clock.
+
+A span is a named interval with a category and a small attribute dict.
+Server-side spans (query lifecycle) are stamped with the simulated
+millisecond clock, so the same seed always produces the same spans —
+traces are byte-stable and safe to diff in tests and CI.  Simulator
+spans (engine event loop, analytic fast path) are stamped with the
+simulated *cycle* clock of their own run.
+
+Spans never carry process-local identifiers (``Query.qid`` comes from a
+process-global counter): queries are identified by ``(service,
+arrival_ms)``, which is identical in serial and worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One named interval on a simulated clock."""
+
+    name: str
+    category: str       # "query" | "sim"
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }

@@ -6,11 +6,13 @@ from repro.errors import SchedulingError
 from repro.gpusim.trace import Timeline
 from repro.runtime.metrics import (
     active_time_breakdown,
+    active_time_breakdown_by_service,
     geometric_mean,
     latency_stats,
+    latency_stats_by_service,
     throughput_improvement,
 )
-from repro.runtime.server import ServerResult
+from repro.runtime.server import ExecutedKernel, ServerResult
 
 
 def result(be_work=10.0, horizon=100.0, latencies=(40.0, 45.0, 48.0),
@@ -107,6 +109,58 @@ class TestActiveTimeBreakdown:
     def test_zero_span_with_late_start_rejected(self):
         with pytest.raises(SchedulingError):
             active_time_breakdown(result(end=60.0, start=60.0))
+
+
+class TestPerServiceStats:
+    def multi_tenant(self):
+        res = result(latencies=[40.0, 45.0, 52.0, 30.0])
+        res.latencies_by_model = {
+            "Resnet50": [40.0, 45.0, 52.0],
+            "Vgg19": [30.0],
+        }
+        return res
+
+    def test_per_service_latency_stats(self):
+        stats = latency_stats_by_service(self.multi_tenant())
+        assert set(stats) == {"Resnet50", "Vgg19"}
+        assert stats["Resnet50"]["max_ms"] == 52.0
+        assert stats["Resnet50"]["violation_rate"] == pytest.approx(1 / 3)
+        assert stats["Vgg19"]["violation_rate"] == 0.0
+        # Same shape as the global latency_stats.
+        assert set(stats["Vgg19"]) == set(latency_stats(self.multi_tenant()))
+
+    def test_per_service_stats_empty_for_be_only_run(self):
+        assert latency_stats_by_service(result(latencies=[])) == {}
+
+    def test_per_service_active_time(self):
+        res = result(end=100.0)
+        res.executed = [
+            ExecutedKernel(0.0, 60.0, "lc", "tgemm_l", 60.0, 0.0,
+                           service="Resnet50"),
+            ExecutedKernel(60.0, 100.0, "fused", "fused_x", 80.0, 100.0,
+                           service="Vgg19"),
+            ExecutedKernel(0.0, 50.0, "be", "fft", 0.0, 50.0,
+                           service="fft"),
+        ]
+        breakdown = active_time_breakdown_by_service(res)
+        assert set(breakdown) == {"Resnet50", "Vgg19", "fft"}
+        assert breakdown["Resnet50"]["tc_active"] == pytest.approx(0.6)
+        assert breakdown["Resnet50"]["cd_active"] == 0.0
+        # The fused launch is charged to the LC service it carried.
+        assert breakdown["Vgg19"]["tc_active"] == pytest.approx(0.2)
+        assert breakdown["Vgg19"]["cd_active"] == pytest.approx(0.4)
+        assert breakdown["fft"]["cd_active"] == pytest.approx(0.5)
+
+    def test_unnamed_service_falls_back_to_kernel_name(self):
+        res = result(end=100.0)
+        res.executed = [
+            ExecutedKernel(0.0, 50.0, "be", "fft", 0.0, 50.0),
+        ]
+        assert set(active_time_breakdown_by_service(res)) == {"fft"}
+
+    def test_unrecorded_run_rejected(self):
+        with pytest.raises(SchedulingError, match="record_kernels"):
+            active_time_breakdown_by_service(result())
 
 
 class TestGeometricMean:

@@ -35,15 +35,15 @@ class TestChromeTrace:
         trace = to_chrome_trace(result_with_trace())
         meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
         labels = {e["args"]["name"] for e in meta}
-        assert labels == {"Tensor cores", "CUDA cores"}
+        assert labels == {"Tensor cores", "CUDA cores", "Fused kernels"}
 
-    def test_fused_kernel_spans_both_rows(self):
+    def test_fused_kernel_spans_unit_and_fused_rows(self):
         trace = to_chrome_trace(result_with_trace())
         fused = [
             e for e in trace["traceEvents"]
             if e.get("name") == "fused_x" and e["ph"] == "X"
         ]
-        assert {e["tid"] for e in fused} == {1, 2}
+        assert {e["tid"] for e in fused} == {1, 2, 3}
 
     def test_timestamps_in_microseconds(self):
         trace = to_chrome_trace(result_with_trace())
@@ -83,22 +83,23 @@ class TestWriteRoundtrip:
     def test_span_counts_survive_serialization(self, tmp_path):
         result, loaded = self.loaded(tmp_path)
         spans = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
-        # one span per busy execution unit: the fused kernel occupies
-        # both rows, the lc/be kernels one each
-        assert len(spans) == len(result.executed) + result.n_fused_kernels
+        # one span per busy execution unit plus the dedicated fused row:
+        # the fused kernel occupies both unit rows and its own track,
+        # the lc/be kernels one row each
+        assert len(spans) == len(result.executed) + 2 * result.n_fused_kernels
         meta = [e for e in loaded["traceEvents"] if e["ph"] == "M"]
-        assert len(meta) == 2
+        assert len(meta) == 3
 
     def test_tids_map_to_execution_units(self, tmp_path):
         _, loaded = self.loaded(tmp_path)
         spans = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
-        assert {e["tid"] for e in spans} <= {1, 2}
+        assert {e["tid"] for e in spans} <= {1, 2, 3}
         by_name = {}
         for event in spans:
             by_name.setdefault(event["name"], set()).add(event["tid"])
         assert by_name["tgemm_l"] == {1}   # TC kernel: Tensor-core row
         assert by_name["fft"] == {2}       # CD kernel: CUDA-core row
-        assert by_name["fused_x"] == {1, 2}
+        assert by_name["fused_x"] == {1, 2, 3}
 
     def test_microsecond_conversion_survives_serialization(self, tmp_path):
         result, loaded = self.loaded(tmp_path)

@@ -1,0 +1,98 @@
+"""Tests for the decision log records and JSONL round-trip."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import (
+    DecisionRecord,
+    FusionCandidate,
+    ReservationEntry,
+    ReservationRecord,
+    decision_log_jsonl,
+    validate_decision_jsonl,
+    write_decision_log,
+)
+
+
+def fused_record(index=0) -> DecisionRecord:
+    candidate = FusionCandidate(
+        be_app="fft", tc="tgemm_l", cd="fft", ttc_ms=2.0, tcd_ms=3.0,
+        tk_fuse_ms=4.0, lc_is_tc=True, extra_lc_ms=2.0, gain_ms=1.0,
+        admissible=True,
+    )
+    reservation = ReservationRecord(
+        qos_ms=50.0,
+        entries=(ReservationEntry(
+            service="Resnet50", arrival_ms=0.0, elapsed_ms=1.0,
+            remaining_ms=10.0, reserved_ahead_ms=0.0, slack_ms=39.0,
+        ),),
+        headroom_ms=39.0, guard_margin_ms=0.0, thr_ms=39.0,
+    )
+    return DecisionRecord(
+        index=index, now_ms=1.0, policy="tacker", kind="fused",
+        lc_service="Resnet50", lc_kernel="tgemm_l", be_app="fft",
+        fused_kernel="fused_tgemm_l_fft", thr_ms=39.0, gain_ms=1.0,
+        candidates=(candidate,), reservation=reservation,
+    )
+
+
+class TestRecords:
+    def test_chosen_candidate(self):
+        record = fused_record()
+        chosen = record.chosen_candidate()
+        assert chosen is not None and chosen.be_app == "fft"
+
+    def test_chosen_candidate_none_for_lc(self):
+        record = DecisionRecord(
+            index=0, now_ms=0.0, policy="tacker", kind="lc",
+        )
+        assert record.chosen_candidate() is None
+
+    def test_gain_identity_of_the_example(self):
+        # Tgain = Tcd - (Tk_fuse - Ttc) per Eq. 8.
+        chosen = fused_record().chosen_candidate()
+        assert chosen.gain_ms == pytest.approx(
+            chosen.tcd_ms - (chosen.tk_fuse_ms - chosen.ttc_ms)
+        )
+
+
+class TestJsonl:
+    def test_jsonl_lines_parse_and_sort_keys(self):
+        text = decision_log_jsonl([fused_record(0), fused_record(1)])
+        lines = text.strip().split("\n")
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert list(record) == sorted(record)
+        assert record["final_kind"] == "fused"
+
+    def test_empty_log_is_empty_string(self):
+        assert decision_log_jsonl([]) == ""
+
+    def test_write_and_validate_roundtrip(self, tmp_path):
+        path = str(tmp_path / "decisions.jsonl")
+        write_decision_log([fused_record(0), fused_record(1)], path)
+        assert validate_decision_jsonl(path) == 2
+
+    def test_validator_rejects_missing_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"index": 0}\n')
+        with pytest.raises(ConfigError, match="missing field"):
+            validate_decision_jsonl(str(path))
+
+    def test_validator_rejects_unknown_kind(self, tmp_path):
+        record = json.loads(decision_log_jsonl([fused_record()]).strip())
+        record["kind"] = record["final_kind"] = "warp"
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ConfigError, match="unknown kind"):
+            validate_decision_jsonl(str(path))
+
+    def test_validator_rejects_fused_without_candidate(self, tmp_path):
+        record = json.loads(decision_log_jsonl([fused_record()]).strip())
+        record["candidates"] = []
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ConfigError, match="admitted candidate"):
+            validate_decision_jsonl(str(path))

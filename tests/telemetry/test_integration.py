@@ -1,0 +1,181 @@
+"""End-to-end telemetry tests: runs, determinism, traces, no-op path.
+
+These are the acceptance gates of the observability layer:
+
+* every fused launch has a decision-log entry whose ``Tgain`` equals
+  ``Tcd - (Tk_fuse - Ttc)`` recomputed from that entry's own inputs;
+* the decision log is byte-identical between serial and worker-pool
+  runs of the same cluster spec;
+* a cluster run round-trips through the Chrome trace exporter with one
+  pid per node;
+* with telemetry disabled nothing is recorded anywhere.
+"""
+
+import functools
+import json
+
+import pytest
+
+from repro.experiments.common import parallel_map
+from repro.runtime.cluster import default_cluster_spec, serve_cluster
+from repro.runtime.runconfig import RunConfig
+from repro.runtime.system import TackerSystem
+from repro.runtime.trace_export import (
+    cluster_to_chrome_trace,
+    to_chrome_trace,
+    write_cluster_trace,
+)
+from repro.telemetry import core, validate_decision_jsonl
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    core.reset()
+    yield
+    core.reset()
+
+
+@pytest.fixture(scope="module")
+def traced_outcome(gpu):
+    system = TackerSystem(gpu=gpu, config=RunConfig(telemetry=True))
+    return system.run_pair("resnet50", "fft", n_queries=12)
+
+
+class TestDecisionLog:
+    def test_session_rides_on_the_result(self, traced_outcome):
+        session = traced_outcome.tacker.telemetry
+        assert session is not None and session.policy == "tacker"
+        assert traced_outcome.baymax.telemetry.policy == "baymax"
+
+    def test_every_fused_kernel_has_a_decision(self, traced_outcome):
+        session = traced_outcome.tacker.telemetry
+        fused = session.fused_decisions()
+        assert len(fused) == traced_outcome.tacker.n_fused_kernels > 0
+
+    def test_tgain_recomputes_from_recorded_inputs(self, traced_outcome):
+        session = traced_outcome.tacker.telemetry
+        for record in session.fused_decisions():
+            chosen = record.chosen_candidate()
+            assert chosen is not None
+            assert chosen.lc_is_tc  # resnet50 LC kernels are the TC half
+            assert record.gain_ms == pytest.approx(
+                chosen.tcd_ms - (chosen.tk_fuse_ms - chosen.ttc_ms)
+            )
+            assert record.gain_ms == pytest.approx(chosen.gain_ms)
+
+    def test_reservation_math_is_recorded(self, traced_outcome):
+        session = traced_outcome.tacker.telemetry
+        reserved = [
+            d for d in session.decisions if d.reservation is not None
+        ]
+        assert reserved
+        for record in reserved:
+            reservation = record.reservation
+            assert reservation.thr_ms == pytest.approx(
+                reservation.headroom_ms - reservation.guard_margin_ms
+            )
+            for entry in reservation.entries:
+                assert entry.slack_ms == pytest.approx(
+                    reservation.qos_ms - entry.elapsed_ms
+                    - entry.reserved_ahead_ms - entry.remaining_ms
+                )
+
+    def test_exported_jsonl_validates(self, traced_outcome, tmp_path):
+        session = traced_outcome.tacker.telemetry
+        path = tmp_path / "decisions.jsonl"
+        path.write_text(session.decision_jsonl())
+        assert validate_decision_jsonl(str(path)) == len(session.decisions)
+
+    def test_query_spans_cover_all_queries(self, traced_outcome):
+        session = traced_outcome.tacker.telemetry
+        services = [
+            s for s in session.query_spans() if s.name == "service"
+        ]
+        assert len(services) == len(traced_outcome.tacker.latencies_ms)
+
+
+def cluster_spec():
+    return default_cluster_spec(
+        2, lc_names=("resnet50",), be_names=("fft",),
+        run=RunConfig(queries=8, telemetry=True),
+        record_kernels=True,
+    )
+
+
+def decision_jsonl(result) -> str:
+    return "".join(
+        node.tacker.telemetry.decision_jsonl() for node in result.nodes
+    )
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """One serially-served fleet, shared by the trace and determinism
+    tests (the determinism test re-serves the same spec in workers)."""
+    return serve_cluster(cluster_spec())
+
+
+class TestParallelDeterminism:
+    def test_decision_log_serial_equals_workers(self, cluster):
+        parallel = serve_cluster(
+            cluster_spec(),
+            map_fn=functools.partial(parallel_map, workers=2),
+        )
+        assert decision_jsonl(cluster) == decision_jsonl(parallel)
+
+
+class TestClusterTrace:
+    def test_one_pid_per_node(self, cluster):
+        trace = cluster_to_chrome_trace(cluster)
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert pids == {1, 2}
+        names = {
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e["name"] == "process_name"
+        }
+        assert names == {node.name for node in cluster.nodes}
+
+    def test_decision_instants_present(self, cluster):
+        trace = cluster_to_chrome_trace(cluster)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        decisions = sum(
+            len(node.tacker.telemetry.decisions) for node in cluster.nodes
+        )
+        assert len(instants) == decisions > 0
+
+    def test_write_roundtrip(self, cluster, tmp_path):
+        path = write_cluster_trace(cluster, str(tmp_path / "fleet.json"))
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["otherData"]["n_nodes"] == 2
+        assert loaded["otherData"]["n_fused"] == sum(
+            node.tacker.n_fused_kernels for node in cluster.nodes
+        )
+
+    def test_single_result_trace_has_scheduler_row(self, cluster):
+        trace = to_chrome_trace(cluster.nodes[0].tacker)
+        meta = {
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert "Scheduler" in meta
+
+
+class TestDisabledNoOp:
+    def test_nothing_recorded_without_the_switch(self, gpu):
+        baseline = len(core.registry())
+        system = TackerSystem(gpu=gpu)
+        outcome = system.run_pair("resnet50", "fft", n_queries=8)
+        assert outcome.tacker.telemetry is None
+        assert outcome.baymax.telemetry is None
+        assert len(core.registry()) == baseline == 0
+        assert core.sim_spans() == []
+
+    def test_process_switch_traces_without_runconfig(self, gpu):
+        core.enable()
+        system = TackerSystem(gpu=gpu)
+        outcome = system.run_pair("resnet50", "fft", n_queries=8)
+        assert outcome.tacker.telemetry is not None
+        assert core.registry().value(
+            "repro_runs_total", policy="tacker"
+        ) == 1

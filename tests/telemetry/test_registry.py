@@ -1,0 +1,169 @@
+"""Tests for the metrics registry (repro.telemetry.registry)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import MetricsRegistry
+
+
+class TestHandles:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("requests_total", "Requests.", kind="lc")
+        counter.inc()
+        counter.inc(4)
+        assert reg.value("requests_total", kind="lc") == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError, match="only go up"):
+            reg.counter("requests_total").inc(-1)
+
+    def test_counter_set_total_replaces(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("oracle_total", outcome="hit")
+        counter.set_total(10)
+        counter.set_total(25)
+        assert reg.value("oracle_total", outcome="hit") == 25
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("wall_seconds", phase="fig10")
+        gauge.set(1.5)
+        gauge.set(0.5)
+        assert reg.value("wall_seconds", phase="fig10") == 0.5
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("latency_ms", buckets=(10.0, 20.0))
+        for value in (5.0, 15.0, 99.0):
+            hist.observe(value)
+        assert hist.count == 3
+        state = reg.snapshot()["latency_ms"]["samples"][()]
+        assert state["counts"] == [1, 1, 1]  # <=10, <=20, +Inf
+        assert state["sum"] == pytest.approx(119.0)
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.counter("c", a="1", b="2").inc()
+        reg.counter("c", b="2", a="1").inc()
+        assert reg.value("c", a="1", b="2") == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("dual")
+        with pytest.raises(ConfigError, match="already registered"):
+            reg.gauge("dual")
+
+    def test_histogram_value_read_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1.0)
+        with pytest.raises(ConfigError, match="histogram"):
+            reg.value("h")
+
+
+def populated() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("runs_total", "Runs.", policy="tacker").inc(2)
+    reg.gauge("wall_seconds", "Wall clock.").set(1.25)
+    hist = reg.histogram(
+        "latency_ms", "Latency.", buckets=(10.0, 50.0), service="Resnet50"
+    )
+    hist.observe(7.0)
+    hist.observe(42.0)
+    return reg
+
+
+class TestSnapshots:
+    def test_equality_via_snapshot(self):
+        assert populated() == populated()
+        other = populated()
+        other.counter("runs_total", policy="tacker").inc()
+        assert populated() != other
+
+    def test_diff_of_idle_worker_is_empty(self):
+        reg = populated()
+        assert reg.diff(reg.snapshot()) == {}
+
+    def test_diff_then_merge_reconstructs(self):
+        reg = populated()
+        before = reg.snapshot()
+        reg.counter("runs_total", policy="tacker").inc(3)
+        reg.gauge("wall_seconds").set(9.0)
+        reg.histogram(
+            "latency_ms", buckets=(10.0, 50.0), service="Resnet50"
+        ).observe(100.0)
+        delta = reg.diff(before)
+        # Replaying the delta onto the old state matches the new state.
+        replay = populated()
+        replay.merge_snapshot(delta)
+        assert replay == reg
+
+    def test_counter_merge_is_commutative(self):
+        a = MetricsRegistry()
+        a.counter("c", k="x").inc(2)
+        b = MetricsRegistry()
+        b.counter("c", k="x").inc(5)
+        ab = MetricsRegistry()
+        ab.merge_snapshot(a.snapshot())
+        ab.merge_snapshot(b.snapshot())
+        ba = MetricsRegistry()
+        ba.merge_snapshot(b.snapshot())
+        ba.merge_snapshot(a.snapshot())
+        assert ab == ba
+        assert ab.value("c", k="x") == 7
+
+    def test_registry_pickles(self):
+        import pickle
+
+        reg = populated()
+        assert pickle.loads(pickle.dumps(reg)) == reg
+
+    def test_clear_and_len(self):
+        reg = populated()
+        assert len(reg) == 3
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.prometheus_text() == ""
+
+
+class TestExposition:
+    def test_prometheus_golden(self):
+        assert populated().prometheus_text() == (
+            "# HELP latency_ms Latency.\n"
+            "# TYPE latency_ms histogram\n"
+            'latency_ms_bucket{service="Resnet50",le="10"} 1\n'
+            'latency_ms_bucket{service="Resnet50",le="50"} 2\n'
+            'latency_ms_bucket{service="Resnet50",le="+Inf"} 2\n'
+            'latency_ms_sum{service="Resnet50"} 49\n'
+            'latency_ms_count{service="Resnet50"} 2\n'
+            "# HELP runs_total Runs.\n"
+            "# TYPE runs_total counter\n"
+            'runs_total{policy="tacker"} 2\n'
+            "# HELP wall_seconds Wall clock.\n"
+            "# TYPE wall_seconds gauge\n"
+            "wall_seconds 1.25\n"
+        )
+
+    def test_exposition_is_deterministic(self):
+        # Insertion order differs; the exposition must not.
+        reg = MetricsRegistry()
+        reg.counter("z_total", kind="b").inc()
+        reg.counter("a_total").inc()
+        reg.counter("z_total", kind="a").inc()
+        other = MetricsRegistry()
+        other.counter("a_total").inc()
+        other.counter("z_total", kind="a").inc()
+        other.counter("z_total", kind="b").inc()
+        assert reg.prometheus_text() == other.prometheus_text()
+
+    def test_json_snapshot_serializes(self):
+        snap = populated().json_snapshot()
+        text = json.dumps(snap, sort_keys=True)
+        loaded = json.loads(text)
+        assert loaded["runs_total"]["samples"][0] == {
+            "labels": {"policy": "tacker"}, "value": 2,
+        }
+        assert loaded["latency_ms"]["samples"][0]["counts"] == [1, 1, 0]

@@ -56,6 +56,58 @@ class TestTrace:
         assert "V100" in capsys.readouterr().out
 
 
+class TestTelemetry:
+    @pytest.fixture(autouse=True)
+    def clean_telemetry(self, monkeypatch):
+        """The CLI flips process-global switches; contain the blast."""
+        from repro.telemetry import core
+
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        core.reset()
+        yield
+        core.reset()
+
+    def test_metrics_command(self, tmp_path, capsys):
+        decisions = tmp_path / "decisions.jsonl"
+        code = main([
+            "metrics", "vgg16", "mriq", "--queries", "6",
+            "--decisions", str(decisions),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE repro_runs_total counter" in out
+        assert 'repro_runs_total{policy="tacker"} 1' in out
+        from repro.telemetry import validate_decision_jsonl
+
+        assert validate_decision_jsonl(str(decisions)) > 0
+
+    def test_metrics_json_output(self, capsys):
+        assert main(["metrics", "vgg16", "mriq", "--queries", "6",
+                     "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "repro_runs_total" in snapshot
+
+    def test_telemetry_flag_prints_summary(self, capsys):
+        code = main([
+            "--telemetry", "run-pair", "vgg16", "mriq", "--queries", "6",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry:" in out and "metric families" in out
+
+    def test_trace_cluster_mode(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        code = main([
+            "--telemetry", "trace", "vgg16", "mriq", str(path),
+            "--queries", "4", "--nodes", "2",
+        ])
+        assert code == 0
+        with open(path) as handle:
+            trace = json.load(handle)
+        assert trace["otherData"]["n_nodes"] == 2
+        assert {e["pid"] for e in trace["traceEvents"]} == {1, 2}
+
+
 class TestParsing:
     def test_command_required(self):
         with pytest.raises(SystemExit):
