@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from .. import audit, telemetry
@@ -223,6 +223,16 @@ def _audit_parallel_results(fn, items, results) -> None:
 # -- performance accounting ---------------------------------------------------
 
 
+def _dict_delta(now: dict[str, int], earlier: dict[str, int]) -> dict:
+    """Per-key difference, dropping keys whose delta is zero."""
+    delta = {}
+    for key in sorted(set(now) | set(earlier)):
+        diff = now.get(key, 0) - earlier.get(key, 0)
+        if diff:
+            delta[key] = diff
+    return delta
+
+
 @dataclass
 class PerfCounters:
     """Point-in-time totals of the simulation-avoidance machinery."""
@@ -232,6 +242,10 @@ class PerfCounters:
     oracle_persistent_hits: int = 0
     fastpath_fast: int = 0
     fastpath_engine: int = 0
+    #: fast-path launches by accepted shape class
+    fastpath_by_shape: dict = field(default_factory=dict)
+    #: engine fallbacks by reject reason
+    fastpath_rejects: dict = field(default_factory=dict)
 
     def delta(self, earlier: "PerfCounters") -> "PerfCounters":
         return PerfCounters(
@@ -242,16 +256,27 @@ class PerfCounters:
             ),
             fastpath_fast=self.fastpath_fast - earlier.fastpath_fast,
             fastpath_engine=self.fastpath_engine - earlier.fastpath_engine,
+            fastpath_by_shape=_dict_delta(
+                self.fastpath_by_shape, earlier.fastpath_by_shape
+            ),
+            fastpath_rejects=_dict_delta(
+                self.fastpath_rejects, earlier.fastpath_rejects
+            ),
         )
 
     def as_dict(self) -> dict[str, int]:
-        return {
+        flat = {
             "oracle_hits": self.oracle_hits,
             "oracle_misses": self.oracle_misses,
             "oracle_persistent_hits": self.oracle_persistent_hits,
             "fastpath_fast": self.fastpath_fast,
             "fastpath_engine": self.fastpath_engine,
         }
+        for shape in sorted(self.fastpath_by_shape):
+            flat[f"fastpath_fast[{shape}]"] = self.fastpath_by_shape[shape]
+        for reason in sorted(self.fastpath_rejects):
+            flat[f"fastpath_reject[{reason}]"] = self.fastpath_rejects[reason]
+        return flat
 
 
 def perf_counters() -> PerfCounters:
@@ -259,6 +284,8 @@ def perf_counters() -> PerfCounters:
     counters = PerfCounters(
         fastpath_fast=fastpath.STATS.fast,
         fastpath_engine=fastpath.STATS.engine,
+        fastpath_by_shape=dict(fastpath.STATS.fast_by_shape),
+        fastpath_rejects=dict(fastpath.STATS.rejects),
     )
     for system in _SYSTEMS.values():
         oracle = system.oracle
@@ -298,6 +325,18 @@ def publish_perf_metrics(registry=None) -> PerfCounters:
             "SM simulations by dispatch path.",
             path=path,
         ).set_total(total)
+    for shape in sorted(counters.fastpath_by_shape):
+        reg.counter(
+            "repro_fastpath_shape_total",
+            "Fast-path launches by accepted shape class.",
+            shape=shape,
+        ).set_total(counters.fastpath_by_shape[shape])
+    for reason in sorted(counters.fastpath_rejects):
+        reg.counter(
+            "repro_fastpath_reject_total",
+            "Engine fallbacks by reject reason.",
+            reason=reason,
+        ).set_total(counters.fastpath_rejects[reason])
     return counters
 
 
@@ -311,12 +350,19 @@ class TimedResult:
 
     def perf_line(self) -> str:
         c = self.counters
-        return (
+        line = (
             f"wall {self.wall_s:.2f}s | oracle hits {c.oracle_hits} "
             f"(persistent {c.oracle_persistent_hits}) misses "
             f"{c.oracle_misses} | fastpath {c.fastpath_fast} fast / "
             f"{c.fastpath_engine} engine"
         )
+        if c.fastpath_rejects:
+            rejects = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(c.fastpath_rejects.items())
+            )
+            line += f" (rejects: {rejects})"
+        return line
 
 
 def timed_run(fn: Callable[[], R],

@@ -15,7 +15,6 @@ import functools
 from dataclasses import dataclass
 
 from ..fusion.search import FusionSearch
-from ..gpusim.gpu import corun_concurrent, corun_spatial
 from .common import get_system, parallel_map
 
 #: x-axis kernels of Fig. 20.
@@ -85,9 +84,16 @@ def _pair_task(gpu: str, pair: tuple[str, str]) -> dict[str, float]:
         decision.best.corun.overlap if decision.should_fuse else 0.0
     )
 
-    spatial = corun_spatial(tc_ptb.launch(), cd_ptb.launch(cd_grid), hw)
+    # Both baselines go through the oracle's pair-level memo, so the
+    # (kernel-pair, ratio) outcome persists across processes like every
+    # fused co-run.
+    spatial = oracle.corun_policy(
+        "spatial", tc_ptb.launch(), cd_ptb.launch(cd_grid)
+    )
     rates["mps+ptb"] = spatial.overlap
-    stream = corun_concurrent(tc_ptb.launch(), cd_ptb.launch(cd_grid), hw)
+    stream = oracle.corun_policy(
+        "concurrent", tc_ptb.launch(), cd_ptb.launch(cd_grid)
+    )
     rates["stream+ptb"] = stream.overlap
     return rates
 

@@ -24,10 +24,15 @@ class EventQueue:
     """Priority queue of timed callbacks with a monotonic clock."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, EventCallback]] = []
+        #: mutable [time, handle, callback] entries; a cancelled entry is
+        #: tombstoned in place (callback=None) and skipped when popped —
+        #: heap order only ever compares (time, handle), so the mutation
+        #: is invisible to the heap invariant
+        self._heap: list[list] = []
         self._counter = itertools.count()
         self._now = 0.0
-        self._cancelled: set[int] = set()
+        #: live (not yet popped, not cancelled) entries by handle
+        self._entries: dict[int, list] = {}
 
     @property
     def now(self) -> float:
@@ -45,7 +50,9 @@ class EventQueue:
                 f"event scheduled at {time} before current time {self._now}"
             )
         handle = next(self._counter)
-        heapq.heappush(self._heap, (max(time, self._now), handle, callback))
+        entry = [max(time, self._now), handle, callback]
+        self._entries[handle] = entry
+        heapq.heappush(self._heap, entry)
         return handle
 
     def schedule_now(self, callback: EventCallback) -> int:
@@ -55,10 +62,14 @@ class EventQueue:
     def cancel(self, handle: int) -> None:
         """Cancel a previously scheduled event.
 
-        Cancellation is lazy: the entry stays in the heap and is skipped
-        when popped.
+        Cancellation is lazy: the entry stays in the heap, tombstoned,
+        and is skipped when popped.  Cancelling a handle that already
+        fired (or was already cancelled) is a no-op, so bookkeeping can
+        never leak or make :meth:`__len__` drift.
         """
-        self._cancelled.add(handle)
+        entry = self._entries.pop(handle, None)
+        if entry is not None:
+            entry[2] = None
 
     def run(self, max_events: int = 10_000_000) -> float:
         """Run until the queue drains; returns the final simulation time.
@@ -70,9 +81,9 @@ class EventQueue:
         executed = 0
         while self._heap:
             time, handle, callback = heapq.heappop(self._heap)
-            if handle in self._cancelled:
-                self._cancelled.discard(handle)
+            if callback is None:  # tombstoned by cancel()
                 continue
+            del self._entries[handle]
             if auditing and time < self._now - 1e-9:
                 audit.fail(
                     "event-monotone",
@@ -96,4 +107,5 @@ class EventQueue:
         return self._now
 
     def __len__(self) -> int:
-        return len(self._heap) - len(self._cancelled)
+        """Number of live (scheduled, not cancelled, not fired) events."""
+        return len(self._entries)

@@ -1,13 +1,13 @@
-"""Analytic fast path for single-group, barrier-free block sets.
+"""Cohort-granular fast path for resident block sets.
 
-Every non-fused kernel launch — the overwhelming majority of
-:func:`~repro.gpusim.gpu.simulate_launch` calls — simulates blocks whose
-warps never synchronize: each block carries one warp group and its loop
-bodies contain only compute and memory segments.  Under the FIFO-pipe +
-processor-sharing-memory model such warps move in *cohorts*: warps that
-enter a pipe together leave it together (equal service demand), join the
-memory system together and — because processor sharing drains
-equal-sized transfers identically — complete their transfers together.
+Every kernel launch — plain, barriered, multi-group and fused alike —
+simulates blocks whose warps move in *cohorts*: warps that enter a pipe
+together leave it together (equal service demand), join the memory
+system together and — because processor sharing drains equal-sized
+transfers identically — complete their transfers together.  Barriers do
+not break the cohort property; they *restore* it: all fragments of a
+warp group re-align to the max phase-end at every ``bar.sync``, exactly
+as the event engine computes it event-by-event.
 
 This module exploits that: instead of one heap event per warp per
 segment, it advances whole cohorts ("fragments") through closed-form
@@ -16,25 +16,38 @@ phase boundaries
 * pipe phase: ``t_end = t_start + cycles`` for every member at once;
 * memory phase: piecewise-linear drain at ``bandwidth / n_transfers``,
   next boundary ``t = last_update + min_remaining / rate``;
+* barrier phase: arrivals accumulate per block-local barrier; the
+  filling arrival releases the waiting cohorts at its own timestamp
+  (the cohort re-synchronization boundary);
 
 replicating the event engine's arithmetic operation-for-operation, so
 durations agree with :class:`~repro.gpusim.sm.SMSimulation` to within
 floating-point noise (the equivalence suite asserts < 1e-9 relative
-error across the kernel corpus).  Fused and barriered blocks are
-rejected by :func:`supported` and routed to the event engine by the
-dispatcher in :mod:`repro.gpusim.gpu`.
+error across the kernel corpus, barriered and fused shapes included).
+Wide active sets — many fragments in flight at once — are advanced with
+vectorized numpy min/where sweeps over parallel (phase end, sequence,
+remaining bytes) arrays; narrow sets use scalar loops performing the
+identical IEEE-754 arithmetic, so the switch never changes a result.
+
+The dispatcher in :mod:`repro.gpusim.gpu` routes any block-set shape
+outside :data:`SUPPORTED_SHAPES` to the event engine and records the
+reject reason in :data:`STATS`, so coverage regressions are visible in
+``report --perf``.  Under auditing, sampled fast-path dispatches are
+re-run on the event engine and compared (see :mod:`repro.audit`).
 
 The paper's analogue is its offline/online split (Section VIII-I): all
 expensive preparation happens ahead of time so the recurring path is
-cheap.  Here the recurring path is the solo-kernel simulation behind
-every oracle lookup, profiling sweep and co-location run.
+cheap.  Here the recurring path is the kernel simulation behind every
+oracle lookup, profiling sweep and co-location run.
 """
 
 from __future__ import annotations
 
 import os
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..config import SMConfig
 from ..errors import SimulationError
@@ -49,13 +62,43 @@ _EPS = 1e-9
 #: Environment switch: set REPRO_FASTPATH=0 to force the event engine.
 FASTPATH_ENV = "REPRO_FASTPATH"
 
+#: Block-set shape classes, from narrowest to widest.
+SHAPE_PLAIN = "plain"              # single-group, barrier-free
+SHAPE_BARRIER = "barrier"          # single-group with bar.sync
+SHAPE_MULTI_GROUP = "multi-group"  # multiple warp groups, barrier-free
+SHAPE_FUSED = "fused"              # multiple warp groups with bar.sync
+SHAPES = (SHAPE_PLAIN, SHAPE_BARRIER, SHAPE_MULTI_GROUP, SHAPE_FUSED)
+
+#: Shape classes the cohort model covers.  A shape removed from this set
+#: routes back to the event engine and shows up as a reject reason in
+#: ``STATS.rejects`` — the coverage-regression signal ``report --perf``
+#: prints.
+SUPPORTED_SHAPES = frozenset(SHAPES)
+
+#: Reject reason recorded when REPRO_FASTPATH=0 forces the engine.
+REASON_DISABLED = "disabled"
+
+#: Parallel-array population at which the advancement sweeps switch from
+#: scalar loops to vectorized numpy min/where.  Both sides perform the
+#: identical IEEE-754 double arithmetic, so the threshold affects wall
+#: clock only, never a simulated duration.
+VECTOR_THRESHOLD = 24
+
 
 @dataclass
 class FastPathStats:
-    """Process-wide dispatch counters (surfaced by the report/CLI)."""
+    """Process-wide dispatch counters (surfaced by the report/CLI).
+
+    ``fast_by_shape`` breaks accepted dispatches down by block-set shape
+    class and ``rejects`` counts engine fallbacks by reason — either a
+    shape outside :data:`SUPPORTED_SHAPES` or ``"disabled"`` when the
+    environment kill switch forced the event engine.
+    """
 
     fast: int = 0
     engine: int = 0
+    fast_by_shape: dict = field(default_factory=dict)
+    rejects: dict = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -65,9 +108,19 @@ class FastPathStats:
     def fast_fraction(self) -> float:
         return self.fast / self.total if self.total else 0.0
 
+    def count_fast(self, shape: str) -> None:
+        self.fast += 1
+        self.fast_by_shape[shape] = self.fast_by_shape.get(shape, 0) + 1
+
+    def count_engine(self, reason: str) -> None:
+        self.engine += 1
+        self.rejects[reason] = self.rejects.get(reason, 0) + 1
+
     def reset(self) -> None:
         self.fast = 0
         self.engine = 0
+        self.fast_by_shape = {}
+        self.rejects = {}
 
 
 #: Global dispatch statistics, reset with ``STATS.reset()``.
@@ -79,72 +132,303 @@ def enabled() -> bool:
     return os.environ.get(FASTPATH_ENV, "") not in ("0", "false", "off")
 
 
-def supported(blocks: list[BlockSpec]) -> bool:
-    """True when the block set is single-group and barrier-free."""
+def classify(blocks: list[BlockSpec]) -> str:
+    """Shape class of a block set (one of :data:`SHAPES`)."""
+    multi_group = False
+    has_sync = False
     for block in blocks:
         if len(block.warp_groups) != 1:
-            return False
+            multi_group = True
         for programs in block.warp_groups.values():
             for program in programs:
                 for segment in program.segments:
                     if isinstance(segment, SyncSegment):
-                        return False
-    return True
+                        has_sync = True
+                        break
+    if multi_group:
+        return SHAPE_FUSED if has_sync else SHAPE_MULTI_GROUP
+    return SHAPE_BARRIER if has_sync else SHAPE_PLAIN
+
+
+def supported(blocks: list[BlockSpec]) -> bool:
+    """True when the cohort model covers the block set's shape."""
+    return classify(blocks) in SUPPORTED_SHAPES
+
+
+#: Compiled segment opcodes (``_Frag.ops`` entries, see ``_compile``).
+_OP_COMPUTE = 0
+_OP_MEMORY = 1
+_OP_SYNC = 2
 
 
 class _Frag:
-    """A cohort of warps marching through the same program in lockstep."""
+    """A cohort of warps marching through the same program in lockstep.
+
+    ``ops`` is the warp program compiled to plain tuples —
+    ``(_OP_COMPUTE, pipe_state, cycles)``, ``(_OP_MEMORY, nbytes)`` or
+    ``(_OP_SYNC, barrier_id, count)`` — so the event loop dispatches on
+    an int instead of an ``isinstance`` chain, with every float taken
+    verbatim from the segment (no arithmetic, so nothing can drift from
+    the event engine).
+    """
 
     __slots__ = (
-        "size", "segments", "iterations", "iteration", "seg_index",
-        "key", "remaining",
+        "size", "ops", "iterations", "iteration", "seg_index", "key",
     )
 
-    def __init__(self, size, segments, iterations, key):
+    def __init__(self, size, ops, iterations, key):
         self.size = size
-        self.segments = segments
+        self.ops = ops
         self.iterations = iterations
         self.iteration = 0
         self.seg_index = 0
+        #: (block index, group label) for finish attribution and barriers
         self.key = key
-        #: bytes left per member transfer while in the memory system
-        self.remaining = 0.0
 
     def split(self, head_size: int) -> "_Frag":
         """Carve ``head_size`` members off the front; returns the head."""
-        head = _Frag(head_size, self.segments, self.iterations, self.key)
+        head = _Frag(head_size, self.ops, self.iterations, self.key)
         head.iteration = self.iteration
         head.seg_index = self.seg_index
-        head.remaining = self.remaining
         self.size -= head_size
         return head
 
     def step(self) -> bool:
         """Advance the cursor; returns True while work remains."""
         self.seg_index += 1
-        if self.seg_index >= len(self.segments):
+        if self.seg_index >= len(self.ops):
             self.seg_index = 0
             self.iteration += 1
         return self.iteration < self.iterations
 
-    def current_segment(self):
-        return self.segments[self.seg_index]
-
 
 class _PipeState:
-    """FIFO pipe mirror: width slots, waiting fragments, service list."""
+    """FIFO pipe mirror over parallel (end time, sequence) arrays.
 
-    __slots__ = ("width", "busy", "waiting", "service", "timeline",
-                 "slot_cycles")
+    ``frags[i]`` is in service until ``end[i]``; removal swaps the last
+    entry in (selection is by value, so array order is free).  Waiting
+    cohorts queue in FIFO order exactly like the engine's per-warp
+    deque.
+    """
+
+    __slots__ = ("width", "busy", "waiting", "frags", "end", "seq", "n",
+                 "timeline", "slot_cycles", "best_dirty", "best_cache")
 
     def __init__(self, width: int):
         self.width = width
         self.busy = 0
         self.waiting: deque[_Frag] = deque()
-        #: in-service entries: [end_time, seq, frag]
-        self.service: list[list] = []
+        self.frags: list[_Frag] = []
+        self.end = np.empty(16, dtype=np.float64)
+        self.seq = np.empty(16, dtype=np.int64)
+        self.n = 0
         self.timeline = Timeline()
         self.slot_cycles = 0.0
+        #: ``best()`` memo — most loop steps touch one pipe, so the
+        #: other pipes' minima are unchanged between steps
+        self.best_dirty = True
+        self.best_cache = None
+
+    def append(self, end: float, seq: int, frag: _Frag) -> None:
+        if self.n == len(self.end):
+            self.end = np.resize(self.end, 2 * self.n)
+            self.seq = np.resize(self.seq, 2 * self.n)
+        self.end[self.n] = end
+        self.seq[self.n] = seq
+        self.frags.append(frag)
+        self.n += 1
+        self.best_dirty = True
+
+    def pop(self, index: int) -> _Frag:
+        frag = self.frags[index]
+        last = self.n - 1
+        if index != last:
+            self.end[index] = self.end[last]
+            self.seq[index] = self.seq[last]
+            self.frags[index] = self.frags[last]
+        self.frags.pop()
+        self.n = last
+        self.best_dirty = True
+        return frag
+
+    def best(self):
+        """(end, seq, index) of the next service completion, or None."""
+        if not self.best_dirty:
+            return self.best_cache
+        self.best_cache = entry = self._scan_best()
+        self.best_dirty = False
+        return entry
+
+    def _scan_best(self):
+        n = self.n
+        if n == 0:
+            return None
+        if n >= VECTOR_THRESHOLD:
+            end = self.end[:n]
+            lowest = end.min()
+            candidates = np.flatnonzero(end == lowest)
+            index = int(candidates[self.seq[candidates].argmin()])
+            return (float(lowest), int(self.seq[index]), index)
+        end = self.end
+        seq = self.seq
+        best_index = 0
+        best_end = end[0]
+        best_seq = seq[0]
+        for i in range(1, n):
+            if end[i] < best_end or (end[i] == best_end and seq[i] < best_seq):
+                best_index = i
+                best_end = end[i]
+                best_seq = seq[i]
+        return (float(best_end), int(best_seq), best_index)
+
+
+class _MemMirror:
+    """Processor-sharing drain over a parallel remaining-bytes array.
+
+    Mirrors :class:`~repro.gpusim.memory.MemorySystem` at cohort
+    granularity: ``rem[i]`` is the per-member remaining byte count of
+    fragment ``frags[i]``; all members share the bandwidth equally, so
+    one subtraction sweep advances every transfer.
+    """
+
+    __slots__ = ("bandwidth", "frags", "rem", "n", "members",
+                 "last_update", "seq", "bytes_served", "key_dirty",
+                 "key_cache")
+
+    def __init__(self, bandwidth: float):
+        self.bandwidth = bandwidth
+        self.frags: list[_Frag] = []
+        self.rem = np.empty(16, dtype=np.float64)
+        self.n = 0
+        #: total member transfers sharing the bandwidth
+        self.members = 0
+        self.last_update = 0.0
+        #: mirrors the engine's completion-event handle (reallocated on
+        #: every active-set change, so tie-breaks match)
+        self.seq = 0
+        self.bytes_served = 0.0
+        #: ``next_key()`` memo — the active set only changes through
+        #: ``advance``/``join``/``complete``, each of which (including
+        #: every external ``seq`` reassignment, which always follows
+        #: one of them) marks it dirty
+        self.key_dirty = True
+        self.key_cache = None
+
+    def advance(self, now: float) -> None:
+        self.key_dirty = True
+        elapsed = now - self.last_update
+        if elapsed > 0 and self.n:
+            rate = self.bandwidth / self.members
+            drained = rate * elapsed
+            if self.n >= VECTOR_THRESHOLD:
+                self.rem[:self.n] -= drained
+            else:
+                rem = self.rem
+                for i in range(self.n):
+                    rem[i] -= drained
+            self.bytes_served += drained * self.members
+        self.last_update = now
+
+    def join(self, frag: _Frag, nbytes: float) -> None:
+        self.key_dirty = True
+        if self.n == len(self.rem):
+            self.rem = np.resize(self.rem, 2 * self.n)
+        self.rem[self.n] = nbytes
+        self.frags.append(frag)
+        self.n += 1
+        self.members += frag.size
+
+    def next_key(self):
+        """(time, seq) of the pending PS completion, or None."""
+        if not self.key_dirty:
+            return self.key_cache
+        n = self.n
+        if n == 0:
+            key = None
+        else:
+            if n >= VECTOR_THRESHOLD:
+                shortest = float(self.rem[:n].min())
+            else:
+                rem = self.rem
+                shortest = rem[0]
+                for i in range(1, n):
+                    if rem[i] < shortest:
+                        shortest = rem[i]
+            shortest = float(shortest)
+            if shortest < 0.0:
+                shortest = 0.0
+            rate = self.bandwidth / self.members
+            key = (self.last_update + shortest / rate, self.seq)
+        self.key_cache = key
+        self.key_dirty = False
+        return key
+
+    def complete(self, now: float) -> list[_Frag]:
+        """Advance to ``now`` and detach the completed fragments, in order.
+
+        When rounding leaves no transfer at zero, one member of the
+        nearest fragment is nudged over the line, exactly as the event
+        engine does (its nudge is per-transfer, so a multi-warp fragment
+        sheds a single member).
+        """
+        self.advance(now)
+        n = self.n
+        rem = self.rem
+        frags = self.frags
+        if n >= VECTOR_THRESHOLD:
+            has_done = bool(np.any(rem[:n] <= _EPS))
+        else:
+            has_done = False
+            for i in range(n):
+                if rem[i] <= _EPS:
+                    has_done = True
+                    break
+        if has_done:
+            # In-place compaction: done fragments detach in array order,
+            # survivors slide left (order preserved on both sides).
+            done = []
+            write = 0
+            for i in range(n):
+                if rem[i] <= _EPS:
+                    done.append(frags[i])
+                else:
+                    if write != i:
+                        rem[write] = rem[i]
+                        frags[write] = frags[i]
+                    write += 1
+            del frags[write:]
+            self.n = write
+            self.members -= sum(f.size for f in done)
+            return done
+        # Numerical shortfall: nudge the first nearest transfer.
+        if n >= VECTOR_THRESHOLD:
+            nearest = int(rem[:n].argmin())
+        else:
+            nearest = 0
+            for i in range(1, n):
+                if rem[i] < rem[nearest]:
+                    nearest = i
+        frag = frags[nearest]
+        self.members -= 1
+        if frag.size > 1:
+            head = frag.split(1)
+            return [head]
+        self.frags = [frags[i] for i in range(n) if i != nearest]
+        keep = [i for i in range(n) if i != nearest]
+        self.rem[:len(keep)] = rem[list(keep)] if keep else 0.0
+        self.n -= 1
+        return [frag]
+
+
+class _BarrierMirror:
+    """One block-local ``bar.sync`` instance at cohort granularity."""
+
+    __slots__ = ("count", "waiting", "arrived")
+
+    def __init__(self, count: int):
+        self.count = count
+        self.waiting: list[_Frag] = []
+        self.arrived = 0
 
 
 class _FastSimulation:
@@ -152,7 +436,6 @@ class _FastSimulation:
 
     def __init__(self, sm: SMConfig, bandwidth: float):
         self._sm = sm
-        self._bandwidth = bandwidth
         self._latency = sm.mem_latency_cycles
         self._seq = 0
         self.pipes = {
@@ -161,12 +444,12 @@ class _FastSimulation:
         }
         #: latency-stage entries: (arrival_time, seq, frag, nbytes)
         self.lat_queue: deque[tuple] = deque()
-        #: transfers sharing the bandwidth, in join order
-        self.mem_active: list[_Frag] = []
-        self.mem_last_update = 0.0
-        self.mem_seq = 0
-        self.bytes_served = 0.0
+        #: barrier-released cohorts pending re-dispatch: (time, seq, frag)
+        self.rel_queue: deque[tuple] = deque()
+        self.memory = _MemMirror(bandwidth)
+        self.barriers: dict[tuple[int, int], _BarrierMirror] = {}
         self.group_finish: dict[tuple[int, str], float] = {}
+        self.group_pending: dict[tuple[int, str], int] = {}
         self.finish = 0.0
 
     def _alloc(self) -> int:
@@ -174,41 +457,16 @@ class _FastSimulation:
         self._seq += 1
         return seq
 
-    # -- memory system mirror ------------------------------------------------
-
-    def _mem_transfers(self) -> int:
-        return sum(f.size for f in self.mem_active)
-
-    def _mem_advance(self, now: float) -> None:
-        elapsed = now - self.mem_last_update
-        if elapsed > 0 and self.mem_active:
-            n = self._mem_transfers()
-            rate = self._bandwidth / n
-            drained = rate * elapsed
-            for frag in self.mem_active:
-                frag.remaining -= drained
-            self.bytes_served += drained * n
-        self.mem_last_update = now
-
-    def _mem_next(self):
-        """(time, seq) of the pending PS completion, or None."""
-        if not self.mem_active:
-            return None
-        shortest = min(f.remaining for f in self.mem_active)
-        rate = self._bandwidth / self._mem_transfers()
-        return (self.mem_last_update + max(shortest, 0.0) / rate,
-                self.mem_seq)
-
     # -- pipe mirror ---------------------------------------------------------
 
     def _start_service(self, pipe: _PipeState, frag: _Frag,
                        now: float) -> None:
-        cycles = frag.current_segment().cycles
+        cycles = frag.ops[frag.seg_index][2]
         if pipe.busy == 0:
             pipe.timeline.open(now)
         pipe.busy += frag.size
         pipe.slot_cycles += cycles * frag.size
-        pipe.service.append([now + cycles, self._alloc(), frag])
+        pipe.append(now + cycles, self._alloc(), frag)
 
     def _acquire(self, pipe: _PipeState, frag: _Frag, now: float) -> None:
         free = pipe.width - pipe.busy
@@ -233,24 +491,64 @@ class _FastSimulation:
                 self._start_service(pipe, head.split(slots), now)
                 slots = 0
 
+    # -- barrier mirror ------------------------------------------------------
+
+    def _arrive_barrier(self, frag: _Frag, barrier_id: int, count: int,
+                        now: float) -> None:
+        """Process a cohort's arrival as ``size`` sequential arrivals.
+
+        The engine sees one arrival per warp and releases the waiting
+        set the instant the count-th arrives; a cohort larger than the
+        remaining capacity therefore splits — the filling head releases
+        with this round, the tail opens the next one.
+        """
+        key = (frag.key[0], barrier_id)
+        barrier = self.barriers.get(key)
+        if barrier is None:
+            barrier = _BarrierMirror(count)
+            self.barriers[key] = barrier
+        if count != barrier.count:
+            raise SimulationError(
+                "warps disagree on bar.sync count "
+                f"({count} vs {barrier.count}); "
+                "fused-kernel codegen bug"
+            )
+        while True:
+            space = barrier.count - barrier.arrived
+            if frag.size < space:
+                barrier.waiting.append(frag)
+                barrier.arrived += frag.size
+                return
+            head = frag if frag.size == space else frag.split(space)
+            barrier.waiting.append(head)
+            released = barrier.waiting
+            barrier.waiting = []
+            barrier.arrived = 0
+            for cohort in released:
+                self.rel_queue.append((now, self._alloc(), cohort))
+            if head is frag:
+                return
+
     # -- fragment routing ----------------------------------------------------
 
     def _retire(self, frag: _Frag, now: float) -> None:
         key = frag.key
+        self.group_pending[key] -= frag.size
         if now > self.group_finish[key]:
             self.group_finish[key] = now
 
     def _route(self, frag: _Frag, now: float) -> None:
-        """Send a fragment to whatever serves its current segment."""
-        segment = frag.current_segment()
-        if isinstance(segment, ComputeSegment):
-            self._acquire(self.pipes[segment.pipe], frag, now)
-        elif isinstance(segment, MemorySegment):
+        """Send a fragment to whatever serves its current opcode."""
+        op = frag.ops[frag.seg_index]
+        kind = op[0]
+        if kind == _OP_COMPUTE:
+            self._acquire(op[1], frag, now)
+        elif kind == _OP_MEMORY:
             self.lat_queue.append(
-                (now + self._latency, self._alloc(), frag, segment.nbytes)
+                (now + self._latency, self._alloc(), frag, op[1])
             )
-        else:  # pragma: no cover - supported() rejects sync segments
-            raise SimulationError(f"fast path cannot run {segment!r}")
+        else:
+            self._arrive_barrier(frag, op[1], op[2], now)
 
     def _proceed(self, frag: _Frag, now: float) -> None:
         if frag.step():
@@ -261,7 +559,7 @@ class _FastSimulation:
     # -- event batches -------------------------------------------------------
 
     def _fire_pipe(self, pipe: _PipeState, index: int, now: float) -> None:
-        _, _, frag = pipe.service.pop(index)
+        frag = pipe.pop(index)
         pipe.busy -= frag.size
         self._pop_waiting(pipe, frag.size, now)
         if pipe.busy == 0:
@@ -269,22 +567,8 @@ class _FastSimulation:
         self._proceed(frag, now)
 
     def _fire_mem_completion(self, now: float) -> None:
-        self._mem_advance(now)
-        done = [f for f in self.mem_active if f.remaining <= _EPS]
-        if not done:
-            # Numerical shortfall: nudge one transfer over the line, as
-            # the event engine does (its nudge is per-transfer, so a
-            # multi-warp fragment sheds a single member).
-            nearest = min(self.mem_active, key=lambda f: f.remaining)
-            if nearest.size > 1:
-                head = nearest.split(1)
-                head.remaining = 0.0
-                done = [head]
-            else:
-                nearest.remaining = 0.0
-                done = [nearest]
-        self.mem_active = [f for f in self.mem_active if f.remaining > _EPS]
-        self.mem_seq = self._alloc()
+        done = self.memory.complete(now)
+        self.memory.seq = self._alloc()
         for frag in done:
             self._proceed(frag, now)
 
@@ -294,10 +578,13 @@ class _FastSimulation:
             # Zero-byte transfers bypass the bandwidth server entirely.
             self._proceed(frag, now)
             return
-        self._mem_advance(now)
-        frag.remaining = float(nbytes)
-        self.mem_active.append(frag)
-        self.mem_seq = self._alloc()
+        self.memory.advance(now)
+        self.memory.join(frag, float(nbytes))
+        self.memory.seq = self._alloc()
+
+    def _fire_release(self, now: float) -> None:
+        _, _, frag = self.rel_queue.popleft()
+        self._proceed(frag, now)
 
     # -- main loop -----------------------------------------------------------
 
@@ -307,32 +594,45 @@ class _FastSimulation:
             self._route(frag, 0.0)
         max_steps = 10_000_000
         steps = 0
+        pipes = tuple(self.pipes.values())
+        rel_queue = self.rel_queue
+        lat_queue = self.lat_queue
+        memory = self.memory
         while True:
             best = None
             best_pipe = None
             best_index = -1
-            for pipe in self.pipes.values():
-                for index, entry in enumerate(pipe.service):
+            for pipe in pipes:
+                entry = pipe.best()
+                if entry is not None:
                     key = (entry[0], entry[1])
                     if best is None or key < best:
                         best = key
                         best_pipe = pipe
-                        best_index = index
+                        best_index = entry[2]
             kind = "pipe"
-            if self.lat_queue:
-                entry = self.lat_queue[0]
+            if rel_queue:
+                entry = rel_queue[0]
+                key = (entry[0], entry[1])
+                if best is None or key < best:
+                    best, kind = key, "release"
+            if lat_queue:
+                entry = lat_queue[0]
                 key = (entry[0], entry[1])
                 if best is None or key < best:
                     best, kind = key, "latency"
-            mem_next = self._mem_next()
+            mem_next = memory.next_key()
             if mem_next is not None and (best is None or mem_next < best):
                 best, kind = mem_next, "memory"
             if best is None:
                 break
-            now = best[0]
-            self.finish = max(self.finish, now)
+            now = float(best[0])
+            if now > self.finish:
+                self.finish = now
             if kind == "pipe":
                 self._fire_pipe(best_pipe, best_index, now)
+            elif kind == "release":
+                self._fire_release(now)
             elif kind == "latency":
                 self._fire_latency(now)
             else:
@@ -343,16 +643,49 @@ class _FastSimulation:
                     f"fast path exceeded {max_steps} steps; "
                     "likely a livelock in the modelled kernel"
                 )
+        stuck = [
+            key for key, pending in self.group_pending.items() if pending > 0
+        ]
+        if stuck:
+            raise SimulationError(
+                f"warp groups never finished: {stuck}; "
+                "a barrier is unsatisfiable (deadlocked fused kernel)"
+            )
 
 
-def _fragments(blocks: list[BlockSpec],
-               group_finish: dict) -> list[_Frag]:
+def _compile(sim: _FastSimulation, segments, cache: dict):
+    """Compile a segment tuple to opcodes (see ``_Frag``), memoized."""
+    ops = cache.get(id(segments))
+    if ops is not None:
+        return ops
+    compiled = []
+    for segment in segments:
+        if isinstance(segment, ComputeSegment):
+            compiled.append(
+                (_OP_COMPUTE, sim.pipes[segment.pipe], segment.cycles)
+            )
+        elif isinstance(segment, MemorySegment):
+            compiled.append((_OP_MEMORY, segment.nbytes))
+        elif isinstance(segment, SyncSegment):
+            compiled.append((_OP_SYNC, segment.barrier_id, segment.count))
+        else:  # pragma: no cover - exhaustive over Segment union
+            raise SimulationError(f"unknown segment {segment!r}")
+    ops = tuple(compiled)
+    cache[id(segments)] = ops
+    return ops
+
+
+def _fragments(sim: _FastSimulation, blocks: list[BlockSpec]) -> list[_Frag]:
     """Contiguous runs of identical warp programs, in engine warp order."""
     fragments: list[_Frag] = []
+    group_finish = sim.group_finish
+    group_pending = sim.group_pending
+    ops_cache: dict = {}
     for block_index, block in enumerate(blocks):
         for group, programs in block.warp_groups.items():
             key = (block_index, group)
             group_finish[key] = 0.0
+            group_pending[key] = 0
             run_start = 0
             for i in range(1, len(programs) + 1):
                 if (
@@ -363,8 +696,11 @@ def _fragments(blocks: list[BlockSpec],
                 ):
                     prog = programs[run_start]
                     if prog.iterations > 0 and prog.segments:
+                        size = i - run_start
+                        group_pending[key] += size
                         fragments.append(_Frag(
-                            i - run_start, prog.segments,
+                            size,
+                            _compile(sim, prog.segments, ops_cache),
                             prog.iterations, key,
                         ))
                     run_start = i
@@ -385,7 +721,7 @@ def run_blocks(sm: SMConfig, bandwidth_bytes_per_cycle: float,
             f"{sm.max_warps} warp slots; occupancy bug upstream"
         )
     sim = _FastSimulation(sm, bandwidth_bytes_per_cycle)
-    sim.run(_fragments(blocks, sim.group_finish))
+    sim.run(_fragments(sim, blocks))
     finish = sim.finish
     if telemetry.active():
         telemetry.sim_span(
@@ -398,5 +734,5 @@ def run_blocks(sm: SMConfig, bandwidth_bytes_per_cycle: float,
         pipe_timelines={n: p.timeline for n, p in sim.pipes.items()},
         pipe_slot_cycles={n: p.slot_cycles for n, p in sim.pipes.items()},
         group_finish=sim.group_finish,
-        bytes_served=sim.bytes_served,
+        bytes_served=sim.memory.bytes_served,
     )

@@ -24,6 +24,7 @@ Co-run policies model the co-running interfaces of Section VIII-G:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -137,9 +138,13 @@ class CoRunResult:
 def run_blocks(gpu: GPUConfig, blocks: list[BlockSpec]) -> SMResult:
     """Simulate one SM's resident blocks via the cheapest capable engine.
 
-    Single-group, barrier-free block sets — every non-fused launch —
-    take the analytic fast path; fused or barriered blocks run on the
-    event engine.  Dispatch counts accumulate in ``fastpath.STATS``.
+    The vectorized analytic fast path covers every block-set shape —
+    plain, barriered, multi-group and fused alike (it batches whole
+    launch waves through closed-form cohort boundaries instead of
+    per-warp heap events) — so the event engine only runs when the
+    fast path is disabled or a future shape falls outside
+    ``fastpath.SUPPORTED_SHAPES``.  Dispatch counts accumulate in
+    ``fastpath.STATS`` by shape class and reject reason.
 
     Under auditing, sampled fast-path dispatches are re-run on the
     event engine and the two results compared (the differential check
@@ -147,8 +152,9 @@ def run_blocks(gpu: GPUConfig, blocks: list[BlockSpec]) -> SMResult:
     and every result's timelines are structurally validated.
     """
     auditing = audit.active()
-    if fastpath.enabled() and fastpath.supported(blocks):
-        fastpath.STATS.fast += 1
+    shape = fastpath.classify(blocks)
+    if fastpath.enabled() and shape in fastpath.SUPPORTED_SHAPES:
+        fastpath.STATS.count_fast(shape)
         result = fastpath.run_blocks(
             gpu.sm, gpu.bytes_per_cycle_per_sm, blocks
         )
@@ -162,7 +168,9 @@ def run_blocks(gpu: GPUConfig, blocks: list[BlockSpec]) -> SMResult:
                 )
             audit_des.check_sm_result(result, "fastpath")
         return result
-    fastpath.STATS.engine += 1
+    fastpath.STATS.count_engine(
+        shape if fastpath.enabled() else fastpath.REASON_DISABLED
+    )
     sim = SMSimulation(gpu.sm, gpu.bytes_per_cycle_per_sm)
     result = sim.run(blocks)
     if auditing:
@@ -248,8 +256,45 @@ def _audit_occupancy(
     )
 
 
+#: In-memory launch-result memo: a test session or experiment sweep
+#: re-simulates the same (launch, GPU) pair many times — solo baselines
+#: inside every co-run policy, repeated fusion-search probes, model
+#: training — and launches are frozen value objects whose results are
+#: never mutated, so identical launches can share one result.  Keys are
+#: value-complete reprs (the same property the oracle's persistent
+#: signatures rely on).  Bypassed under auditing so the sampled
+#: fastpath-vs-engine differential always sees live simulations.
+_RESULT_MEMO: OrderedDict[tuple[str, str], LaunchResult] = OrderedDict()
+_RESULT_MEMO_CAP = 4096
+
+
+def clear_result_memo() -> None:
+    """Drop all memoized launch results (for tests and benchmarks)."""
+    _RESULT_MEMO.clear()
+
+
 def simulate_launch(launch: KernelLaunch, gpu: GPUConfig) -> LaunchResult:
-    """Simulate one kernel on the GPU; returns its duration and traces."""
+    """Simulate one kernel on the GPU; returns its duration and traces.
+
+    Results are memoized per (launch, GPU) value — see the memo note
+    above; the returned object is shared, and consumers treat it as
+    immutable.
+    """
+    if audit.active():
+        return _simulate_launch(launch, gpu)
+    key = (repr(gpu), repr(launch))
+    hit = _RESULT_MEMO.get(key)
+    if hit is not None:
+        _RESULT_MEMO.move_to_end(key)
+        return hit
+    result = _simulate_launch(launch, gpu)
+    _RESULT_MEMO[key] = result
+    if len(_RESULT_MEMO) > _RESULT_MEMO_CAP:
+        _RESULT_MEMO.popitem(last=False)
+    return result
+
+
+def _simulate_launch(launch: KernelLaunch, gpu: GPUConfig) -> LaunchResult:
     occupancy = blocks_per_sm(launch.resources, gpu.sm)
 
     if launch.grid_blocks == 0:

@@ -31,7 +31,7 @@ from .gpu import KernelLaunch, simulate_launch
 from .memory import MemorySystem
 from .resources import BlockResources
 from .sm import BlockSpec, SMSimulation
-from .warp import ComputeSegment, MemorySegment, WarpProgram
+from .warp import ComputeSegment, MemorySegment, SyncSegment, WarpProgram
 
 
 @dataclass(frozen=True)
@@ -123,12 +123,12 @@ def _check_fusion_overlap(gpu: GPUConfig) -> CheckResult:
     )
 
 
-def _check_fastpath_equivalence(gpu: GPUConfig) -> CheckResult:
-    """The analytic fast path must reproduce the event engine exactly.
+def fastpath_reference_blocks() -> dict[str, list[BlockSpec]]:
+    """One representative block set per fast-path shape class.
 
-    Runs a mixed compute/memory block set through both engines and
-    compares finish times at 1e-9 relative tolerance — the same bound
-    the full-corpus equivalence test enforces.
+    Shared by the self-check below and the property tests: any shape
+    class :func:`fastpath.supported` accepts must simulate identically
+    on both engines for at least these references.
     """
     heavy = WarpProgram(
         (ComputeSegment("cuda", 170.0), MemorySegment(96.0)), 12
@@ -136,25 +136,61 @@ def _check_fastpath_equivalence(gpu: GPUConfig) -> CheckResult:
     light = WarpProgram(
         (ComputeSegment("tensor", 90.0), MemorySegment(288.0)), 9
     )
-    blocks = [
-        BlockSpec({"m": (heavy,) * 13}),
-        BlockSpec({"m": (light,) * 7}),
-    ]
-    if not fastpath.supported(blocks):
-        return CheckResult(
-            "fastpath-equivalence", False,
-            "reference block set unexpectedly rejected by the fast path",
-        )
-    engine = SMSimulation(gpu.sm, gpu.bytes_per_cycle_per_sm).run(blocks)
-    fast = fastpath.run_blocks(gpu.sm, gpu.bytes_per_cycle_per_sm, blocks)
-    rel = abs(fast.finish_time - engine.finish_time) / max(
-        engine.finish_time, 1e-12
+    barriered = WarpProgram(
+        (ComputeSegment("cuda", 120.0), MemorySegment(64.0),
+         SyncSegment(0, 6)), 10
     )
-    passed = rel <= 1e-9
+    tc_branch = WarpProgram(
+        (ComputeSegment("tensor", 150.0), MemorySegment(48.0),
+         SyncSegment(1, 4)), 8
+    )
+    cd_branch = WarpProgram(
+        (ComputeSegment("cuda", 210.0), MemorySegment(96.0),
+         SyncSegment(2, 3)), 8
+    )
+    return {
+        "plain": [
+            BlockSpec({"m": (heavy,) * 13}),
+            BlockSpec({"m": (light,) * 7}),
+        ],
+        "barrier": [BlockSpec({"m": (barriered,) * 6})],
+        "multi-group": [BlockSpec({"a": (heavy,) * 5, "b": (light,) * 4})],
+        "fused": [BlockSpec({"tc": (tc_branch,) * 4,
+                             "cd": (cd_branch,) * 3})],
+    }
+
+
+def _check_fastpath_equivalence(gpu: GPUConfig) -> CheckResult:
+    """The analytic fast path must reproduce the event engine exactly.
+
+    Runs one reference block set per supported shape class (plain,
+    barrier, multi-group, fused) through both engines and compares
+    finish times at 1e-9 relative tolerance — the same bound the
+    full-corpus equivalence test enforces.
+    """
+    worst = 0.0
+    for shape, blocks in fastpath_reference_blocks().items():
+        if fastpath.classify(blocks) != shape:
+            return CheckResult(
+                "fastpath-equivalence", False,
+                f"reference block set misclassified (wanted {shape})",
+            )
+        if not fastpath.supported(blocks):
+            return CheckResult(
+                "fastpath-equivalence", False,
+                f"{shape} reference unexpectedly rejected by the fast path",
+            )
+        engine = SMSimulation(gpu.sm, gpu.bytes_per_cycle_per_sm).run(blocks)
+        fast = fastpath.run_blocks(gpu.sm, gpu.bytes_per_cycle_per_sm, blocks)
+        rel = abs(fast.finish_time - engine.finish_time) / max(
+            engine.finish_time, 1e-12
+        )
+        worst = max(worst, rel)
+    passed = worst <= 1e-9
     return CheckResult(
         "fastpath-equivalence", passed,
-        f"fast path {fast.finish_time:.3f} vs engine "
-        f"{engine.finish_time:.3f} cycles (rel err {rel:.2e})",
+        f"{len(fastpath_reference_blocks())} shape classes compared "
+        f"(worst rel err {worst:.2e})",
     )
 
 

@@ -97,6 +97,10 @@ class OnlineModelManager:
         self.total_training_ms = 0.0
         #: fault-injection hook applied to every prediction (None = off)
         self.perturb: Optional[Perturbation] = None
+        #: (name, grid) -> prediction memo; valid for one model version
+        #: and only without perturbation (perturbations may be stateful)
+        self._predict_memo: dict[tuple[str, int], float] = {}
+        self._predict_memo_version = 0
         #: online predicted-vs-actual error bands (fed by the server)
         self.errors = PredictionErrorTracker()
         #: monotone counter bumped whenever any model's coefficients
@@ -120,9 +124,18 @@ class OnlineModelManager:
         return model
 
     def predict_kernel(self, kernel: KernelIR, grid: int) -> float:
-        predicted = self.kernel_model(kernel).predict(grid)
         if self.perturb is not None:
-            predicted = self.perturb(kernel.name, predicted)
+            return self.perturb(
+                kernel.name, self.kernel_model(kernel).predict(grid)
+            )
+        if self._predict_memo_version != self.version:
+            self._predict_memo.clear()
+            self._predict_memo_version = self.version
+        key = (kernel.name, grid)
+        predicted = self._predict_memo.get(key)
+        if predicted is None:
+            predicted = self.kernel_model(kernel).predict(grid)
+            self._predict_memo[key] = predicted
         return predicted
 
     # -- fused models -------------------------------------------------------------

@@ -23,6 +23,10 @@ from .query import KernelInstance, Query
 #: Predicted duration of one kernel instance, in milliseconds.
 Predictor = Callable[[KernelInstance], float]
 
+#: lazily bound ReservationEntry (avoids a per-call import in
+#: ``headroom_detail`` and an import cycle at module load)
+_ReservationEntry = None
+
 
 def reservation_slack_ms(
     qos_ms: float,
@@ -65,7 +69,7 @@ class HeadroomTracker:
         # key covers every (kernel, grid) in the sequence — not just the
         # endpoints — so two services sharing model name, length, and
         # first/last kernels never alias each other's sums.
-        self._suffix: dict[tuple, list[float]] = {}
+        self._suffix: dict[str, list[float]] = {}
         # The predictor's model-version counter.  Whenever it advances
         # (the online >10%-error retrain path, or a bundle load), every
         # cached suffix sum is stale and must be rebuilt.
@@ -130,7 +134,11 @@ class HeadroomTracker:
         slack for one active query.  Only called when telemetry is on;
         the plain :meth:`headroom_ms` stays the hot path.
         """
-        from ..telemetry.decisions import ReservationEntry
+        global _ReservationEntry
+        if _ReservationEntry is None:
+            from ..telemetry.decisions import ReservationEntry
+            _ReservationEntry = ReservationEntry
+        ReservationEntry = _ReservationEntry
 
         slack = float("inf")
         reserved_ahead = 0.0

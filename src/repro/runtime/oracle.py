@@ -33,7 +33,10 @@ from ..fusion.fuser import FusedKernel
 from ..gpusim.gpu import (
     CoRunResult,
     KernelLaunch,
+    corun_concurrent,
     corun_fused_launch,
+    corun_serial,
+    corun_spatial,
     simulate_launch,
 )
 from ..kernels.ir import KernelIR
@@ -391,6 +394,67 @@ class DurationOracle:
         return self.gpu.cycles_to_ms(
             self.fused(fused, tc_grid, cd_grid).duration_cycles
         )
+
+    # -- co-run policies ------------------------------------------------------
+
+    _POLICIES = {
+        "serial": corun_serial,
+        "spatial": corun_spatial,
+        "concurrent": corun_concurrent,
+    }
+
+    def corun_policy(
+        self,
+        policy: str,
+        a: KernelLaunch,
+        b: KernelLaunch,
+        **params,
+    ) -> CoRunResult:
+        """A baseline co-run policy outcome, memoized at the pair level.
+
+        The key is (policy, launch signature a, launch signature b,
+        extra parameters) — the (kernel-pair, ratio, config) identity of
+        a co-run, since each launch signature pins the kernel *and* its
+        grid share.  Entries persist in the store alongside fused
+        co-runs, so policy sweeps (Fig. 20 and the co-location
+        baselines) skip re-simulation across processes.
+        """
+        if policy not in self._POLICIES:
+            raise KeyError(f"unknown co-run policy {policy!r}")
+        extra = repr(sorted(params.items()))
+        key = (policy, _launch_signature(a), _launch_signature(b), extra)
+        cached = self._fused.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        store_key = f"corun|{policy}|{key[1]}|{key[2]}|{extra}"
+        if self.store is not None:
+            persisted = self.store.fused.get(store_key)
+            if persisted is not None and len(persisted) == 5:
+                self.persistent_hits += 1
+                result = CoRunResult(
+                    policy=policy,
+                    duration_cycles=persisted[0],
+                    solo_a_cycles=persisted[1],
+                    solo_b_cycles=persisted[2],
+                    finish_a_cycles=persisted[3],
+                    finish_b_cycles=persisted[4],
+                )
+                self._fused[key] = result
+                return result
+        self.misses += 1
+        result = self._POLICIES[policy](a, b, self.gpu, **params)
+        self._fused[key] = result
+        if self.store is not None:
+            self.store.fused[store_key] = [
+                result.duration_cycles,
+                result.solo_a_cycles,
+                result.solo_b_cycles,
+                result.finish_a_cycles,
+                result.finish_b_cycles,
+            ]
+            self.store._dirty = True
+        return result
 
     # -- persistence ---------------------------------------------------------
 

@@ -407,7 +407,7 @@ class SchedulingPolicy(ABC):
         consumption across the whole query instead of draining it at
         the first kernel.
         """
-        position = (query.qid, len(query.remaining))
+        position = (query.qid, len(query.instances) - query.cursor)
         if position != self._reordered_at:
             for app in self._be_rotation(be_apps):
                 be_ms = self.predict_ms(app.head)
@@ -510,6 +510,9 @@ class TackerPolicy(SchedulingPolicy):
         self._reserve_cache: dict[tuple, list[float]] = {}
         #: fused-model version the caches were built against
         self._models_version_seen = models.version
+        #: identity-keyed memo of the BE-app name tuple — the server
+        #: passes the same sequence object on every decision
+        self._be_names_cache: Optional[tuple] = None
 
     def _sync_model_version(self) -> None:
         """Drop fusion-cost caches after any online model refresh.
@@ -587,11 +590,19 @@ class TackerPolicy(SchedulingPolicy):
         )
         return (gain, action)
 
+    def _be_names(self, be_apps: Sequence[BEApplication]) -> tuple:
+        cached = self._be_names_cache
+        if cached is not None and cached[0] is be_apps:
+            return cached[1]
+        names = tuple(app.name for app in be_apps)
+        self._be_names_cache = (be_apps, names)
+        return names
+
     def _fusion_cost_ms(
         self, lc_name: str, be_apps: Sequence[BEApplication]
     ) -> float:
         """Estimated headroom cost of fusing one LC TC kernel (cached)."""
-        key = (lc_name, tuple(app.name for app in be_apps))
+        key = (lc_name, self._be_names(be_apps))
         cached = self._cost_cache.get(key)
         if cached is not None:
             return cached
@@ -628,7 +639,7 @@ class TackerPolicy(SchedulingPolicy):
         O(1) per decision.
         """
         self._sync_model_version()
-        key = (query.sequence_key, tuple(app.name for app in be_apps))
+        key = (query.sequence_key, self._be_names(be_apps))
         suffix = self._reserve_cache.get(key)
         if suffix is None:
             suffix = [0.0]

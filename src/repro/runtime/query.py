@@ -49,7 +49,7 @@ class Query:
         self.arrival_ms = arrival_ms
         self.instances = instances
         self._cursor = 0
-        self._sequence_key: Optional[tuple] = None
+        self._sequence_key: Optional[str] = None
         self.finish_ms: Optional[float] = None
 
     @property
@@ -58,17 +58,21 @@ class Query:
         return self._cursor
 
     @property
-    def sequence_key(self) -> tuple:
+    def sequence_key(self) -> str:
         """Collision-free cache key over the full kernel sequence.
 
         Two services can share model name, sequence length, and
         first/last kernels while differing in the middle, so any key
         that elides interior instances aliases their cached suffix
         sums.  Grids matter too: they change predicted durations.
+
+        A string rather than a tuple of pairs: strings cache their
+        hash, so the headroom tracker's per-step cache lookups hash
+        the sequence once per query instead of once per call.
         """
         if self._sequence_key is None:
-            self._sequence_key = tuple(
-                (instance.name, instance.grid)
+            self._sequence_key = ";".join(
+                f"{instance.name}@{instance.grid}"
                 for instance in self.instances
             )
         return self._sequence_key
@@ -125,6 +129,11 @@ class BEApplication:
     _cursor: int = 0
     completed_kernels: int = field(default=0)
     completed_work_ms: float = field(default=0.0)
+    #: (cursor, instance) memo — ``head`` is consulted many times per
+    #: scheduling step and the input-scale digest is pure in the cursor
+    _head_cache: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.sequence:
@@ -143,15 +152,21 @@ class BEApplication:
     @property
     def head(self) -> KernelInstance:
         """The next kernel the stream wants to run (input-scaled)."""
+        cached = self._head_cache
+        if cached is not None and cached[0] == self._cursor:
+            return cached[1]
         base = self.sequence[self._cursor % len(self.sequence)]
         scale = self._scale_at(self._cursor)
         if scale == 1.0:
-            return base
-        return KernelInstance(
-            kernel=base.kernel,
-            grid=max(1, round(base.grid * scale)),
-            fusable=base.fusable,
-        )
+            instance = base
+        else:
+            instance = KernelInstance(
+                kernel=base.kernel,
+                grid=max(1, round(base.grid * scale)),
+                fusable=base.fusable,
+            )
+        self._head_cache = (self._cursor, instance)
+        return instance
 
     def complete_head(self, solo_work_ms: float) -> None:
         """Retire the head kernel, crediting its solo-duration work."""

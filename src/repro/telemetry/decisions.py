@@ -17,7 +17,7 @@ parallel runs of the same seed.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..errors import ConfigError
@@ -108,6 +108,25 @@ class DecisionRecord:
         return None
 
 
+def _plain(obj):
+    """Recursive dataclass-to-dict conversion for JSON encoding.
+
+    Produces the same JSON as :func:`dataclasses.asdict` but without
+    its per-leaf deepcopy — decision records hold only immutable
+    scalars, tuples and nested records, so copying buys nothing.
+    """
+    if hasattr(obj, "__dataclass_fields__"):
+        return {
+            name: _plain(getattr(obj, name))
+            for name in obj.__dataclass_fields__
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_plain(item) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _plain(value) for key, value in obj.items()}
+    return obj
+
+
 def decision_log_jsonl(decisions: Iterable[DecisionRecord]) -> str:
     """Serialize a decision log as JSONL (one record per line).
 
@@ -117,7 +136,7 @@ def decision_log_jsonl(decisions: Iterable[DecisionRecord]) -> str:
     """
     lines = []
     for record in decisions:
-        payload = asdict(record)
+        payload = _plain(record)
         payload["final_kind"] = record.final_kind or record.kind
         lines.append(
             json.dumps(payload, sort_keys=True, separators=(",", ":"))

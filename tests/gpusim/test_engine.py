@@ -89,3 +89,49 @@ class TestCancellation:
 
     def test_empty_run_returns_zero(self):
         assert EventQueue().run() == 0.0
+
+    def test_cancel_after_fire_keeps_len_exact(self):
+        """Cancelling an already-fired handle must not skew __len__."""
+        queue = EventQueue()
+        handles = []
+        h1 = queue.schedule(1.0, lambda t: None)
+        queue.schedule(2.0, lambda t: handles.append(
+            queue.schedule(5.0, lambda t2: None)
+        ))
+        queue.run()
+        queue.cancel(h1)  # fired long ago; must be a no-op
+        assert len(queue) == 0
+        queue.schedule(6.0, lambda t: None)
+        assert len(queue) == 1
+
+    def test_double_cancel_is_a_noop(self):
+        queue = EventQueue()
+        h = queue.schedule(1.0, lambda t: None)
+        queue.schedule(2.0, lambda t: None)
+        queue.cancel(h)
+        queue.cancel(h)
+        assert len(queue) == 1
+        assert queue.run() == 2.0
+
+    def test_cancellation_bookkeeping_is_bounded(self):
+        """Stale handles must not accumulate (the lazy-cancel leak)."""
+        queue = EventQueue()
+        for i in range(100):
+            h = queue.schedule(float(i + 1), lambda t: None)
+            queue.cancel(h)
+            queue.cancel(h + 1_000_000)  # never-scheduled handle
+        assert len(queue) == 0
+        assert len(queue._entries) == 0
+        queue.run()
+        assert len(queue._heap) == 0
+
+    def test_cancelled_reschedule_pattern(self):
+        """The memory system's cancel-and-reschedule pattern stays exact."""
+        queue = EventQueue()
+        seen = []
+        handle = queue.schedule(10.0, lambda t: seen.append("old"))
+        queue.cancel(handle)
+        queue.schedule(4.0, lambda t: seen.append("new"))
+        assert len(queue) == 1
+        assert queue.run() == 4.0
+        assert seen == ["new"]

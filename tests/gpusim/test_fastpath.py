@@ -1,15 +1,20 @@
-"""Equivalence suite for the analytic fast path.
+"""Equivalence suite for the vectorized analytic fast path.
 
-The fast path replaces the event engine for single-group, barrier-free
-block sets; these tests prove it is a drop-in replacement by comparing
-both engines across the full kernel corpus and a grid sweep, and verify
-that ineligible launches still route through the event engine.
+The fast path now covers every block-set shape — plain, barriered,
+multi-group and fused alike; these tests prove it is a drop-in
+replacement by comparing both engines across the full kernel corpus
+(barriered GEMMs included), a grid sweep, and fused co-run blocks, and
+pin the property that ``supported()`` never accepts a shape the
+analytic path mis-simulates.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.errors import SimulationError
+from repro.fusion.fuser import flexible_fuse
+from repro.fusion.ptb import transform
 from repro.gpusim import fastpath
 from repro.gpusim.gpu import (
     _cap_iterations,
@@ -18,6 +23,7 @@ from repro.gpusim.gpu import (
     run_blocks,
 )
 from repro.gpusim.sm import BlockSpec, SMSimulation
+from repro.gpusim.validate import fastpath_reference_blocks
 from repro.gpusim.warp import (
     ComputeSegment,
     MemorySegment,
@@ -45,6 +51,15 @@ def _resident_blocks(ir, gpu, mult):
             for _ in range(min(per_sm_blocks, occupancy))
         ]
     blocks, _ = _cap_iterations(blocks)
+    return blocks
+
+
+def _fused_blocks(fused, gpu, tc_grid, cd_grid):
+    """The resident block set of a fused co-run launch."""
+    launch = fused.launch(tc_grid, cd_grid)
+    occupancy = blocks_per_sm(launch.resources, gpu.sm)
+    per_sm = min(launch.persistent_blocks_per_sm, occupancy)
+    blocks, _ = _cap_iterations(_persistent_blocks(launch, gpu, per_sm))
     return blocks
 
 
@@ -76,18 +91,22 @@ class TestCorpusEquivalence:
 
     def test_full_library_grid_sweep(self, gpu, library):
         checked = 0
+        barriered = 0
         for ir in library:
             for mult in GRID_MULTIPLIERS:
                 blocks = _resident_blocks(ir, gpu, mult)
-                if not fastpath.supported(blocks):
-                    continue
+                assert fastpath.supported(blocks)
+                if fastpath.classify(blocks) == fastpath.SHAPE_BARRIER:
+                    barriered += 1
                 checked += 1
                 _assert_equivalent(gpu, blocks)
-        # the corpus must actually exercise the fast path broadly
+        # the corpus must exercise the fast path broadly, and the
+        # barriered GEMMs must be part of the sweep, not skipped
         assert checked >= 100
+        assert barriered >= 10
 
     def test_v100_preset(self, v100, library):
-        for name in ("mriq", "fft", "lbm", "relu"):
+        for name in ("mriq", "fft", "lbm", "relu", "sgemm", "wmma_gemm"):
             blocks = _resident_blocks(library.get(name), v100, 1.0)
             assert fastpath.supported(blocks)
             _assert_equivalent(v100, blocks)
@@ -117,36 +136,125 @@ class TestCorpusEquivalence:
         _assert_equivalent(gpu, blocks)
 
 
-class TestEligibility:
-    """Fused and barriered blocks must keep using the event engine."""
+class TestWidenedShapes:
+    """Barriered, multi-group and fused shapes now take the fast path."""
 
-    def test_barrier_rejected(self, gpu):
+    def test_full_block_barrier(self, gpu):
         program = WarpProgram(
-            (ComputeSegment("cuda", 10.0), SyncSegment(0, 4)), 2
+            (ComputeSegment("cuda", 10.0), MemorySegment(32.0),
+             SyncSegment(0, 4)), 2
         )
-        assert not fastpath.supported([BlockSpec({"m": (program,) * 4})])
+        blocks = [BlockSpec({"m": (program,) * 4})]
+        assert fastpath.classify(blocks) == fastpath.SHAPE_BARRIER
+        assert fastpath.supported(blocks)
+        _assert_equivalent(gpu, blocks)
 
-    def test_multi_group_rejected(self):
-        tc = WarpProgram((ComputeSegment("tensor", 10.0),), 1)
-        cd = WarpProgram((ComputeSegment("cuda", 10.0),), 1)
+    def test_partial_barrier(self, gpu):
+        """Partial bar.sync (count < group warps) rounds interleave."""
+        program = WarpProgram(
+            (ComputeSegment("cuda", 35.0), MemorySegment(48.0),
+             SyncSegment(0, 2)), 6
+        )
+        blocks = [BlockSpec({"m": (program,) * 6})]
+        assert fastpath.supported(blocks)
+        _assert_equivalent(gpu, blocks)
+
+    def test_multi_group_barrier_free(self, gpu):
+        tc = WarpProgram(
+            (ComputeSegment("tensor", 110.0), MemorySegment(64.0)), 7
+        )
+        cd = WarpProgram(
+            (ComputeSegment("cuda", 95.0), MemorySegment(96.0)), 5
+        )
         blocks = [BlockSpec({"tc": (tc,) * 2, "cd": (cd,) * 2})]
-        assert not fastpath.supported(blocks)
+        assert fastpath.classify(blocks) == fastpath.SHAPE_MULTI_GROUP
+        assert fastpath.supported(blocks)
+        _assert_equivalent(gpu, blocks)
 
-    def test_barriered_library_kernels_rejected(self, gpu, library):
+    def test_barriered_library_kernels(self, gpu, library):
         for name in ("sgemm", "tgemm_l", "wmma_gemm"):
             blocks = _resident_blocks(library.get(name), gpu, 1.0)
-            assert not fastpath.supported(blocks)
+            assert fastpath.classify(blocks) == fastpath.SHAPE_BARRIER
+            assert fastpath.supported(blocks)
+            _assert_equivalent(gpu, blocks)
 
-    def test_dispatch_counts(self, gpu, library):
+    def test_fused_corun_blocks(self, gpu, library):
+        """Real fused co-run blocks (per-copy partial barriers) match."""
+        tc_ptb = transform(library.get("tgemm_l"), gpu)
+        cd_ptb = transform(library.get("fft"), gpu)
+        fused = flexible_fuse(tc_ptb, cd_ptb, gpu, 2, 1)
+        for tc_grid, cd_grid in ((512, 256), (96, 1024)):
+            blocks = _fused_blocks(fused, gpu, tc_grid, cd_grid)
+            assert fastpath.classify(blocks) == fastpath.SHAPE_FUSED
+            assert fastpath.supported(blocks)
+            _assert_equivalent(gpu, blocks)
+
+    def test_reference_shapes_sweep(self, gpu, v100):
+        """Per-shape references (shared with validate.py) on both GPUs."""
+        for shape, blocks in fastpath_reference_blocks().items():
+            assert fastpath.classify(blocks) == shape
+            assert fastpath.supported(blocks)
+            _assert_equivalent(gpu, blocks)
+            _assert_equivalent(v100, blocks)
+
+
+class TestProperties:
+    """``supported()`` must never cover a shape the model mis-simulates."""
+
+    def test_supported_implies_equivalent(self, gpu, library):
+        """Every supported resident block set simulates identically."""
+        for ir in library:
+            blocks = _resident_blocks(ir, gpu, 1.3)
+            if fastpath.supported(blocks):
+                _assert_equivalent(gpu, blocks)
+
+    def test_supported_shapes_is_classify_range(self):
+        """Coverage is decided by shape class alone, so narrowing
+        SUPPORTED_SHAPES is the one switch that reroutes a class."""
+        for shape, blocks in fastpath_reference_blocks().items():
+            assert fastpath.classify(blocks) == shape
+            assert fastpath.supported(blocks) == (
+                shape in fastpath.SUPPORTED_SHAPES
+            )
+
+    def test_barrier_count_mismatch_raises_like_engine(self, gpu):
+        """Malformed barriers fail identically on both engines."""
+        good = WarpProgram((SyncSegment(0, 4),), 1)
+        bad = WarpProgram((SyncSegment(0, 3),), 1)
+        blocks = [BlockSpec({"m": (good, good, bad, good)})]
+        with pytest.raises(SimulationError, match="disagree on bar.sync"):
+            SMSimulation(gpu.sm, gpu.bytes_per_cycle_per_sm).run(blocks)
+        with pytest.raises(SimulationError, match="disagree on bar.sync"):
+            fastpath.run_blocks(gpu.sm, gpu.bytes_per_cycle_per_sm, blocks)
+
+    def test_unsatisfiable_barrier_raises_like_engine(self, gpu):
+        """A deadlocked block raises the engine's deadlock error."""
+        program = WarpProgram((SyncSegment(0, 4),), 1)
+        blocks = [BlockSpec({"m": (program,) * 3})]
+        with pytest.raises(SimulationError, match="never finished"):
+            SMSimulation(gpu.sm, gpu.bytes_per_cycle_per_sm).run(blocks)
+        with pytest.raises(SimulationError, match="never finished"):
+            fastpath.run_blocks(gpu.sm, gpu.bytes_per_cycle_per_sm, blocks)
+
+
+class TestDispatch:
+    """run_blocks routes by shape class and records reasons."""
+
+    def test_dispatch_counts_by_shape(self, gpu, library):
         fastpath.STATS.reset()
         sgemm = _resident_blocks(library.get("sgemm"), gpu, 1.0)
         mriq = _resident_blocks(library.get("mriq"), gpu, 1.0)
         run_blocks(gpu, mriq)
         run_blocks(gpu, sgemm)
-        assert fastpath.STATS.fast == 1
-        assert fastpath.STATS.engine == 1
+        assert fastpath.STATS.fast == 2
+        assert fastpath.STATS.engine == 0
         assert fastpath.STATS.total == 2
-        assert fastpath.STATS.fast_fraction == pytest.approx(0.5)
+        assert fastpath.STATS.fast_fraction == pytest.approx(1.0)
+        assert fastpath.STATS.fast_by_shape == {
+            fastpath.SHAPE_PLAIN: 1,
+            fastpath.SHAPE_BARRIER: 1,
+        }
+        assert fastpath.STATS.rejects == {}
 
     def test_env_toggle_disables_fastpath(self, gpu, library, monkeypatch):
         monkeypatch.setenv(fastpath.FASTPATH_ENV, "0")
@@ -154,3 +262,20 @@ class TestEligibility:
         run_blocks(gpu, _resident_blocks(library.get("mriq"), gpu, 1.0))
         assert fastpath.STATS.fast == 0
         assert fastpath.STATS.engine == 1
+        assert fastpath.STATS.rejects == {fastpath.REASON_DISABLED: 1}
+
+    def test_unsupported_shape_records_reject_reason(
+        self, gpu, monkeypatch
+    ):
+        """A shape outside SUPPORTED_SHAPES routes to the engine and
+        shows up as a reject reason (the coverage-regression signal)."""
+        monkeypatch.setattr(
+            fastpath, "SUPPORTED_SHAPES",
+            frozenset(fastpath.SHAPES) - {fastpath.SHAPE_FUSED},
+        )
+        fastpath.STATS.reset()
+        blocks = fastpath_reference_blocks()["fused"]
+        result = run_blocks(gpu, blocks)
+        assert result.finish_time > 0
+        assert fastpath.STATS.fast == 0
+        assert fastpath.STATS.rejects == {fastpath.SHAPE_FUSED: 1}

@@ -63,6 +63,69 @@ class TestFusedCache:
         )
 
 
+class TestCorunPolicyCache:
+    def test_memoized(self, gpu):
+        from repro.gpusim.gpu import corun_spatial
+        oracle = DurationOracle(gpu)
+        a = mriq().launch(1000)
+        b = fft().launch(800)
+        first = oracle.corun_policy("spatial", a, b)
+        misses = oracle.misses
+        second = oracle.corun_policy("spatial", a, b)
+        assert second is first
+        assert oracle.misses == misses
+        # The memo answers with exactly what the policy computes.
+        direct = corun_spatial(a, b, gpu)
+        assert first.duration_cycles == direct.duration_cycles
+        assert first.overlap == direct.overlap
+
+    def test_policies_do_not_alias(self, gpu):
+        oracle = DurationOracle(gpu)
+        a = transform(mriq(), gpu).launch()
+        b = transform(fft(), gpu).launch()
+        serial = oracle.corun_policy("serial", a, b)
+        concurrent = oracle.corun_policy("concurrent", a, b)
+        assert serial.policy == "serial"
+        assert concurrent.policy == "concurrent"
+        assert oracle.misses == 2
+
+    def test_grid_share_changes_the_key(self, gpu):
+        oracle = DurationOracle(gpu)
+        a = mriq().launch(1000)
+        oracle.corun_policy("spatial", a, fft().launch(800))
+        oracle.corun_policy("spatial", a, fft().launch(1600))
+        assert oracle.misses == 2
+
+    def test_unknown_policy_rejected(self, gpu):
+        oracle = DurationOracle(gpu)
+        with pytest.raises(KeyError, match="unknown co-run policy"):
+            oracle.corun_policy("mps", mriq().launch(), fft().launch())
+
+    def test_round_trip(self, gpu, tmp_path):
+        store = OracleStore.for_gpu(gpu, directory=tmp_path)
+        oracle = DurationOracle(gpu, store=store)
+        a = transform(mriq(), gpu).launch()
+        b = transform(fft(), gpu).launch()
+        result = oracle.corun_policy("concurrent", a, b)
+        assert oracle.misses == 1
+        oracle.flush()
+
+        # A fresh process answers from disk, policy label restored.
+        oracle2 = DurationOracle(
+            gpu, store=OracleStore.for_gpu(gpu, directory=tmp_path)
+        )
+        again = oracle2.corun_policy("concurrent", a, b)
+        assert oracle2.misses == 0
+        assert oracle2.persistent_hits == 1
+        assert again.policy == "concurrent"
+        assert again.duration_cycles == result.duration_cycles
+        assert again.solo_a_cycles == result.solo_a_cycles
+        assert again.solo_b_cycles == result.solo_b_cycles
+        assert again.finish_a_cycles == result.finish_a_cycles
+        assert again.finish_b_cycles == result.finish_b_cycles
+        assert again.overlap == result.overlap
+
+
 class TestPersistence:
     def test_round_trip(self, gpu, tmp_path):
         store = OracleStore.for_gpu(gpu, directory=tmp_path)

@@ -227,6 +227,59 @@ class TestCommonInfrastructure:
         after = common.perf_counters().delta(baseline)
         assert after.oracle_misses >= 0
 
+    def test_perf_counters_break_down_fastpath_dispatch(self, gpu):
+        from repro.experiments import common
+        from repro.gpusim import fastpath
+        from repro.gpusim.gpu import clear_result_memo, simulate_launch
+        from repro.kernels.parboil import mriq
+
+        fastpath.STATS.reset()
+        clear_result_memo()
+        before = common.perf_counters()
+        simulate_launch(mriq().launch(1000), gpu)
+        delta = common.perf_counters().delta(before)
+        assert delta.fastpath_fast == 1
+        assert delta.fastpath_by_shape == {fastpath.SHAPE_PLAIN: 1}
+        assert delta.fastpath_rejects == {}
+        flat = delta.as_dict()
+        assert flat[f"fastpath_fast[{fastpath.SHAPE_PLAIN}]"] == 1
+
+    def test_perf_counters_break_down_fastpath_rejects(
+        self, gpu, monkeypatch
+    ):
+        from repro.experiments import common
+        from repro.gpusim import fastpath
+        from repro.gpusim.gpu import clear_result_memo, simulate_launch
+        from repro.kernels.parboil import mriq
+
+        fastpath.STATS.reset()
+        clear_result_memo()
+        monkeypatch.setenv(fastpath.FASTPATH_ENV, "0")
+        before = common.perf_counters()
+        simulate_launch(mriq().launch(1000), gpu)
+        delta = common.perf_counters().delta(before)
+        assert delta.fastpath_engine == 1
+        assert delta.fastpath_rejects == {fastpath.REASON_DISABLED: 1}
+        assert "rejects: disabled=1" in common.TimedResult(
+            value=None, wall_s=0.0, counters=delta
+        ).perf_line()
+
+    def test_publish_perf_metrics_exports_breakdowns(self, gpu):
+        from repro.experiments import common
+        from repro.gpusim import fastpath
+        from repro.gpusim.gpu import clear_result_memo, simulate_launch
+        from repro.kernels.parboil import mriq
+        from repro.telemetry.registry import MetricsRegistry
+
+        fastpath.STATS.reset()
+        clear_result_memo()
+        simulate_launch(mriq().launch(1000), gpu)
+        registry = MetricsRegistry()
+        common.publish_perf_metrics(registry)
+        exposition = registry.prometheus_text()
+        assert "repro_fastpath_shape_total" in exposition
+        assert f'shape="{fastpath.SHAPE_PLAIN}"' in exposition
+
 
 class TestParallelSweeps:
     def test_worker_count_resolution(self, monkeypatch):
