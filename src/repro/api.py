@@ -21,6 +21,15 @@ Cluster-scale serving::
     result = serve_cluster(spec)
     print(result.fleet_p99_ms, result.improvement)
 
+Scenario replay (see ``docs/scenarios.md``)::
+
+    from repro.api import RunConfig, TackerSystem, load_scenario, run_scenario
+
+    scenario = load_scenario("diurnal")
+    system = TackerSystem(config=scenario.run_config())
+    result = run_scenario(system, scenario)   # constant-memory fold
+    print(result.p99_latency_ms, result.qos_satisfied)
+
 Observability (see ``docs/observability.md``)::
 
     from repro.api import RunConfig, TackerSystem, telemetry_registry
@@ -51,6 +60,19 @@ from .runtime.metrics import (
     latency_stats_by_service,
 )
 from .runtime.policies import GuardConfig
+from .runtime.replay import (
+    RecordedTraceSource,
+    Scenario,
+    StreamingResult,
+    SyntheticTraceSource,
+    Trace,
+    TraceSource,
+    list_scenarios,
+    load_scenario,
+    run_scenario,
+    serve_trace,
+    synthesize_trace,
+)
 from .runtime.runconfig import RunConfig
 from .runtime.server import ColocationServer, ServerResult
 from .runtime.system import PairOutcome, TackerSystem
@@ -99,6 +121,18 @@ __all__ = [
     "ClusterResult",
     "default_cluster_spec",
     "serve_cluster",
+    # trace replay + the scenario library
+    "Trace",
+    "TraceSource",
+    "RecordedTraceSource",
+    "SyntheticTraceSource",
+    "Scenario",
+    "StreamingResult",
+    "list_scenarios",
+    "load_scenario",
+    "run_scenario",
+    "serve_trace",
+    "synthesize_trace",
     # observability
     "RunTelemetry",
     "DecisionRecord",

@@ -7,6 +7,7 @@ Usage::
     python -m repro fuse tgemm_l fft             # fuse one pair
     python -m repro run-pair resnet50 fft        # Tacker vs Baymax
     python -m repro run-cluster --nodes 4        # fleet serving sweep
+    python -m repro run-scenario diurnal         # replay one scenario
     python -m repro trace resnet50 fft out.json  # Chrome trace export
     python -m repro report [--full]              # aggregate report
 """
@@ -121,6 +122,64 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-sweep", action="store_true",
         help="only serve the requested fleet; skip the full "
              "nodes x load x routing sweep and its table",
+    )
+
+    scenario = commands.add_parser(
+        "run-scenario",
+        help="replay one scenario from the versioned library "
+             "(scenarios/*.json) through the streaming server loop",
+    )
+    scenario.add_argument(
+        "scenario", nargs="?", default=None,
+        help="scenario name (e.g. diurnal) or a path to a scenario JSON",
+    )
+    scenario.add_argument(
+        "--list", action="store_true",
+        help="list the scenario library and exit",
+    )
+    scenario.add_argument(
+        "--policy", default="tacker", help="tacker | baymax"
+    )
+    scenario.add_argument(
+        "--queries", type=int, default=None,
+        help="override the scenario's query count (e.g. 1000000 for a "
+             "long-horizon replay)",
+    )
+    scenario.add_argument(
+        "--quick", action="store_true",
+        help="use the scenario's quick_queries count",
+    )
+    scenario.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the folded run summary as JSON",
+    )
+    scenario.add_argument(
+        "--json", action="store_true",
+        help="print the folded run summary JSON instead of the text recap",
+    )
+    scenario.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="write the arrival trace as JSONL before serving "
+             "(replayable with --replay)",
+    )
+    scenario.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="serve a recorded JSONL trace instead of synthesizing one",
+    )
+    scenario.add_argument(
+        "--max-rss-mb", type=float, default=None, metavar="MB",
+        help="fail (exit 2) if the process peak RSS exceeds this ceiling "
+             "after the run — the nightly long-horizon memory gate",
+    )
+    scenario.add_argument(
+        "--no-stream", action="store_true",
+        help="use the list-based result instead of the constant-memory "
+             "streaming fold (small runs only)",
+    )
+    scenario.add_argument(
+        "--require-qos", action="store_true",
+        help="exit 1 when the run misses its QoS target (off by default: "
+             "overload scenarios miss by design)",
     )
 
     trace = commands.add_parser(
@@ -321,6 +380,118 @@ def _cmd_run_cluster(args) -> int:
     return 0 if result.fleet_qos_satisfied else 1
 
 
+def _cmd_run_scenario(args) -> int:
+    import json
+    import pathlib
+    import time
+
+    from .runtime.replay import (
+        RecordedTraceSource,
+        list_scenarios,
+        load_scenario,
+        run_scenario,
+        synthesize_trace,
+    )
+    from .runtime.runconfig import RunConfig
+    from .runtime.system import TackerSystem
+
+    if args.list:
+        for name in list_scenarios():
+            entry = load_scenario(name)
+            print(f"{name:<14}kind={entry.arrival['kind']:<13}"
+                  f"lc={','.join(entry.lc_services):<28}"
+                  f"be={','.join(entry.be_apps)}")
+        return 0
+    if args.scenario is None:
+        raise SystemExit("run-scenario needs a scenario name (or --list)")
+    scenario = load_scenario(args.scenario)
+    if args.queries is not None:
+        n_queries = args.queries
+    else:
+        n_queries = scenario.n_queries(quick=args.quick)
+    config = RunConfig(
+        qos_ms=scenario.qos_ms, load=scenario.load, queries=n_queries,
+        seed=scenario.seed, scenario=scenario.name,
+    )
+    system = TackerSystem(gpu=gpu_preset(args.gpu), config=config)
+    start = time.perf_counter()
+    if args.replay is not None:
+        trace = RecordedTraceSource(args.replay).trace(
+            system.library, system.oracle, n_queries=args.queries
+        )
+    else:
+        trace = synthesize_trace(
+            scenario, system.library, system.oracle, n_queries=n_queries
+        )
+    if args.record is not None:
+        path = trace.write_jsonl(args.record)
+        print(f"recorded {len(trace)} arrivals to {path}")
+    result = run_scenario(
+        system, scenario, policy_name=args.policy, trace=trace,
+        streaming=not args.no_stream,
+    )
+    wall = time.perf_counter() - start
+    if hasattr(result, "summary_dict"):
+        summary = result.summary_dict()
+    else:  # --no-stream: reduce the list-based result the same way
+        from .runtime.metrics import latency_stats
+
+        summary = {
+            "schema": "repro-replay-summary/1",
+            "qos_ms": result.qos_ms,
+            "horizon_ms": result.horizon_ms,
+            "queries": len(result.latencies_ms),
+            "qos_satisfied": bool(result.qos_satisfied),
+            "total_be_work_ms": result.total_be_work_ms,
+            "be_throughput": result.be_throughput,
+            **{f"latency_{k}": v
+               for k, v in latency_stats(result).items()},
+        }
+    summary["scenario"] = scenario.name
+    summary["policy"] = args.policy
+    summary["wall_s"] = round(wall, 3)
+    max_rss_mb = None
+    try:
+        import resource
+
+        # Linux reports ru_maxrss in KB.
+        max_rss_mb = (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        )
+        summary["max_rss_mb"] = round(max_rss_mb, 1)
+    except ImportError:
+        pass
+    if args.out is not None:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(summary, sort_keys=True, indent=2) + "\n")
+        print(f"wrote summary to {out}")
+    if args.json:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+    else:
+        p99 = summary.get("p99_latency_ms",
+                          summary.get("latency_p99_ms", float("nan")))
+        print(f"{scenario.name} | {args.policy} | {len(trace)} queries | "
+              f"horizon {trace.horizon_ms(scenario.qos_ms) / 1000:.1f} s")
+        print(f"  p99 {p99:.2f} ms (target {scenario.qos_ms:.0f} ms) | "
+              f"QoS {'yes' if summary['qos_satisfied'] else 'NO'} | "
+              f"BE work {summary['total_be_work_ms']:.1f} ms")
+        rss = f" | peak RSS {max_rss_mb:.0f} MB" if max_rss_mb else ""
+        print(f"  wall {wall:.2f} s{rss}")
+    if args.max_rss_mb is not None:
+        if max_rss_mb is None:
+            raise SystemExit("--max-rss-mb needs the resource module")
+        if max_rss_mb > args.max_rss_mb:
+            print(f"memory ceiling exceeded: {max_rss_mb:.1f} MB > "
+                  f"{args.max_rss_mb:.1f} MB")
+            return 2
+        print(f"memory ceiling ok: {max_rss_mb:.1f} MB <= "
+              f"{args.max_rss_mb:.1f} MB")
+    if args.require_qos and not summary["qos_satisfied"]:
+        return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from .models.zoo import model_by_name
     from .runtime.system import TackerSystem
@@ -404,6 +575,7 @@ _COMMANDS = {
     "fuse": _cmd_fuse,
     "run-pair": _cmd_run_pair,
     "run-cluster": _cmd_run_cluster,
+    "run-scenario": _cmd_run_scenario,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "report": _cmd_report,

@@ -19,7 +19,11 @@ Pieces:
 * :mod:`~repro.runtime.system` — offline preparation (PTB transforms,
   fusion search, artifact compilation, model training) + experiment glue;
 * :mod:`~repro.runtime.metrics` — Eq. 10 throughput improvement, tail
-  latencies, Eq. 11 overlap rates.
+  latencies, Eq. 11 overlap rates;
+* :mod:`~repro.runtime.replay` — trace-driven workload replay: recorded
+  or synthesized arrival traces (diurnal, flash-crowd, MMPP bursts,
+  tenant churn), the versioned scenario library, and the
+  constant-memory streaming result fold.
 """
 
 from .query import BEApplication, KernelInstance, Query
@@ -46,6 +50,20 @@ from .cluster import (
     NodeSpec,
     default_cluster_spec,
     serve_cluster,
+)
+from .replay import (
+    NAMED_SCENARIOS,
+    RecordedTraceSource,
+    Scenario,
+    StreamingResult,
+    SyntheticTraceSource,
+    Trace,
+    TraceSource,
+    list_scenarios,
+    load_scenario,
+    run_scenario,
+    serve_trace,
+    synthesize_trace,
 )
 from .trace_export import (
     cluster_to_chrome_trace,
@@ -84,6 +102,18 @@ __all__ = [
     "NodeSpec",
     "default_cluster_spec",
     "serve_cluster",
+    "NAMED_SCENARIOS",
+    "Trace",
+    "TraceSource",
+    "RecordedTraceSource",
+    "SyntheticTraceSource",
+    "Scenario",
+    "StreamingResult",
+    "list_scenarios",
+    "load_scenario",
+    "run_scenario",
+    "serve_trace",
+    "synthesize_trace",
     "to_chrome_trace",
     "write_chrome_trace",
     "cluster_to_chrome_trace",

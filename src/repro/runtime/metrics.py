@@ -1,4 +1,10 @@
-"""Evaluation metrics (Eqs. 10 and 11; Fig. 16's latency statistics)."""
+"""Evaluation metrics (Eqs. 10 and 11; Fig. 16's latency statistics).
+
+Also home of :class:`QuantileSketch`, the fixed-bin streaming quantile
+estimator the constant-memory replay fold uses for its p99 — kept here
+with the other latency statistics so the list-based and folded paths
+document their (bounded) disagreement in one place.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +14,117 @@ import numpy as np
 
 from ..errors import SchedulingError
 from .server import ServerResult
+
+
+class QuantileSketch:
+    """Fixed-bin streaming quantile estimator (constant memory).
+
+    ``bins`` uniform bins cover ``[0, upper_ms)``; values at or above
+    ``upper_ms`` land in an overflow bin whose running maximum is kept
+    exactly.  :meth:`quantile` returns the *upper edge* of the bin
+    holding the ceil-rank order statistic, so its estimate is an upper
+    bound on ``np.percentile(values, q*100, method="higher")`` that is
+    at most :attr:`tolerance_ms` above it (exact for overflow quantiles,
+    which return the running max).  Count, sum, min and max are exact.
+
+    Deterministic and mergeable: folding two sketches with identical
+    geometry (:meth:`merge`) equals sketching the concatenated stream,
+    which is what keeps scenario tables byte-identical serial vs.
+    ``--workers N``.
+    """
+
+    __slots__ = ("upper_ms", "bins", "counts", "overflow", "n",
+                 "sum", "_min", "_max")
+
+    def __init__(self, upper_ms: float, bins: int = 4096):
+        if upper_ms <= 0 or bins < 1:
+            raise SchedulingError(
+                f"sketch needs a positive range and >= 1 bin, got "
+                f"upper_ms={upper_ms}, bins={bins}"
+            )
+        self.upper_ms = float(upper_ms)
+        self.bins = int(bins)
+        self.counts = np.zeros(self.bins, dtype=np.int64)
+        self.overflow = 0
+        self.n = 0
+        self.sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    @property
+    def tolerance_ms(self) -> float:
+        """The bin width: the worst-case quantile overestimate."""
+        return self.upper_ms / self.bins
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise SchedulingError(f"latencies are non-negative, got {value}")
+        self.n += 1
+        self.sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value >= self.upper_ms:
+            self.overflow += 1
+        else:
+            self.counts[int(value / self.upper_ms * self.bins)] += 1
+
+    def quantile(self, q: float) -> float:
+        """Upper-edge estimate of the ``q``-quantile (0 < q <= 1)."""
+        if not 0 < q <= 1:
+            raise SchedulingError(f"quantile must be in (0, 1], got {q}")
+        if self.n == 0:
+            return float("nan")
+        rank = max(1, int(np.ceil(q * self.n)))
+        cumulative = 0
+        for index in range(self.bins):
+            cumulative += int(self.counts[index])
+            if cumulative >= rank:
+                return (index + 1) * self.tolerance_ms
+        return self._max  # rank lands in the overflow bin: exact max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.n if self.n else float("nan")
+
+    @property
+    def max_value(self) -> float:
+        return self._max if self.n else float("nan")
+
+    @property
+    def min_value(self) -> float:
+        return self._min if self.n else float("nan")
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch of identical geometry into this one."""
+        if (other.upper_ms, other.bins) != (self.upper_ms, self.bins):
+            raise SchedulingError(
+                "cannot merge sketches with different geometry "
+                f"({self.upper_ms}/{self.bins} vs "
+                f"{other.upper_ms}/{other.bins})"
+            )
+        self.counts += other.counts
+        self.overflow += other.overflow
+        self.n += other.n
+        self.sum += other.sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (bins are elided; aggregates are exact)."""
+        return {
+            "n": self.n,
+            "mean_ms": self.mean,
+            "p50_ms": self.quantile(0.50),
+            "p99_ms": self.quantile(0.99),
+            "max_ms": self.max_value,
+            "min_ms": self.min_value,
+            "overflow": self.overflow,
+            "upper_ms": self.upper_ms,
+            "bins": self.bins,
+            "tolerance_ms": self.tolerance_ms,
+        }
 
 
 def throughput_improvement(

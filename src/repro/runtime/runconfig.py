@@ -39,6 +39,11 @@ class RunConfig:
     #: collect telemetry (spans, decision log, run metrics) for runs
     #: under this config; False keeps the hot path a strict no-op
     telemetry: bool = False
+    #: name of the scenario this run belongs to ("" outside scenario
+    #: replays); rides into telemetry as the per-scenario metric label
+    #: and keys a separate shared system per scenario in the
+    #: experiment layer
+    scenario: str = ""
 
     def __post_init__(self) -> None:
         if self.qos_ms <= 0:

@@ -11,7 +11,7 @@ Figs. 1, 2 and 15).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -118,6 +118,39 @@ class ServerResult:
         """The paper's criterion: the 99th percentile meets the target."""
         return self.p99_latency_ms <= self.qos_ms * 1.0001
 
+    # -- event hooks ----------------------------------------------------------
+    #
+    # The server mutates its result only through these three methods, so
+    # a constant-memory fold (``repro.runtime.replay.StreamingResult``)
+    # can substitute incremental accumulators for the per-query lists by
+    # overriding them — the scheduling loop itself is shared verbatim.
+
+    def note_kernel(
+        self, start: float, end: float, kind: str, name: str,
+        tc_end: float, cd_end: float, service: str, keep: bool,
+    ) -> None:
+        """Record one executed launch (timelines + optional trace row)."""
+        if tc_end > start:
+            self.tc_timeline.add(start, tc_end)
+        if cd_end > start:
+            self.cd_timeline.add(start, cd_end)
+        if keep:
+            self.executed.append(
+                ExecutedKernel(start, end, kind, name, tc_end, cd_end,
+                               service)
+            )
+
+    def note_query_latency(self, model_name: str, latency_ms: float) -> None:
+        """Record one completed LC query's end-to-end latency."""
+        self.latencies_ms.append(latency_ms)
+        self.latencies_by_model.setdefault(model_name, []).append(latency_ms)
+
+    def note_be_credit(self, app_name: str, solo_ms: float,
+                       end_ms: float) -> None:
+        """Credit one retired BE kernel's work (within the horizon)."""
+        if end_ms <= self.horizon_ms:
+            self.be_work_ms[app_name] += solo_ms
+
 
 class ColocationServer:
     """Executes a policy over one query trace."""
@@ -186,6 +219,54 @@ class ColocationServer:
             tc_timeline=Timeline(),
             cd_timeline=Timeline(),
         )
+        return self.serve(iter(pending), be_apps, result)
+
+    def run_stream(
+        self,
+        queries: "Iterator[Query] | Iterable[Query]",
+        be_apps: Sequence[BEApplication],
+        horizon_ms: float,
+        result: Optional[ServerResult] = None,
+    ) -> ServerResult:
+        """Serve a *time-sorted query stream* without materializing it.
+
+        The constant-memory twin of :meth:`run`: ``queries`` is
+        consumed lazily (one-element lookahead), so a 10^6–10^7-query
+        replay holds only the in-flight queries in memory — provided
+        ``result`` folds incrementally too (see
+        :class:`repro.runtime.replay.StreamingResult`).  The horizon
+        must be explicit because the last arrival is unknown up front.
+
+        BE work is credited exactly as in :meth:`run`; with the default
+        ``result=None`` a list-based :class:`ServerResult` is used,
+        which keeps per-query state and is *not* constant-memory.
+        """
+        if horizon_ms <= 0:
+            raise SchedulingError("run_stream needs a positive horizon")
+        if result is None:
+            result = ServerResult(
+                qos_ms=self.qos_ms,
+                horizon_ms=horizon_ms,
+                end_ms=0.0,
+                latencies_ms=[],
+                be_work_ms={app.name: 0.0 for app in be_apps},
+                tc_timeline=Timeline(),
+                cd_timeline=Timeline(),
+            )
+        return self.serve(iter(queries), be_apps, result)
+
+    def serve(
+        self,
+        queries: "Iterator[Query]",
+        be_apps: Sequence[BEApplication],
+        result: ServerResult,
+    ) -> ServerResult:
+        """The scheduling loop shared by :meth:`run` and :meth:`run_stream`.
+
+        ``queries`` must yield queries in arrival order; only a
+        one-element lookahead is held, so the iterator may be lazy.
+        """
+        horizon_ms = result.horizon_ms
         auditing = (
             self.audit_run if self.audit_run is not None else audit.active()
         )
@@ -199,26 +280,28 @@ class ColocationServer:
             else (self.config.telemetry or telemetry.active())
         )
         self._telemetry = (
-            RunTelemetry(policy=self.policy.policy_name) if tracing else None
+            RunTelemetry(
+                policy=self.policy.policy_name,
+                scenario=self.config.scenario,
+            )
+            if tracing else None
         )
         self.policy.telemetry = self._telemetry
         now = 0.0
         start_ms: Optional[float] = None
-        next_arrival = 0
         active: list[Query] = []
+        next_query = next(queries, None)
+        saw_query = next_query is not None
 
         while True:
-            while (
-                next_arrival < len(pending)
-                and pending[next_arrival].arrival_ms <= now
-            ):
-                active.append(pending[next_arrival])
-                next_arrival += 1
+            while next_query is not None and next_query.arrival_ms <= now:
+                active.append(next_query)
+                next_query = next(queries, None)
 
             action = self.policy.decide(now, active, be_apps)
             if action is None:
-                if next_arrival < len(pending):
-                    now = pending[next_arrival].arrival_ms
+                if next_query is not None:
+                    now = next_query.arrival_ms
                     continue
                 break
 
@@ -229,8 +312,8 @@ class ColocationServer:
                 start_ms = now
             now = self._execute(action, now, active, result)
 
-            if not active and next_arrival >= len(pending):
-                if not pending and now < horizon_ms:
+            if not active and next_query is None:
+                if not saw_query and now < horizon_ms:
                     continue  # BE-only run: keep draining to the horizon
                 break
         result.end_ms = now
@@ -342,10 +425,7 @@ class ColocationServer:
         query.advance(end)
         if query.done:
             active.remove(query)
-            result.latencies_ms.append(query.latency_ms)
-            result.latencies_by_model.setdefault(
-                query.model.name, []
-            ).append(query.latency_ms)
+            result.note_query_latency(query.model.name, query.latency_ms)
             self.policy.note_query_done(query.latency_ms)
             if self._telemetry is not None:
                 self._telemetry.note_query_complete(query, end)
@@ -355,15 +435,8 @@ class ColocationServer:
                 service: str = "") -> None:
         if self._auditor is not None:
             self._auditor.on_kernel(start, end, kind, name)
-        if tc_end > start:
-            result.tc_timeline.add(start, tc_end)
-        if cd_end > start:
-            result.cd_timeline.add(start, cd_end)
-        if self.record_kernels:
-            result.executed.append(
-                ExecutedKernel(start, end, kind, name, tc_end, cd_end,
-                               service)
-            )
+        result.note_kernel(start, end, kind, name, tc_end, cd_end, service,
+                           self.record_kernels)
 
     def _run_lc(self, action, now, active, result) -> float:
         query = action.query
@@ -411,8 +484,7 @@ class ColocationServer:
         app.complete_head(solo)
         if self._auditor is not None:
             self._auditor.on_be_retired(app.name, solo, end)
-        if end <= result.horizon_ms:
-            result.be_work_ms[app.name] += solo
+        result.note_be_credit(app.name, solo, end)
         return end
 
     def _run_fused(self, action, now, active, result) -> float:
@@ -459,7 +531,6 @@ class ColocationServer:
         app.complete_head(be_solo)
         if self._auditor is not None:
             self._auditor.on_be_retired(app.name, be_solo, end)
-        if end <= result.horizon_ms:
-            result.be_work_ms[app.name] += be_solo
+        result.note_be_credit(app.name, be_solo, end)
         self._finish_query_kernel(query, end, active, result)
         return end

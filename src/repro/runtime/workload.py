@@ -8,7 +8,7 @@ Parboil kernels or the DNN-training iteration sequences.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -82,7 +82,17 @@ def arrival_gaps(
       traffic cannot produce at high utilization) — see DESIGN.md.
     * ``"poisson"`` — open-loop exponential gaps, for studying the
       bursty regime.
+
+    A zero (or negative) rate has no finite mean gap; callers that can
+    legitimately see one — e.g. a churned-out tenant in
+    :func:`merged_arrival_stream` — must skip the service instead.
     """
+    if rate_per_ms <= 0:
+        raise ConfigError(
+            f"arrival rate must be positive, got {rate_per_ms}; a "
+            "zero-rate service contributes no arrivals and must be "
+            "skipped by the caller"
+        )
     rng = np.random.default_rng(seed)
     mean_gap = 1.0 / rate_per_ms
     if process == "paced":
@@ -94,6 +104,39 @@ def arrival_gaps(
     if process == "poisson":
         return rng.exponential(mean_gap, size=count)
     raise ConfigError(f"unknown arrival process {process!r}")
+
+
+def fold_gaps_to_arrivals(gaps: np.ndarray, gap_filter=None) -> np.ndarray:
+    """The one gap→arrival fold every arrival path shares.
+
+    ``gap_filter`` (the fault-injection hook) transforms the
+    inter-arrival gap array *before* the cumulative sum, so a burst
+    compresses the gaps it covers and shifts everything after it.
+    :meth:`PoissonArrivals.queries`, :func:`merged_arrival_stream` and
+    the trace synthesizers in :mod:`repro.runtime.replay` all fold
+    through here — one definition, so the semantics cannot drift
+    between the live path and the replay path.
+    """
+    if gap_filter is not None:
+        gaps = gap_filter(gaps)
+    return np.cumsum(gaps)
+
+
+def merge_streams(
+    per_service: "Sequence[tuple[str, np.ndarray]]",
+) -> list[tuple[float, str]]:
+    """Merge per-service arrival arrays into one time-sorted stream.
+
+    Returns ``(arrival_ms, service_name)`` tuples sorted by time with
+    ties broken by service name — a *stable, total* order, so two
+    services that happen to produce identical timestamps always merge
+    the same way regardless of input ordering.
+    """
+    stream: list[tuple[float, str]] = []
+    for name, arrivals in per_service:
+        stream.extend((float(t), name) for t in arrivals)
+    stream.sort(key=lambda item: (item[0], item[1]))
+    return stream
 
 
 #: Both functions below are pure functions of their arguments, and the
@@ -206,9 +249,7 @@ class PoissonArrivals:
         if count <= 0:
             raise SchedulingError("query count must be positive")
         gaps = arrival_gaps(self.rate_per_ms, count, self._seed, self.process)
-        if gap_filter is not None:
-            gaps = gap_filter(gaps)
-        arrivals = np.cumsum(gaps)
+        arrivals = fold_gaps_to_arrivals(gaps, gap_filter)
         return [
             Query(self.model, float(t), self._instances) for t in arrivals
         ]
@@ -232,8 +273,12 @@ def merged_arrival_stream(
     replicas serving ``M`` services absorbs ``N / M`` single-node
     streams per service); ``count`` queries are split evenly across
     services (earlier services take the remainder).  Streams are merged
-    and time-sorted, ties broken by model name, so the result is a
-    deterministic function of its arguments.
+    and time-sorted, ties broken by model name (:func:`merge_streams`),
+    so the result is a deterministic function of its arguments.
+
+    A service whose effective rate is zero (``rate_scale == 0``)
+    contributes no arrivals — the tenant-churn replay path relies on
+    this rather than dividing by a zero rate.
     """
     if not models:
         raise SchedulingError("need at least one LC service")
@@ -241,22 +286,22 @@ def merged_arrival_stream(
         raise SchedulingError(
             f"need at least one query per service ({len(models)} services)"
         )
-    stream: list[tuple[float, str]] = []
+    if rate_scale < 0:
+        raise ConfigError(f"rate_scale must be >= 0, got {rate_scale}")
+    per_stream: list[tuple[str, np.ndarray]] = []
     per_service, remainder = divmod(count, len(models))
     for index, model in enumerate(models):
         arrivals = PoissonArrivals(
             model, library, oracle,
             load=load, seed=seed + index, qos_ms=qos_ms, process=process,
         )
+        effective = arrivals.rate_per_ms * rate_scale
+        if effective <= 0:
+            continue  # zero-rate service: no arrivals
         n = per_service + (1 if index < remainder else 0)
-        gaps = arrival_gaps(
-            arrivals.rate_per_ms * rate_scale, n, seed + index, process
-        )
-        stream.extend(
-            (float(t), model.name) for t in np.cumsum(gaps)
-        )
-    stream.sort(key=lambda item: (item[0], item[1]))
-    return stream
+        gaps = arrival_gaps(effective, n, seed + index, process)
+        per_stream.append((model.name, fold_gaps_to_arrivals(gaps)))
+    return merge_streams(per_stream)
 
 
 def be_application(name: str, library: KernelLibrary) -> BEApplication:

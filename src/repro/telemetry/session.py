@@ -24,6 +24,9 @@ class RunTelemetry:
     """Everything one run recorded."""
 
     policy: str = ""
+    #: scenario label of the run ("" outside scenario replays); stamped
+    #: onto the per-scenario metric families at publication
+    scenario: str = ""
     spans: list = field(default_factory=list)
     decisions: list = field(default_factory=list)
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
@@ -71,9 +74,12 @@ class RunTelemetry:
     def publish_result(self, result, guard=None) -> None:
         """Fold a finished run's aggregates into the session registry."""
         reg = self.registry
+        run_labels = {"policy": self.policy}
+        if self.scenario:
+            run_labels["scenario"] = self.scenario
         reg.counter(
             "repro_runs_total", "Completed co-location runs.",
-            policy=self.policy,
+            **run_labels,
         ).inc()
         for kind, count in (
             ("lc", result.n_lc_kernels),
@@ -158,7 +164,7 @@ class RunTelemetry:
         for record in self.decisions:
             final = record.final_kind or record.kind
             kinds[final] = kinds.get(final, 0) + 1
-        return {
+        summary = {
             "policy": self.policy,
             "decisions": len(self.decisions),
             "by_kind": {k: kinds[k] for k in sorted(kinds)},
@@ -166,6 +172,9 @@ class RunTelemetry:
             "spans": len(self.spans),
             "metrics_samples": len(self.registry),
         }
+        if self.scenario:
+            summary["scenario"] = self.scenario
+        return summary
 
 
 def merge_session(session: Optional[RunTelemetry], registry) -> None:

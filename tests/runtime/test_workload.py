@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SchedulingError
 from repro.models.zoo import model_by_name
 from repro.runtime.workload import (
     BE_INPUT_SCALES,
@@ -11,6 +11,9 @@ from repro.runtime.workload import (
     arrival_gaps,
     be_application,
     calibrate_peak_rate,
+    fold_gaps_to_arrivals,
+    merge_streams,
+    merged_arrival_stream,
     peak_load_qps,
     solo_query_ms,
     standard_be_names,
@@ -91,6 +94,56 @@ class TestPoissonArrivals:
         gen = PoissonArrivals(model, library, oracle)
         assert gen.solo_ms == pytest.approx(
             solo_query_ms(model, library, oracle)
+        )
+
+
+class TestMergedArrivalStream:
+    def test_zero_rate_scale_yields_no_arrivals(self, library, oracle):
+        models = [model_by_name("resnet50"), model_by_name("vgg16")]
+        stream = merged_arrival_stream(
+            models, library, oracle, count=10, seed=1, rate_scale=0.0
+        )
+        assert stream == []
+
+    def test_single_query_per_service(self, library, oracle):
+        models = [model_by_name("resnet50"), model_by_name("vgg16")]
+        stream = merged_arrival_stream(
+            models, library, oracle, count=2, seed=1, rate_scale=0.2
+        )
+        assert len(stream) == 2
+        assert {name for _, name in stream} == {"Resnet50", "VGG16"}
+
+    def test_count_below_service_count_rejected(self, library, oracle):
+        models = [model_by_name("resnet50"), model_by_name("vgg16")]
+        with pytest.raises(SchedulingError):
+            merged_arrival_stream(models, library, oracle, count=1, seed=1)
+        with pytest.raises(SchedulingError):
+            merged_arrival_stream([], library, oracle, count=4, seed=1)
+
+    def test_negative_rate_scale_rejected(self, library, oracle):
+        with pytest.raises(ConfigError):
+            merged_arrival_stream(
+                [model_by_name("resnet50")], library, oracle,
+                count=4, seed=1, rate_scale=-0.5,
+            )
+
+    def test_merge_ties_broken_by_name_stably(self):
+        # Identical timestamps must merge the same way regardless of
+        # input ordering — the total order replays rely on.
+        a = ("alpha", np.array([1.0, 5.0]))
+        b = ("beta", np.array([5.0, 9.0]))
+        merged = merge_streams([b, a])
+        assert merged == [
+            (1.0, "alpha"), (5.0, "alpha"), (5.0, "beta"), (9.0, "beta"),
+        ]
+        assert merged == merge_streams([a, b])
+
+    def test_fold_applies_gap_filter_before_cumsum(self):
+        gaps = np.array([10.0, 10.0, 10.0])
+        halved = fold_gaps_to_arrivals(gaps, gap_filter=lambda g: g / 2)
+        assert np.array_equal(halved, np.array([5.0, 10.0, 15.0]))
+        assert np.array_equal(
+            fold_gaps_to_arrivals(gaps), np.array([10.0, 20.0, 30.0])
         )
 
 
