@@ -44,6 +44,13 @@ from __future__ import annotations
 
 from .config import RTX2080TI, V100, GPUConfig, gpu_preset
 from .predictor.online import OnlineModelManager
+from .runtime.autoscale import (
+    AutoscaleResult,
+    AutoscaleSpec,
+    RefitPlan,
+    ScalerConfig,
+    run_autoscale,
+)
 from .runtime.cluster import (
     ClusterDispatcher,
     ClusterManager,
@@ -54,7 +61,7 @@ from .runtime.cluster import (
     default_cluster_spec,
     serve_cluster,
 )
-from .runtime.faults import FaultPlan
+from .runtime.faults import FaultPlan, NodeFault, NodeFaultPlan
 from .runtime.metrics import (
     active_time_breakdown_by_service,
     latency_stats_by_service,
@@ -111,6 +118,8 @@ __all__ = [
     "OnlineModelManager",
     # robustness knobs
     "FaultPlan",
+    "NodeFault",
+    "NodeFaultPlan",
     "GuardConfig",
     # cluster-scale serving
     "ClusterManager",
@@ -121,6 +130,12 @@ __all__ = [
     "ClusterResult",
     "default_cluster_spec",
     "serve_cluster",
+    # autoscaling control plane
+    "AutoscaleSpec",
+    "AutoscaleResult",
+    "ScalerConfig",
+    "RefitPlan",
+    "run_autoscale",
     # trace replay + the scenario library
     "Trace",
     "TraceSource",

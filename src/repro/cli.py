@@ -15,8 +15,27 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import sys
 
 from .config import gpu_preset
+
+
+def _peak_rss_mb() -> "float | None":
+    """Peak RSS of this process in MB (None without ``resource``).
+
+    ``getrusage().ru_maxrss`` is platform-dependent: kilobytes on Linux
+    (and most Unixes), but *bytes* on macOS — an unconditional /1024
+    would read a darwin peak 1024x too large and trip the
+    ``--max-rss-mb`` gate on every healthy run.
+    """
+    try:
+        import resource
+    except ImportError:  # non-Unix: no rusage, the gate is unavailable
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -122,6 +141,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-sweep", action="store_true",
         help="only serve the requested fleet; skip the full "
              "nodes x load x routing sweep and its table",
+    )
+
+    autoscale = commands.add_parser(
+        "run-autoscale",
+        help="run the autoscaling control loop over a scenario",
+    )
+    autoscale.add_argument(
+        "scenario", nargs="?", default="diurnal",
+        help="scenario name or path (default: diurnal)",
+    )
+    autoscale.add_argument(
+        "--scaler", default="burnrate",
+        help="fleet-sizing policy (static | reactive | burnrate)",
+    )
+    autoscale.add_argument(
+        "--rate-nodes", type=int, default=8, metavar="N",
+        help="node-worths of traffic in the trace (also the static "
+             "baseline's fleet size)",
+    )
+    autoscale.add_argument("--span-ms", type=float, default=20000.0)
+    autoscale.add_argument("--epoch-ms", type=float, default=1000.0)
+    autoscale.add_argument(
+        "--routing", default="headroom",
+        help="LC routing strategy (roundrobin | least | headroom)",
+    )
+    autoscale.add_argument(
+        "--crash", action="append", default=[], metavar="NODE@MS",
+        help="crash a replica mid-run, e.g. --crash 0@2500 (repeatable)",
+    )
+    autoscale.add_argument(
+        "--slow", action="append", default=[], metavar="NODE@MS:FACTOR",
+        help="silently slow a replica's kernels, e.g. --slow 1@0:3 "
+             "(repeatable)",
+    )
+    autoscale.add_argument(
+        "--flap", action="append", default=[], metavar="NODE@MS:DOWN/UP",
+        help="flap a replica, e.g. --flap 2@1000:500/1500 (repeatable)",
+    )
+    autoscale.add_argument(
+        "--refit-bias", type=float, default=None, metavar="BIAS",
+        help="roll out a predictor refit with this bias behind the "
+             "canary QoS gate (1.0 = faithful refit)",
+    )
+    autoscale.add_argument(
+        "--sweep", action="store_true",
+        help="also run the full scaler x scenario sweep and write "
+             "its table (minutes of simulation)",
+    )
+    autoscale.add_argument(
+        "--out", default="benchmarks/results/autoscale.txt",
+        help="where --sweep writes the table",
     )
 
     scenario = commands.add_parser(
@@ -380,6 +450,96 @@ def _cmd_run_cluster(args) -> int:
     return 0 if result.fleet_qos_satisfied else 1
 
 
+def _parse_node_faults(args):
+    from .runtime.faults import NodeFault, NodeFaultPlan
+
+    faults = []
+    for text in args.crash:
+        node, at_ms = text.split("@", 1)
+        faults.append(NodeFault(
+            kind="crash", node=int(node), at_ms=float(at_ms),
+        ))
+    for text in args.slow:
+        node, rest = text.split("@", 1)
+        at_ms, factor = rest.split(":", 1)
+        faults.append(NodeFault(
+            kind="slow", node=int(node), at_ms=float(at_ms),
+            factor=float(factor),
+        ))
+    for text in args.flap:
+        node, rest = text.split("@", 1)
+        at_ms, windows = rest.split(":", 1)
+        down_ms, up_ms = windows.split("/", 1)
+        faults.append(NodeFault(
+            kind="flap", node=int(node), at_ms=float(at_ms),
+            down_ms=float(down_ms), up_ms=float(up_ms),
+        ))
+    return NodeFaultPlan(faults=tuple(faults))
+
+
+def _cmd_run_autoscale(args) -> int:
+    import pathlib
+
+    from .experiments.common import parallel_map
+    from .runtime.autoscale import (
+        AutoscaleSpec, RefitPlan, ScalerConfig, run_autoscale,
+    )
+
+    refit = None
+    if args.refit_bias is not None:
+        refit = RefitPlan(start_epoch=1, bias=args.refit_bias, noise=0.1)
+    spec = AutoscaleSpec(
+        scenario=args.scenario,
+        scaler=ScalerConfig(policy=args.scaler),
+        epoch_ms=args.epoch_ms,
+        span_ms=args.span_ms,
+        rate_nodes=args.rate_nodes,
+        routing=args.routing,
+        node_faults=_parse_node_faults(args),
+        refit=refit,
+    )
+    result = run_autoscale(spec, gpu=args.gpu, map_fn=parallel_map)
+    print(f"{args.scenario} | scaler {args.scaler} | "
+          f"{result.n_epochs} epochs x {spec.epoch_ms:.0f} ms | "
+          f"{spec.rate_nodes} node-worths of traffic | "
+          f"QoS {result.qos_ms:.0f} ms")
+    print(f"{'epoch':<6}{'nodes':>6}{'arrivals':>9}{'demand':>8}"
+          f"{'util':>7}{'burn':>7}{'p99 ms':>8}{'reroute':>8}  decision")
+    decisions = {d.epoch: d for d in result.decisions}
+    for e in result.epochs:
+        decision = decisions.get(e.epoch)
+        what = (
+            f"{decision.action} -> {decision.to_nodes} ({decision.reason})"
+            if decision is not None else "-"
+        )
+        print(f"{e.epoch:<6}{e.n_nodes:>6}{e.n_arrivals:>9}"
+              f"{e.demand_units:>8.2f}{e.routed_util:>7.3f}"
+              f"{e.burn_rate:>7.2f}{e.p99_ms:>8.2f}"
+              f"{e.n_rerouted:>8}  {what}")
+    for event in result.rollout_events:
+        print(f"rollout: epoch {event.epoch} {event.action} "
+              f"nodes {list(event.nodes)} "
+              f"canary p99 {event.canary_p99_ms:.2f} "
+              f"vs fleet {event.control_p99_ms:.2f}")
+    summary = result.summary_dict()
+    print(f"fleet: {summary['queries']} queries | "
+          f"p99 {summary['p99_ms']:.2f} ms | "
+          f"QoS {'yes' if result.qos_satisfied else 'NO'} | "
+          f"node-s {summary['node_seconds']:.1f} "
+          f"({summary['saved_vs_static_pct']:+.1f}% vs static) | "
+          f"rerouted {summary['rerouted']} | "
+          f"rollout {summary['rollout']}")
+    if args.sweep:
+        from .experiments import autoscale as autoscale_experiment
+
+        sweep = autoscale_experiment.run(gpu=args.gpu)
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(autoscale_experiment.render(sweep))
+        print(f"\nsweep: wrote {path} ({len(sweep.cells)} cells)")
+    return 0 if result.qos_satisfied else 1
+
+
 def _cmd_run_scenario(args) -> int:
     import json
     import pathlib
@@ -450,17 +610,9 @@ def _cmd_run_scenario(args) -> int:
     summary["scenario"] = scenario.name
     summary["policy"] = args.policy
     summary["wall_s"] = round(wall, 3)
-    max_rss_mb = None
-    try:
-        import resource
-
-        # Linux reports ru_maxrss in KB.
-        max_rss_mb = (
-            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
-        )
+    max_rss_mb = _peak_rss_mb()
+    if max_rss_mb is not None:
         summary["max_rss_mb"] = round(max_rss_mb, 1)
-    except ImportError:
-        pass
     if args.out is not None:
         out = pathlib.Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
@@ -575,6 +727,7 @@ _COMMANDS = {
     "fuse": _cmd_fuse,
     "run-pair": _cmd_run_pair,
     "run-cluster": _cmd_run_cluster,
+    "run-autoscale": _cmd_run_autoscale,
     "run-scenario": _cmd_run_scenario,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,

@@ -23,7 +23,11 @@ Pieces:
 * :mod:`~repro.runtime.replay` — trace-driven workload replay: recorded
   or synthesized arrival traces (diurnal, flash-crowd, MMPP bursts,
   tenant churn), the versioned scenario library, and the
-  constant-memory streaming result fold.
+  constant-memory streaming result fold;
+* :mod:`~repro.runtime.autoscale` — the autoscaling control plane: a
+  deterministic epoch loop that sizes the fleet from SLO burn rate and
+  demand, survives node crashes by re-routing in-flight queries, and
+  rolls predictor refits out behind a canary QoS gate.
 """
 
 from .query import BEApplication, KernelInstance, Query
@@ -51,6 +55,15 @@ from .cluster import (
     default_cluster_spec,
     serve_cluster,
 )
+from .autoscale import (
+    AutoscaleResult,
+    AutoscaleSpec,
+    RefitPlan,
+    SCALER_POLICIES,
+    ScalerConfig,
+    run_autoscale,
+)
+from .faults import NodeFault, NodeFaultPlan
 from .replay import (
     NAMED_SCENARIOS,
     RecordedTraceSource,
@@ -102,6 +115,14 @@ __all__ = [
     "NodeSpec",
     "default_cluster_spec",
     "serve_cluster",
+    "SCALER_POLICIES",
+    "AutoscaleResult",
+    "AutoscaleSpec",
+    "RefitPlan",
+    "ScalerConfig",
+    "run_autoscale",
+    "NodeFault",
+    "NodeFaultPlan",
     "NAMED_SCENARIOS",
     "Trace",
     "TraceSource",

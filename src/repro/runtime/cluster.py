@@ -117,6 +117,22 @@ class ClusterManager:
         self._occurrences[f"be:{be_name}"] += 1
         self._refresh()
 
+    def register_replica(
+        self, name: str, lc_name: str, be_names: Sequence[str]
+    ) -> ClusterNode:
+        """Add a node and place its workloads in one step.
+
+        The autoscaling control plane provisions through this: every
+        scale-out registers the replica's placements, so occurrence
+        counting — and with it fused-kernel staging — follows fleet
+        growth instead of only the initial deployment.
+        """
+        node = self.add_node(name)
+        self.place_lc(name, lc_name)
+        for be_name in be_names:
+            self.place_be(name, be_name)
+        return node
+
     def _refresh(self) -> None:
         """Re-evaluate every node: a workload crossing the threshold can
         unlock fusion staging on *other* nodes hosting the same pair."""
@@ -741,8 +757,16 @@ class NodeResult:
 
     @property
     def qos_satisfied(self) -> bool:
-        """QoS on this node; trivially met when no query was routed."""
-        if not self.tacker.latencies_ms:
+        """QoS on this node; trivially met when no query was routed.
+
+        Streaming results keep ``latencies_ms`` empty and count served
+        queries exactly, so the served count is consulted first — an
+        empty list alone must not read as "no traffic".
+        """
+        served = getattr(self.tacker, "n_queries", None)
+        if served is None:
+            served = len(self.tacker.latencies_ms)
+        if not served:
             return True
         return self.tacker.qos_satisfied
 

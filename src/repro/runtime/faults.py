@@ -261,3 +261,120 @@ def make_injector(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
     if plan is None or not plan.any_faults:
         return None
     return FaultInjector(plan)
+
+
+# -- node-level faults --------------------------------------------------------
+#
+# The channels above perturb events *within* one replica's run; a fleet
+# additionally loses whole replicas.  Node faults are deterministic
+# schedules (no RNG: a control-plane experiment must replay the same
+# crash at the same simulated instant every run) that the autoscaling
+# control plane consults while routing — see
+# :mod:`repro.runtime.autoscale`.
+
+#: Node-level fault modes the cluster control plane understands.
+NODE_FAULT_KINDS = ("crash", "slow", "flap")
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One node-level fault on one replica, on the simulated clock.
+
+    * ``crash`` — the node goes down permanently at ``at_ms``; its
+      in-flight LC queries must be re-routed to the survivors;
+    * ``slow`` — from ``at_ms`` on, the node's *actual* kernel
+      durations are multiplied by ``factor`` while the predictors (and
+      the dispatcher) keep believing the healthy durations — the
+      thermal-throttle / noisy-neighbour divergence;
+    * ``flap`` — starting at ``at_ms`` the node alternates ``down_ms``
+      unreachable / ``up_ms`` reachable windows; the router skips it
+      while down, but queries already on it keep being served (a
+      network partition, not a process death).
+    """
+
+    kind: str
+    #: pool index of the victim replica (the control plane's node id)
+    node: int
+    at_ms: float = 0.0
+    #: slow-node service-time multiplier
+    factor: float = 2.0
+    #: flapping window lengths
+    down_ms: float = 2000.0
+    up_ms: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in NODE_FAULT_KINDS:
+            raise ConfigError(
+                f"unknown node fault kind {self.kind!r}; "
+                f"choose from {NODE_FAULT_KINDS}"
+            )
+        if self.node < 0:
+            raise ConfigError("node index must be non-negative")
+        if self.at_ms < 0:
+            raise ConfigError("fault onset must be non-negative")
+        if self.kind == "slow" and self.factor <= 1.0:
+            raise ConfigError("slow-node factor must exceed 1")
+        if self.kind == "flap" and (self.down_ms <= 0 or self.up_ms <= 0):
+            raise ConfigError("flap windows must be positive")
+
+    def is_down(self, t_ms: float) -> bool:
+        """Whether the node is unreachable for *new* traffic at ``t_ms``."""
+        if t_ms < self.at_ms:
+            return False
+        if self.kind == "crash":
+            return True
+        if self.kind == "flap":
+            phase = (t_ms - self.at_ms) % (self.down_ms + self.up_ms)
+            return phase < self.down_ms
+        return False
+
+    def slow_factor_at(self, t_ms: float) -> float:
+        if self.kind == "slow" and t_ms >= self.at_ms:
+            return self.factor
+        return 1.0
+
+
+@dataclass(frozen=True)
+class NodeFaultPlan:
+    """The fleet's node-fault schedule (any number of faults per node)."""
+
+    faults: tuple = ()
+
+    def __post_init__(self) -> None:
+        for fault in self.faults:
+            if not isinstance(fault, NodeFault):
+                raise ConfigError(f"not a NodeFault: {fault!r}")
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(self.faults)
+
+    def for_node(self, node: int) -> "tuple[NodeFault, ...]":
+        return tuple(f for f in self.faults if f.node == node)
+
+    def is_down(self, node: int, t_ms: float) -> bool:
+        return any(f.is_down(t_ms) for f in self.faults if f.node == node)
+
+    def slow_factor(self, node: int, t_ms: float) -> float:
+        factor = 1.0
+        for fault in self.faults:
+            if fault.node == node:
+                factor *= fault.slow_factor_at(t_ms)
+        return factor
+
+    def crash_in(
+        self, node: int, start_ms: float, end_ms: float
+    ) -> Optional[float]:
+        """The node's crash instant within ``[start_ms, end_ms)``, if any."""
+        times = [
+            f.at_ms for f in self.faults
+            if f.node == node and f.kind == "crash"
+            and start_ms <= f.at_ms < end_ms
+        ]
+        return min(times) if times else None
+
+    def crashed_by(self, node: int, t_ms: float) -> bool:
+        return any(
+            f.kind == "crash" and f.at_ms <= t_ms
+            for f in self.faults if f.node == node
+        )

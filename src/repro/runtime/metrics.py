@@ -172,18 +172,106 @@ def fleet_improvement(
     return (work - base_work) / base_work
 
 
+def merged_latency_sketch(
+    results: Sequence[ServerResult],
+) -> "QuantileSketch | None":
+    """Fold every replica's latency distribution into one sketch.
+
+    The streaming fleet-aggregation path: per-replica
+    :class:`QuantileSketch` instances (results with a ``sketch``
+    attribute, i.e. :class:`~repro.runtime.replay.StreamingResult`)
+    merge bin-by-bin, and list-based replicas fold their exact
+    latencies into the same sketch.  ``None`` when no replica is
+    streaming — callers then keep the exact list-based path, so
+    committed all-list tables stay byte-identical.
+    """
+    sketches = [
+        sketch
+        for sketch in (getattr(r, "sketch", None) for r in results)
+        if sketch is not None
+    ]
+    if not sketches:
+        return None
+    first = sketches[0]
+    merged = QuantileSketch(first.upper_ms, first.bins)
+    for result in results:
+        sketch = getattr(result, "sketch", None)
+        if sketch is not None:
+            merged.merge(sketch)
+        else:
+            for latency in result.latencies_ms:
+                merged.add(latency)
+    return merged
+
+
 def merged_p99_ms(results: Sequence[ServerResult]) -> float:
     """Fleet-wide 99th-percentile latency over all replicas' queries.
 
-    NaN when no replica served any query (a degenerate but legal
-    BE-only fleet).
+    Exact (``np.percentile``) when every replica kept its latency list;
+    when any replica is a constant-memory streaming fold — whose
+    ``latencies_ms`` is empty by design — the per-replica sketches and
+    any remaining lists merge into one sketch and the p99 is its
+    upper-edge estimate (within one bin width of exact).  NaN when no
+    replica served any query (a degenerate but legal BE-only fleet).
     """
+    merged = merged_latency_sketch(results)
+    if merged is not None:
+        if merged.n == 0:
+            return float("nan")
+        return merged.quantile(0.99)
     latencies = [
         latency for result in results for latency in result.latencies_ms
     ]
     if not latencies:
         return float("nan")
     return float(np.percentile(latencies, 99))
+
+
+def merged_latency_stats(
+    results: Sequence[ServerResult], qos_ms: float
+) -> dict[str, float]:
+    """Fleet-wide latency statistics over replicas, streaming-aware.
+
+    The fleet twin of :func:`latency_stats`: counts, violations, mean
+    and max are exact on both paths (streaming results carry exact
+    counters); the p99 follows :func:`merged_p99_ms`.
+    """
+    count = 0
+    violations = 0
+    total = 0.0
+    peak = float("-inf")
+    for result in results:
+        sketch = getattr(result, "sketch", None)
+        if sketch is not None:
+            count += sketch.n
+            violations += getattr(result, "n_violations", 0)
+            total += sketch.sum
+            if sketch.n:
+                peak = max(peak, sketch.max_value)
+        elif result.latencies_ms:
+            latencies = np.asarray(result.latencies_ms, dtype=float)
+            count += latencies.size
+            violations += int((latencies > qos_ms).sum())
+            total += float(latencies.sum())
+            peak = max(peak, float(latencies.max()))
+    if count == 0:
+        nan = float("nan")
+        return {
+            "count": 0,
+            "mean_ms": nan,
+            "p99_ms": nan,
+            "max_ms": nan,
+            "qos_ms": qos_ms,
+            "violation_rate": nan,
+        }
+    return {
+        "count": count,
+        "mean_ms": total / count,
+        "p99_ms": merged_p99_ms(results),
+        "max_ms": peak,
+        "qos_ms": qos_ms,
+        "violation_rate": violations / count,
+    }
 
 
 def latency_stats(result: ServerResult) -> dict[str, float]:
@@ -193,7 +281,20 @@ def latency_stats(result: ServerResult) -> dict[str, float]:
     LC-exclusive degradation with an empty trace window, or aggressive
     shedding) yields NaN statistics instead of raising, so sweeps can
     report partial outages alongside healthy runs.
+
+    Streaming-aware: a constant-memory fold keeps ``latencies_ms``
+    empty by design, so its statistics come from the exact counters and
+    the sketch instead of reading as an empty run.
     """
+    sketch = getattr(result, "sketch", None)
+    if sketch is not None and sketch.n:
+        return {
+            "mean_ms": sketch.mean,
+            "p99_ms": sketch.quantile(0.99),
+            "max_ms": sketch.max_value,
+            "qos_ms": result.qos_ms,
+            "violation_rate": result.qos_violation_rate,
+        }
     latencies = np.asarray(result.latencies_ms, dtype=float)
     if latencies.size == 0:
         nan = float("nan")

@@ -43,10 +43,15 @@ class Query:
     _ids = itertools.count()
 
     def __init__(self, model: ModelSpec, arrival_ms: float,
-                 instances: tuple[KernelInstance, ...]):
+                 instances: tuple[KernelInstance, ...],
+                 penalty_ms: float = 0.0):
         self.qid = next(Query._ids)
         self.model = model
         self.arrival_ms = arrival_ms
+        #: latency already accrued before this server saw the query — a
+        #: query re-routed off a crashed replica keeps the time it spent
+        #: waiting there, so hand-offs cannot launder tail latency
+        self.penalty_ms = penalty_ms
         self.instances = instances
         self._cursor = 0
         self._sequence_key: Optional[str] = None
@@ -103,7 +108,7 @@ class Query:
     def latency_ms(self) -> float:
         if self.finish_ms is None:
             raise SchedulingError(f"query {self.qid} has not finished")
-        return self.finish_ms - self.arrival_ms
+        return self.finish_ms - self.arrival_ms + self.penalty_ms
 
 
 @dataclass

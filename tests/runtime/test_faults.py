@@ -10,6 +10,8 @@ from repro.predictor.online import PredictionErrorTracker
 from repro.runtime.faults import (
     FaultInjector,
     FaultPlan,
+    NodeFault,
+    NodeFaultPlan,
     make_injector,
 )
 from repro.runtime.policies import (
@@ -472,3 +474,81 @@ class TestSystemIntegration:
         config = GuardConfig(margin_factor=3.0)
         custom = system.make_policy("baymax", guard=config)
         assert custom.guard.config is config
+
+
+class TestNodeFaults:
+    """Node-level fault schedules (the autoscaling control plane's
+    crash / slow / flap modes)."""
+
+    def test_kind_is_validated(self):
+        with pytest.raises(ConfigError, match="unknown node fault kind"):
+            NodeFault(kind="meltdown", node=0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(kind="crash", node=-1),
+        dict(kind="crash", node=0, at_ms=-1.0),
+        dict(kind="slow", node=0, factor=1.0),
+        dict(kind="flap", node=0, down_ms=0.0),
+        dict(kind="flap", node=0, up_ms=-5.0),
+    ])
+    def test_bad_fault_knobs(self, kwargs):
+        with pytest.raises(ConfigError):
+            NodeFault(**kwargs)
+
+    def test_crash_is_permanent(self):
+        fault = NodeFault(kind="crash", node=0, at_ms=100.0)
+        assert not fault.is_down(99.9)
+        assert fault.is_down(100.0)
+        assert fault.is_down(1e9)
+
+    def test_flap_phase_math(self):
+        fault = NodeFault(kind="flap", node=0, at_ms=1000.0,
+                          down_ms=200.0, up_ms=300.0)
+        assert not fault.is_down(999.0)     # before onset
+        assert fault.is_down(1000.0)        # down window starts
+        assert fault.is_down(1199.0)
+        assert not fault.is_down(1200.0)    # up window
+        assert not fault.is_down(1499.0)
+        assert fault.is_down(1500.0)        # next period
+        assert fault.slow_factor_at(1100.0) == 1.0
+
+    def test_slow_factor_onset(self):
+        fault = NodeFault(kind="slow", node=2, at_ms=500.0, factor=3.0)
+        assert fault.slow_factor_at(499.0) == 1.0
+        assert fault.slow_factor_at(500.0) == 3.0
+        assert not fault.is_down(600.0)     # slow nodes stay routable
+
+    def test_plan_rejects_non_faults(self):
+        with pytest.raises(ConfigError, match="not a NodeFault"):
+            NodeFaultPlan(faults=("crash",))
+
+    def test_plan_is_per_node(self):
+        plan = NodeFaultPlan(faults=(
+            NodeFault(kind="crash", node=0, at_ms=100.0),
+            NodeFault(kind="slow", node=1, at_ms=0.0, factor=2.0),
+            NodeFault(kind="slow", node=1, at_ms=50.0, factor=3.0),
+        ))
+        assert plan.any_faults
+        assert len(plan.for_node(1)) == 2
+        assert plan.for_node(2) == ()
+        assert plan.is_down(0, 150.0) and not plan.is_down(1, 150.0)
+        # stacked slowdowns multiply
+        assert plan.slow_factor(1, 60.0) == 6.0
+        assert plan.slow_factor(1, 10.0) == 2.0
+
+    def test_crash_window_queries(self):
+        plan = NodeFaultPlan(faults=(
+            NodeFault(kind="crash", node=0, at_ms=2500.0),
+        ))
+        assert plan.crash_in(0, 2000.0, 3000.0) == 2500.0
+        assert plan.crash_in(0, 0.0, 2000.0) is None
+        assert plan.crash_in(0, 2500.0, 2600.0) == 2500.0
+        assert plan.crash_in(1, 0.0, 1e9) is None
+        assert not plan.crashed_by(0, 2499.0)
+        assert plan.crashed_by(0, 2500.0)
+
+    def test_empty_plan_is_inert(self):
+        plan = NodeFaultPlan()
+        assert not plan.any_faults
+        assert not plan.is_down(0, 0.0)
+        assert plan.slow_factor(0, 0.0) == 1.0

@@ -1,5 +1,6 @@
 """Tests for the evaluation metrics."""
 
+import numpy as np
 import pytest
 
 from repro.errors import SchedulingError
@@ -10,8 +11,12 @@ from repro.runtime.metrics import (
     geometric_mean,
     latency_stats,
     latency_stats_by_service,
+    merged_latency_sketch,
+    merged_latency_stats,
+    merged_p99_ms,
     throughput_improvement,
 )
+from repro.runtime.replay import StreamingResult
 from repro.runtime.server import ExecutedKernel, ServerResult
 
 
@@ -178,3 +183,72 @@ class TestGeometricMean:
     def test_rejects_empty(self):
         with pytest.raises(SchedulingError):
             geometric_mean([])
+
+
+def streaming(latencies, qos=50.0, upper=200.0, bins=4096):
+    res = StreamingResult(
+        qos_ms=qos, horizon_ms=100.0, be_names=("fft",),
+        sketch_upper_ms=upper, sketch_bins=bins,
+    )
+    for latency in latencies:
+        res.note_query_latency("Vgg16", latency)
+    return res
+
+
+class TestMergedFleetStats:
+    """Fleet aggregation over mixed list-based and streaming replicas
+    (the autoscaling control plane's aggregation surface)."""
+
+    def test_all_list_replicas_stay_exact(self):
+        results = [result(latencies=(40.0, 45.0)), result(latencies=(48.0,))]
+        assert merged_latency_sketch(results) is None
+        exact = np.percentile([40.0, 45.0, 48.0], 99)
+        assert merged_p99_ms(results) == pytest.approx(exact)
+
+    def test_sketch_estimate_within_tolerance(self):
+        values = [float(v) for v in range(1, 101)]
+        res = streaming(values)
+        merged = merged_latency_sketch([res])
+        assert merged is not None
+        # the ceil-rank order statistic: the 99th smallest of 100
+        exact = sorted(values)[int(np.ceil(0.99 * len(values))) - 1]
+        estimate = merged.quantile(0.99)
+        assert exact <= estimate <= exact + merged.tolerance_ms
+
+    def test_mixed_replicas_fold_into_one_sketch(self):
+        stream = streaming([40.0, 45.0, 60.0])
+        lists = result(latencies=(42.0, 55.0))
+        merged = merged_latency_sketch([stream, lists])
+        assert merged.n == 5
+        assert merged.sum == pytest.approx(242.0)
+        stats = merged_latency_stats([stream, lists], qos_ms=50.0)
+        assert stats["count"] == 5
+        assert stats["mean_ms"] == pytest.approx(242.0 / 5)
+        assert stats["max_ms"] == pytest.approx(60.0)
+        # violations: 60.0 from the stream, 55.0 from the list
+        assert stats["violation_rate"] == pytest.approx(2 / 5)
+
+    def test_merge_rejects_mismatched_geometry(self):
+        a = streaming([40.0], bins=1024)
+        b = streaming([41.0], bins=2048)
+        with pytest.raises(SchedulingError, match="different geometry"):
+            merged_latency_sketch([a, b])
+
+    def test_empty_fleet_is_nan(self):
+        assert merged_p99_ms([]) != merged_p99_ms([])  # NaN
+        stats = merged_latency_stats([], qos_ms=50.0)
+        assert stats["count"] == 0
+        assert stats["p99_ms"] != stats["p99_ms"]
+
+    def test_streaming_replica_with_no_queries(self):
+        res = streaming([])
+        assert merged_p99_ms([res]) != merged_p99_ms([res])  # NaN
+        stats = merged_latency_stats([res], qos_ms=50.0)
+        assert stats["count"] == 0
+
+    def test_latency_stats_reads_the_sketch(self):
+        res = streaming([40.0, 45.0, 60.0])
+        stats = latency_stats(res)
+        assert stats["mean_ms"] == pytest.approx(145.0 / 3)
+        assert stats["max_ms"] == pytest.approx(60.0)
+        assert stats["violation_rate"] == pytest.approx(1 / 3)

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import sys
 
 import pytest
 
@@ -118,3 +119,81 @@ class TestParsing:
 
         with pytest.raises(ConfigError):
             main(["--gpu", "a100", "kernels"])
+
+
+class TestPeakRss:
+    """The --max-rss-mb gate must read ru_maxrss in platform units."""
+
+    class _Usage:
+        def __init__(self, ru_maxrss):
+            self.ru_maxrss = ru_maxrss
+
+    def test_linux_reports_kilobytes(self, monkeypatch):
+        import resource
+
+        from repro.cli import _peak_rss_mb
+
+        monkeypatch.setattr(sys, "platform", "linux")
+        monkeypatch.setattr(
+            resource, "getrusage", lambda who: self._Usage(512 * 1024)
+        )
+        assert _peak_rss_mb() == pytest.approx(512.0)
+
+    def test_darwin_reports_bytes(self, monkeypatch):
+        import resource
+
+        from repro.cli import _peak_rss_mb
+
+        monkeypatch.setattr(sys, "platform", "darwin")
+        monkeypatch.setattr(
+            resource,
+            "getrusage",
+            lambda who: self._Usage(512 * 1024 * 1024),
+        )
+        # same physical 512 MB peak, darwin's bytes convention
+        assert _peak_rss_mb() == pytest.approx(512.0)
+
+    def test_same_peak_reads_identically_across_platforms(self, monkeypatch):
+        """The regression: a darwin peak read with the linux divisor
+        would report 1024x too large and trip any sane gate."""
+        import resource
+
+        from repro.cli import _peak_rss_mb
+
+        physical_mb = 100.0
+        readings = {}
+        for platform, maxrss in (
+            ("linux", physical_mb * 1024),
+            ("darwin", physical_mb * 1024 * 1024),
+        ):
+            monkeypatch.setattr(sys, "platform", platform)
+            monkeypatch.setattr(
+                resource, "getrusage", lambda who, m=maxrss: self._Usage(m)
+            )
+            readings[platform] = _peak_rss_mb()
+        assert readings["linux"] == pytest.approx(readings["darwin"])
+        assert readings["linux"] == pytest.approx(physical_mb)
+
+
+class TestRunAutoscale:
+    def test_smoke(self, capsys):
+        code = main([
+            "run-autoscale", "diurnal", "--scaler", "static",
+            "--rate-nodes", "2", "--span-ms", "4000",
+            "--epoch-ms", "2000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scaler static" in out
+        assert "fleet:" in out and "node-s" in out
+
+    def test_crash_flag(self, capsys):
+        code = main([
+            "run-autoscale", "diurnal", "--scaler", "static",
+            "--rate-nodes", "2", "--span-ms", "4000",
+            "--epoch-ms", "2000",
+            "--crash", "0@1500",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rerouted" in out
