@@ -1,0 +1,36 @@
+"""Policy tournament: the whole registry ranked across the library."""
+
+from conftest import run_once
+
+from repro.experiments import tournament
+
+
+def test_tournament(benchmark, report):
+    result = run_once(benchmark, tournament.run)
+    report(
+        ["scenario", "rank", "policy", "queries", "mean ms", "p99 ms",
+         "viol %", "QoS", "BE work ms", "BE thpt"],
+        result.rows(),
+        result.summary(),
+    )
+    summary = result.summary()
+    # The whole registry entered, over the whole scenario library.
+    assert summary["n_scenarios"] >= 5
+    assert summary["n_policies"] >= 6
+    assert summary["n_cells"] == (
+        summary["n_scenarios"] * summary["n_policies"]
+    )
+    # The well-provisioned scenarios hold QoS under the winning policy.
+    for scenario in ("steady", "tenant-churn"):
+        top = result.ranked(scenario)[0][1]
+        assert top.qos_ok, f"{scenario}: best policy missed QoS"
+    # At least one zoo upset: a competitor policy that holds QoS and
+    # harvests more BE work than Baymax somewhere in the bracket.
+    assert summary["zoo_beats_baymax_cells"] >= 1, summary["zoo_upsets"]
+    # The Tacker pair never loses to the serializing baseline where
+    # both hold QoS (Fig. 14's result survives the open bracket).
+    for scenario in result.scenario_names:
+        tacker = result.cell(scenario, "tacker")
+        baymax = result.cell(scenario, "baymax")
+        if tacker.qos_ok == baymax.qos_ok:
+            assert tacker.be_work_ms > baymax.be_work_ms, scenario

@@ -66,7 +66,13 @@ from .runtime.metrics import (
     active_time_breakdown_by_service,
     latency_stats_by_service,
 )
-from .runtime.policies import GuardConfig
+from .runtime.policies import (
+    GuardConfig,
+    SchedulerPolicy,
+    list_policies,
+    policy_from_name,
+    register_policy,
+)
 from .runtime.replay import (
     RecordedTraceSource,
     Scenario,
@@ -121,6 +127,11 @@ __all__ = [
     "NodeFault",
     "NodeFaultPlan",
     "GuardConfig",
+    # the scheduler-policy plugin surface
+    "SchedulerPolicy",
+    "register_policy",
+    "list_policies",
+    "policy_from_name",
     # cluster-scale serving
     "ClusterManager",
     "ClusterNode",

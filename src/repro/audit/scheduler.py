@@ -168,6 +168,9 @@ class ServerAuditor:
         counted = (
             result.n_lc_kernels + result.n_be_kernels
             + result.n_fused_kernels
+            + getattr(result, "n_hfused_kernels", 0)
+            + getattr(result, "n_spatial_kernels", 0)
+            + getattr(result, "n_chain_kernels", 0)
         )
         core.ensure(
             counted == self._kernels_seen,

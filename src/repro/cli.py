@@ -208,7 +208,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list the scenario library and exit",
     )
     scenario.add_argument(
-        "--policy", default="tacker", help="tacker | baymax"
+        "--policy", default="tacker",
+        help="any registered scheduler policy (see `repro policies`)",
     )
     scenario.add_argument(
         "--queries", type=int, default=None,
@@ -250,6 +251,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--require-qos", action="store_true",
         help="exit 1 when the run misses its QoS target (off by default: "
              "overload scenarios miss by design)",
+    )
+
+    tournament = commands.add_parser(
+        "run-tournament",
+        help="rank every registered scheduler policy across the "
+             "scenario library (one ranked table per scenario)",
+    )
+    tournament.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="restrict the bracket to one scenario (repeatable)",
+    )
+    tournament.add_argument(
+        "--policy", action="append", default=None, metavar="NAME",
+        help="restrict the bracket to one policy (repeatable)",
+    )
+    tournament.add_argument(
+        "--quick", action="store_true",
+        help="use each scenario's quick query count",
+    )
+    tournament.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the rendered table to this file "
+             "(benchmarks/results/tournament.txt in CI)",
+    )
+
+    commands.add_parser(
+        "policies",
+        help="list the scheduler-policy registry (name, module, "
+             "description)",
     )
 
     trace = commands.add_parser(
@@ -569,9 +599,11 @@ def _cmd_run_scenario(args) -> int:
         n_queries = args.queries
     else:
         n_queries = scenario.n_queries(quick=args.quick)
+    # The policy rides in the config: an unknown name fails here, with
+    # the registry's did-you-mean message, not minutes into the run.
     config = RunConfig(
         qos_ms=scenario.qos_ms, load=scenario.load, queries=n_queries,
-        seed=scenario.seed, scenario=scenario.name,
+        seed=scenario.seed, scenario=scenario.name, policy=args.policy,
     )
     system = TackerSystem(gpu=gpu_preset(args.gpu), config=config)
     start = time.perf_counter()
@@ -715,6 +747,34 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_run_tournament(args) -> int:
+    from .experiments import tournament
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    for name in args.scenario or ():
+        argv.extend(["--scenario", name])
+    for name in args.policy or ():
+        argv.extend(["--policy", name])
+    if args.out:
+        argv.extend(["--out", args.out])
+    return tournament.main(argv)
+
+
+def _cmd_policies(args) -> int:
+    from .runtime.policies import policy_entries
+
+    entries = policy_entries()
+    width = max(len(entry.name) for entry in entries) + 2
+    mod_width = max(len(entry.module) for entry in entries) + 2
+    print(f"{'policy':<{width}}{'module':<{mod_width}}description")
+    for entry in entries:
+        print(f"{entry.name:<{width}}{entry.module:<{mod_width}}"
+              f"{entry.description}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .experiments import report
 
@@ -729,6 +789,8 @@ _COMMANDS = {
     "run-cluster": _cmd_run_cluster,
     "run-autoscale": _cmd_run_autoscale,
     "run-scenario": _cmd_run_scenario,
+    "run-tournament": _cmd_run_tournament,
+    "policies": _cmd_policies,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "report": _cmd_report,

@@ -113,7 +113,13 @@ def main(argv: list[str]) -> int:
         print(_section(title, run_fn, headers))
         print()
     if full:
-        from . import cluster_scale, fig14_throughput, fig16_qos, fig19_v100
+        from . import (
+            cluster_scale,
+            fig14_throughput,
+            fig16_qos,
+            fig19_v100,
+            tournament,
+        )
 
         for title, run_fn, headers in (
             ("Fig. 14 — throughput over Baymax (72 pairs)",
@@ -125,6 +131,8 @@ def main(argv: list[str]) -> int:
              ["LC", "BE", "improvement %", "tacker p99", "baymax p99"]),
             ("Extension — cluster-scale serving", cluster_scale.run,
              cluster_scale.HEADERS),
+            ("Extension — policy tournament", tournament.run,
+             tournament.HEADERS),
         ):
             print(_section(title, run_fn, headers))
             print()

@@ -1,0 +1,273 @@
+"""Policy tournament: every registered policy × the scenario library.
+
+The scenario replay study (``replay_scenarios``) ranks Tacker against
+Baymax; this one opens the bracket to the whole registry — whatever
+:func:`repro.runtime.policies.list_policies` returns at call time,
+builtin or third-party — and replays each policy through every scenario
+in ``scenarios/*.json``.  One ranked table answers the zoo question:
+where does a competitor (horizontal fusion, spatial partitioning,
+boundary-time dynamic fusion, >2-kernel chains) beat the paper's
+policies, and at what QoS cost?
+
+Determinism: each (scenario, policy) cell carries its policy inside
+:class:`RunConfig` (part of the shared-system cache key), so every cell
+gets its *own* system — policies that refit the fused-duration model
+mid-run (``observe_fused``) cannot leak state into another cell.  Cells
+therefore fan out over :func:`parallel_map` workers and come back
+byte-identical to a serial sweep, regardless of how cells land on
+workers — the property the CI determinism gate checks for
+``benchmarks/results/tournament.txt``.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+from dataclasses import dataclass
+
+from ..runtime.policies import list_policies
+from ..runtime.replay import NAMED_SCENARIOS, load_scenario, run_scenario
+from ..runtime.runconfig import RunConfig
+from .common import (
+    format_table,
+    get_system,
+    parallel_map,
+    quick_mode,
+    register_cache,
+)
+
+#: The paper's two policies; everything else in the registry is "zoo".
+REFERENCE_POLICIES = ("tacker", "baymax")
+
+HEADERS = [
+    "scenario", "rank", "policy", "queries", "mean ms", "p99 ms",
+    "viol %", "QoS", "BE work ms", "BE thpt",
+]
+
+_CACHE: dict[tuple, "TournamentResult"] = register_cache({})
+
+
+@dataclass
+class TournamentCell:
+    """One (scenario, policy) replay, reduced to its folded statistics."""
+
+    scenario: str
+    policy: str
+    queries: int
+    mean_ms: float
+    p99_ms: float
+    violation_pct: float
+    qos_ok: bool
+    be_work_ms: float
+    be_throughput: float
+
+
+@dataclass
+class TournamentResult:
+    cells: list[TournamentCell]
+    scenario_names: tuple
+    policies: tuple
+
+    def ranked(self, scenario: str) -> list:
+        """Cells of one scenario, best policy first.
+
+        Same ordering contract as the replay study: QoS-satisfying
+        policies outrank violators regardless of throughput (the
+        paper's hard constraint); within each group, more harvested BE
+        work ranks higher; the policy name breaks exact ties so the
+        table is a total order.
+        """
+        cells = [c for c in self.cells if c.scenario == scenario]
+        cells.sort(key=lambda c: (not c.qos_ok, -c.be_work_ms, c.policy))
+        return list(enumerate(cells, start=1))
+
+    def cell(self, scenario: str, policy: str) -> TournamentCell:
+        for c in self.cells:
+            if c.scenario == scenario and c.policy == policy:
+                return c
+        raise KeyError((scenario, policy))
+
+    def best_policy(self, scenario: str) -> str:
+        return self.ranked(scenario)[0][1].policy
+
+    def zoo_upsets(self) -> list:
+        """(scenario, policy) cells where a zoo policy beats Baymax.
+
+        "Beats" is on the paper's terms: the zoo cell holds QoS *and*
+        harvests more BE work than Baymax does in the same scenario.
+        """
+        upsets = []
+        for scenario in self.scenario_names:
+            try:
+                baymax = self.cell(scenario, "baymax")
+            except KeyError:
+                continue
+            for c in self.cells:
+                if c.scenario != scenario:
+                    continue
+                if c.policy in REFERENCE_POLICIES:
+                    continue
+                if c.qos_ok and c.be_work_ms > baymax.be_work_ms:
+                    upsets.append((scenario, c.policy))
+        return upsets
+
+    def rows(self) -> list:
+        out = []
+        for scenario in self.scenario_names:
+            for rank, cell in self.ranked(scenario):
+                out.append([
+                    scenario,
+                    rank,
+                    cell.policy,
+                    cell.queries,
+                    round(cell.mean_ms, 2),
+                    round(cell.p99_ms, 2),
+                    round(cell.violation_pct, 2),
+                    "yes" if cell.qos_ok else "no",
+                    round(cell.be_work_ms, 1),
+                    round(cell.be_throughput, 4),
+                ])
+        return out
+
+    def summary(self) -> dict:
+        summary: dict = {
+            "n_scenarios": len(self.scenario_names),
+            "n_policies": len(self.policies),
+            "n_cells": len(self.cells),
+        }
+        for scenario in self.scenario_names:
+            summary[f"best[{scenario}]"] = self.best_policy(scenario)
+        summary["qos_ok_cells"] = sum(1 for c in self.cells if c.qos_ok)
+        upsets = self.zoo_upsets()
+        summary["zoo_beats_baymax_cells"] = len(upsets)
+        summary["zoo_upsets"] = ", ".join(
+            f"{policy}@{scenario}" for scenario, policy in upsets
+        ) or "none"
+        return summary
+
+
+def _cell_task(
+    gpu: str, quick: bool, item: tuple
+) -> TournamentCell:
+    """Evaluate one (scenario, policy) cell (module-level: picklable)."""
+    scenario_name, policy = item
+    scenario = load_scenario(scenario_name)
+    n_queries = scenario.n_queries(quick)
+    config = RunConfig(
+        qos_ms=scenario.qos_ms,
+        load=scenario.load,
+        queries=n_queries,
+        seed=scenario.seed,
+        scenario=scenario.name,
+        policy=policy,
+    )
+    # The policy rides in the config, so the shared-system cache hands
+    # this cell a system no other policy's run has mutated.
+    system = get_system(gpu, config=config)
+    result = run_scenario(system, scenario, n_queries=n_queries)
+    return TournamentCell(
+        scenario=scenario.name,
+        policy=policy,
+        queries=result.n_queries,
+        mean_ms=result.mean_latency_ms,
+        p99_ms=result.p99_latency_ms,
+        violation_pct=result.qos_violation_rate * 100,
+        qos_ok=bool(result.qos_satisfied),
+        be_work_ms=result.total_be_work_ms,
+        be_throughput=result.be_throughput,
+    )
+
+
+def run(
+    gpu: str = "rtx2080ti",
+    scenario_names: "tuple | None" = None,
+    policies: "tuple | None" = None,
+    workers: "int | None" = None,
+) -> TournamentResult:
+    """The bracket: ``policies`` (default: the whole registry at call
+    time) × ``scenario_names`` (default: the full library)."""
+    names = (
+        tuple(scenario_names) if scenario_names is not None
+        else NAMED_SCENARIOS
+    )
+    entrants = (
+        tuple(policies) if policies is not None else list_policies()
+    )
+    quick = quick_mode()
+    key = (gpu, names, entrants, quick)
+    if key in _CACHE:
+        return _CACHE[key]
+    cells = [(name, policy) for name in names for policy in entrants]
+    results = parallel_map(
+        functools.partial(_cell_task, gpu, quick), cells, workers=workers
+    )
+    result = TournamentResult(
+        cells=list(results), scenario_names=names, policies=entrants
+    )
+    _CACHE[key] = result
+    return result
+
+
+def render(result: TournamentResult) -> str:
+    """The bracket as the exact text the benchmark suite writes."""
+    lines = [format_table(HEADERS, result.rows()), "", "summary:"]
+    lines.extend(
+        f"  {key} = {value}" for key, value in result.summary().items()
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: "list[str]") -> int:
+    """CLI entry (the CI smoke job runs ``--quick --scenario steady
+    --scenario diurnal`` under ``AUDIT=1`` and uploads ``--out``)."""
+    import argparse
+    import os
+
+    from .. import audit
+
+    parser = argparse.ArgumentParser(prog="repro.experiments.tournament")
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--scenario", action="append", default=None,
+        choices=NAMED_SCENARIOS,
+        help="restrict the bracket to one scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--policy", action="append", default=None,
+        choices=list_policies(),
+        help="restrict the bracket to one policy (repeatable)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="fan cells out over this many worker processes",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the rendered table to this file",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        os.environ["REPRO_QUICK"] = "1"
+    result = run(
+        scenario_names=tuple(args.scenario) if args.scenario else None,
+        policies=tuple(args.policy) if args.policy else None,
+        workers=args.workers,
+    )
+    text = render(result)
+    print(text)
+    if args.out:
+        import pathlib
+
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    if audit.active():
+        checks = audit.summary()
+        print("audit:")
+        for invariant, count in checks.items():
+            print(f"  {invariant} = {count}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -10,9 +10,11 @@ Pieces:
   simulator, memoized (the role real silicon plays in the paper);
 * :mod:`~repro.runtime.headroom` — the QoS headroom algebra of
   Eqs. 7 and 9;
-* :mod:`~repro.runtime.policies` — the Tacker kernel manager (fusion +
-  reorder, Eq. 8, Tgain selection) and the baselines (Baymax reorder,
-  solo);
+* :mod:`~repro.runtime.policies` — the pluggable scheduler-policy
+  framework: the slim :class:`SchedulerPolicy` protocol, the
+  string-keyed registry, the Tacker kernel manager (fusion + reorder,
+  Eq. 8, Tgain selection), the Baymax reorder baseline, and the
+  competitor zoo (hfuse, spatial, gpuos, multifuse);
 * :mod:`~repro.runtime.server` — the non-preemptive co-location engine
   that plays a policy forward and records latencies, throughput and the
   two pipes' active timelines;
@@ -34,7 +36,14 @@ from .query import BEApplication, KernelInstance, Query
 from .workload import PoissonArrivals, be_application, peak_load_qps
 from .oracle import DurationOracle
 from .headroom import HeadroomTracker
-from .policies import BaymaxPolicy, SchedulingPolicy, TackerPolicy
+from .policies import (
+    BaymaxPolicy,
+    SchedulerPolicy,
+    TackerPolicy,
+    list_policies,
+    policy_from_name,
+    register_policy,
+)
 from .runconfig import RunConfig
 from .server import ColocationServer, ServerResult
 from .system import TackerSystem, PairOutcome
@@ -94,9 +103,13 @@ __all__ = [
     "peak_load_qps",
     "DurationOracle",
     "HeadroomTracker",
+    "SchedulerPolicy",
     "SchedulingPolicy",
     "BaymaxPolicy",
     "TackerPolicy",
+    "register_policy",
+    "list_policies",
+    "policy_from_name",
     "RunConfig",
     "ColocationServer",
     "ServerResult",
@@ -140,3 +153,13 @@ __all__ = [
     "cluster_to_chrome_trace",
     "write_cluster_trace",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated alias kept importable after the policies package split;
+    # the policies package owns the warn-once shim.
+    if name == "SchedulingPolicy":
+        from . import policies
+
+        return policies.SchedulingPolicy
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -69,6 +69,7 @@ from .cluster import (
 )
 from .faults import FaultPlan, NodeFaultPlan, make_injector
 from .metrics import merged_latency_stats, merged_p99_ms
+from .policies import validate_policy_name
 from .query import Query
 from .replay import StreamingResult, load_scenario, synthesize_trace
 from .runconfig import RunConfig
@@ -233,6 +234,7 @@ class AutoscaleSpec:
             )
         if self.sketch_bins < 2:
             raise ConfigError("sketch_bins must be >= 2")
+        validate_policy_name(self.policy, owner="autoscale policy")
 
     @property
     def n_epochs(self) -> int:

@@ -43,6 +43,7 @@ from ..models.zoo import ModelSpec, model_by_name
 from .faults import FaultPlan, make_injector
 from .headroom import reservation_slack_ms
 from .metrics import fleet_improvement, merged_p99_ms, throughput_improvement
+from .policies import validate_policy_name
 from .query import BEApplication, Query
 from .runconfig import DEFAULT_RUN_CONFIG, RunConfig
 from .server import ColocationServer, ServerResult
@@ -248,6 +249,14 @@ class NodeSpec:
     guard: bool = False
     #: optional per-node fault plan (seeded per node at dispatch time)
     faults: Optional[FaultPlan] = None
+    #: registered policy name overriding the cluster-wide
+    #: :attr:`ClusterSpec.policy` on this node (heterogeneous fleets);
+    #: ``None`` inherits the cluster's choice
+    policy: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.policy is not None:
+            validate_policy_name(self.policy, owner="node policy")
 
 
 @dataclass(frozen=True)
@@ -290,6 +299,8 @@ class ClusterSpec:
             )
         if self.steal_gap <= 0:
             raise SchedulingError("steal_gap must be positive")
+        validate_policy_name(self.policy, owner="cluster policy")
+        validate_policy_name(self.baseline, owner="cluster baseline")
 
 
 def default_cluster_spec(
@@ -545,7 +556,7 @@ class RoutingPlan:
                     stolen=self.stolen[index],
                     run=self.spec.run,
                     horizon_ms=self.horizon_ms,
-                    policy=self.spec.policy,
+                    policy=node.policy or self.spec.policy,
                     baseline=self.spec.baseline,
                     guard=node.guard,
                     faults=faults,
@@ -702,7 +713,10 @@ def run_node(spec: NodeRunSpec) -> "NodeResult":
         for name, model in models.items()
     }
     results = {}
-    for policy_name in (spec.policy, spec.baseline):
+    # dict.fromkeys dedups policy == baseline (legal under per-node
+    # overrides): a second run would see predictor state mutated by the
+    # first and break byte-reproducibility.
+    for policy_name in dict.fromkeys((spec.policy, spec.baseline)):
         policy = system.make_policy(policy_name, guard=spec.guard)
         injector = make_injector(spec.faults)
         server = ColocationServer(
@@ -733,6 +747,8 @@ def run_node(spec: NodeRunSpec) -> "NodeResult":
         n_queries=len(spec.lc_arrivals),
         be_names=spec.be_names,
         stolen=spec.stolen,
+        policy=spec.policy,
+        baseline=spec.baseline,
     )
 
 
@@ -746,6 +762,11 @@ class NodeResult:
     n_queries: int
     be_names: tuple
     stolen: tuple
+    #: registered names actually served ("" for legacy pickles); the
+    #: ``tacker``/``baymax`` field names are historical — a node
+    #: override may put any registered policy in either slot
+    policy: str = ""
+    baseline: str = ""
 
     @property
     def improvement(self) -> float:

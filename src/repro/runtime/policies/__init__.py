@@ -1,0 +1,101 @@
+"""Scheduling policies: a plugin framework with a competitor zoo.
+
+The package splits the old ``runtime/policies.py`` module into:
+
+* :mod:`~repro.runtime.policies.base` — the slim
+  :class:`SchedulerPolicy` protocol (``decide`` / ``note_outcome`` /
+  ``note_query_done`` / ``current_thr_ms`` / ``policy_name``) plus the
+  shared machinery (actions, guard rails, headroom/telemetry glue);
+* :mod:`~repro.runtime.policies.registry` — the string-keyed registry
+  every construction site resolves policy names through;
+* one module per policy: the paper's
+  :class:`~repro.runtime.policies.tacker.TackerPolicy` and the
+  :class:`~repro.runtime.policies.baymax.BaymaxPolicy` baseline
+  (moved unchanged — bit-identical fig10/fig11), and the zoo —
+  :class:`~repro.runtime.policies.hfuse.HFusePolicy`,
+  :class:`~repro.runtime.policies.spatial.SpatialPolicy`,
+  :class:`~repro.runtime.policies.gpuos.GPUOSPolicy`,
+  :class:`~repro.runtime.policies.multifuse.MultiFusePolicy`.
+
+Importing this package registers every builtin policy; third-party
+policies join by calling :func:`register_policy` before naming the
+policy anywhere (entry-point style).  ``from repro.runtime.policies
+import TackerPolicy`` keeps working, as does the deprecated
+``SchedulingPolicy`` alias (warns once, use ``SchedulerPolicy``).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from .base import (
+    FUSION_CHECK_MS_PER_PAIR,
+    GUARD_MODES,
+    QOS_GUARD,
+    STATIC_SCHEDULING_BASE_MS,
+    Action,
+    GuardConfig,
+    MispredictGuard,
+    SchedulerPolicy,
+    scheduling_overhead_ms,
+)
+from .registry import (
+    PolicyEntry,
+    list_policies,
+    policy_entries,
+    policy_from_name,
+    register_policy,
+    unregister_policy,
+    validate_policy_name,
+)
+from .baymax import BaymaxPolicy
+from .tacker import TackerPolicy
+from .hfuse import HFusePolicy
+from .spatial import SpatialPolicy
+from .gpuos import GPUOSPolicy
+from .multifuse import MultiFusePolicy
+
+__all__ = [
+    "STATIC_SCHEDULING_BASE_MS",
+    "FUSION_CHECK_MS_PER_PAIR",
+    "scheduling_overhead_ms",
+    "Action",
+    "GuardConfig",
+    "GUARD_MODES",
+    "MispredictGuard",
+    "QOS_GUARD",
+    "SchedulerPolicy",
+    "SchedulingPolicy",
+    "BaymaxPolicy",
+    "TackerPolicy",
+    "HFusePolicy",
+    "SpatialPolicy",
+    "GPUOSPolicy",
+    "MultiFusePolicy",
+    "PolicyEntry",
+    "register_policy",
+    "unregister_policy",
+    "list_policies",
+    "policy_entries",
+    "policy_from_name",
+    "validate_policy_name",
+]
+
+_ALIAS_WARNED = False
+
+
+def __getattr__(name: str):
+    # Deprecation shim: the base class was renamed in the package split.
+    if name == "SchedulingPolicy":
+        global _ALIAS_WARNED
+        if not _ALIAS_WARNED:
+            _ALIAS_WARNED = True
+            warnings.warn(
+                "SchedulingPolicy is deprecated; use SchedulerPolicy",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return SchedulerPolicy
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,21 +1,16 @@
-"""Scheduling policies: the Tacker kernel manager and its baselines.
+"""The slim :class:`SchedulerPolicy` protocol and shared machinery.
 
-``TackerPolicy`` implements Section VII-B: on every scheduling step for
-an active LC query it
-
-1. tries to *fuse* the query's current kernel with a ready BE kernel —
-   admissible when Eq. 8 holds (the fusion beats sequential execution
-   and its extra LC time fits the headroom) — picking the BE kernel
-   with the largest throughput gain ``Tgain = Tcd - (Tk_fuse - Ttc)``;
-2. otherwise *reorders*: launches a ready BE kernel whose predicted
-   duration fits the headroom (the Baymax behaviour);
-3. otherwise launches the LC kernel alone.
-
-Fusion works in both directions ("the LC kernels and BE kernels are not
-limited to a specified type"): an LC TC kernel absorbs a BE CD kernel,
-and an LC CD kernel rides along a BE TC kernel.
-
-``BaymaxPolicy`` is the state-of-the-art baseline: reorder only.
+A scheduler policy is a plugin: the server only ever calls the five
+methods of the protocol — :meth:`SchedulerPolicy.decide`,
+:meth:`SchedulerPolicy.note_outcome`,
+:meth:`SchedulerPolicy.note_query_done`,
+:meth:`SchedulerPolicy.current_thr_ms` and the
+:attr:`SchedulerPolicy.policy_name` stamp — and everything else here
+(the headroom tracker, the mispredict guard, the telemetry recorder,
+the reorder/pure-BE helpers) is shared machinery subclasses may reuse
+but the server never touches directly.  Concrete policies register
+themselves with :mod:`repro.runtime.policies.registry` and are built
+through :func:`~repro.runtime.policies.registry.policy_from_name`.
 """
 
 from __future__ import annotations
@@ -24,20 +19,17 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..config import GPUConfig
-from ..errors import ConfigError
-from ..fusion.fuser import FusedKernel
-from ..predictor.online import OnlineModelManager, PredictionErrorTracker
-from ..telemetry.decisions import (
-    REJECT_EQ8,
-    REJECT_KIND_MISMATCH,
-    REJECT_NO_ARTIFACT,
+from ...config import GPUConfig
+from ...errors import ConfigError
+from ...fusion.fuser import FusedKernel
+from ...predictor.online import OnlineModelManager, PredictionErrorTracker
+from ...telemetry.decisions import (
     DecisionRecord,
     FusionCandidate,
     ReservationRecord,
 )
-from .headroom import HeadroomTracker
-from .query import BEApplication, KernelInstance, Query
+from ..headroom import HeadroomTracker
+from ..query import BEApplication, KernelInstance, Query
 
 #: Modelled per-decision scheduler latencies (Section VIII-I): static
 #: reorder-only scheduling costs ~0.5 ms with 60 co-running apps, and
@@ -61,8 +53,13 @@ class Action:
     """One scheduling decision.
 
     ``kind`` is ``"lc"`` (run the LC query's current kernel), ``"be"``
-    (run a BE app's head kernel), or ``"fused"`` (run ``fused`` covering
-    both the LC kernel and the BE head).
+    (run a BE app's head kernel), ``"fused"`` (run ``fused`` covering
+    both the LC kernel and the BE head), ``"hfused"`` (one launch
+    horizontally fusing the heads of ``be_app`` and ``be_app2``),
+    ``"spatial"`` (the LC kernel and the BE head sharing the GPU on a
+    fixed SM partition, described by ``corun``), or ``"chain"`` (a
+    fused pair extended with extra CD ``riders`` packed into the same
+    launch).
     """
 
     kind: str
@@ -73,6 +70,13 @@ class Action:
     predicted_lc_ms: float = 0.0
     predicted_be_ms: float = 0.0
     predicted_fused_ms: float = 0.0
+    #: second BE stream of an "hfused" launch
+    be_app2: Optional[BEApplication] = None
+    #: extra BE streams whose heads ride a "chain" launch's CD pipe
+    riders: tuple = ()
+    #: profiled co-run recipe of "spatial"/"hfused" launches:
+    #: (oracle corun policy, launch_a, launch_b, sorted param items)
+    corun: Optional[tuple] = None
 
 
 # -- mispredict detection and graceful degradation ---------------------------
@@ -214,7 +218,7 @@ class MispredictGuard:
 QOS_GUARD = 0.9
 
 
-class SchedulingPolicy(ABC):
+class SchedulerPolicy(ABC):
     """Base: owns the duration models and the headroom tracker."""
 
     #: name stamped on telemetry decision records
@@ -434,304 +438,3 @@ class SchedulingPolicy(ABC):
         return Action(
             kind="be", be_app=app, predicted_be_ms=self.predict_ms(app.head)
         )
-
-
-class BaymaxPolicy(SchedulingPolicy):
-    """Reorder-only baseline (Baymax, ref [19])."""
-
-    policy_name = "baymax"
-
-    def decide(self, now_ms, active, be_apps):
-        self.decisions += 1
-        session = self.telemetry
-        if not active:
-            action = self._pure_be(be_apps)
-            if session is not None and action is not None:
-                self._record_decision(now_ms, action)
-            return action
-        query = active[0]
-        guard_mode = None
-        if self.guard is not None:
-            self.guard.note_decision()
-            guard_mode = self.guard.mode
-            if guard_mode == "exclusive":
-                action = Action(
-                    kind="lc", query=query,
-                    predicted_lc_ms=self.predict_ms(query.current),
-                )
-                if session is not None:
-                    self._record_decision(
-                        now_ms, action, query=query, guard_mode=guard_mode,
-                    )
-                return action
-        if session is not None:
-            thr, reservation = self._thr_with_reservation(now_ms, active)
-            action = self._reorder_or_lc(query, be_apps, thr)
-            return self._record_decision(
-                now_ms, action, query=query, thr_ms=thr,
-                reservation=reservation, guard_mode=guard_mode,
-            )
-        thr = self.current_thr_ms(now_ms, active)
-        return self._reorder_or_lc(query, be_apps, thr)
-
-
-class TackerPolicy(SchedulingPolicy):
-    """Kernel fusion + reorder (Section VII-B).
-
-    ``artifacts`` maps (TC kernel name, CD kernel name) to the compiled
-    fused kernel produced by the offline search; pairs the search
-    rejected are simply absent, so the runtime never reconsiders them.
-    """
-
-    policy_name = "tacker"
-
-    def __init__(
-        self,
-        gpu: GPUConfig,
-        models: OnlineModelManager,
-        qos_ms: float,
-        artifacts: dict[tuple[str, str], FusedKernel],
-        pair_selection: str = "gain",
-        enable_reorder: bool = True,
-        guard: Optional[MispredictGuard] = None,
-    ):
-        """``pair_selection``: ``"gain"`` picks the BE kernel with the
-        largest Tgain (the paper's rule); ``"fifo"`` takes the first
-        admissible one (the ablation baseline).  ``enable_reorder``
-        toggles the Baymax-style direct BE launches (fusion-only
-        ablation when False)."""
-        super().__init__(gpu, models, qos_ms, guard=guard)
-        if pair_selection not in ("gain", "fifo"):
-            raise ValueError(f"unknown pair selection {pair_selection!r}")
-        self.artifacts = artifacts
-        self.pair_selection = pair_selection
-        self.enable_reorder = enable_reorder
-        self._cost_cache: dict[tuple, float] = {}
-        self._reserve_cache: dict[tuple, list[float]] = {}
-        #: fused-model version the caches were built against
-        self._models_version_seen = models.version
-        #: identity-keyed memo of the BE-app name tuple — the server
-        #: passes the same sequence object on every decision
-        self._be_names_cache: Optional[tuple] = None
-
-    def _sync_model_version(self) -> None:
-        """Drop fusion-cost caches after any online model refresh.
-
-        Both caches embed fused-model predictions, which change when
-        the >10%-error retrain path refits a model mid-run.
-        """
-        if self.models.version != self._models_version_seen:
-            self._models_version_seen = self.models.version
-            self._cost_cache.clear()
-            self._reserve_cache.clear()
-
-    def _fusion_for(
-        self,
-        lc_instance: KernelInstance,
-        app: BEApplication,
-        thr_ms: float,
-        log: Optional[list] = None,
-    ) -> Optional[tuple[float, Action]]:
-        """Evaluate fusing the LC kernel with one BE app's head kernel.
-
-        Returns (Tgain, action) when Eq. 8 admits the fusion.  When
-        ``log`` is given (telemetry on), every evaluation — including
-        rejected ones, with the reason — is appended to it.
-        """
-        be = app.head
-        if lc_instance.kind == "tc" and be.kind == "cd":
-            tc_inst, cd_inst = lc_instance, be
-            fused = self.artifacts.get((tc_inst.name, cd_inst.name))
-            lc_is_tc = True
-        elif lc_instance.kind == "cd" and be.kind == "tc" and be.fusable:
-            tc_inst, cd_inst = be, lc_instance
-            fused = self.artifacts.get((tc_inst.name, cd_inst.name))
-            lc_is_tc = False
-        else:
-            if log is not None:
-                log.append(FusionCandidate(
-                    be_app=app.name,
-                    lc_is_tc=lc_instance.kind == "tc",
-                    reason=REJECT_KIND_MISMATCH,
-                ))
-            return None
-        if fused is None:
-            if log is not None:
-                log.append(FusionCandidate(
-                    be_app=app.name, tc=tc_inst.name, cd=cd_inst.name,
-                    lc_is_tc=lc_is_tc, reason=REJECT_NO_ARTIFACT,
-                ))
-            return None
-        tc_ms = self.predict_ms(tc_inst)
-        cd_ms = self.predict_ms(cd_inst)
-        fused_ms = self.predict_fused_ms(fused, tc_ms, cd_ms)
-        lc_ms = tc_ms if lc_is_tc else cd_ms
-        be_ms = cd_ms if lc_is_tc else tc_ms
-        extra_lc_ms = fused_ms - lc_ms
-        admissible = tc_ms + cd_ms > fused_ms and extra_lc_ms < thr_ms
-        gain = be_ms - extra_lc_ms
-        if log is not None:
-            log.append(FusionCandidate(
-                be_app=app.name, tc=tc_inst.name, cd=cd_inst.name,
-                ttc_ms=tc_ms, tcd_ms=cd_ms, tk_fuse_ms=fused_ms,
-                lc_is_tc=lc_is_tc, extra_lc_ms=extra_lc_ms, gain_ms=gain,
-                admissible=admissible,
-                reason="" if admissible else REJECT_EQ8,
-            ))
-        if not admissible:
-            return None
-        action = Action(
-            kind="fused",
-            be_app=app,
-            fused=fused,
-            predicted_lc_ms=lc_ms,
-            predicted_be_ms=be_ms,
-            predicted_fused_ms=fused_ms,
-        )
-        return (gain, action)
-
-    def _be_names(self, be_apps: Sequence[BEApplication]) -> tuple:
-        cached = self._be_names_cache
-        if cached is not None and cached[0] is be_apps:
-            return cached[1]
-        names = tuple(app.name for app in be_apps)
-        self._be_names_cache = (be_apps, names)
-        return names
-
-    def _fusion_cost_ms(
-        self, lc_name: str, be_apps: Sequence[BEApplication]
-    ) -> float:
-        """Estimated headroom cost of fusing one LC TC kernel (cached)."""
-        key = (lc_name, self._be_names(be_apps))
-        cached = self._cost_cache.get(key)
-        if cached is not None:
-            return cached
-        best = float("inf")
-        tc_kernel = None
-        for app in be_apps:
-            be = app.head
-            if be.kind != "cd":
-                continue
-            fused = self.artifacts.get((lc_name, be.name))
-            if fused is None:
-                continue
-            if tc_kernel is None:
-                tc_kernel = fused.tc.ir
-            tc_ms = self.gpu.cycles_to_ms(
-                self.models.predict_kernel(tc_kernel, tc_kernel.default_grid)
-            )
-            cd_ms = self.predict_ms(be)
-            fused_ms = self.predict_fused_ms(fused, tc_ms, cd_ms)
-            best = min(best, fused_ms - tc_ms)
-        cached = 0.0 if best == float("inf") else max(best, 0.0)
-        self._cost_cache[key] = cached
-        return cached
-
-    def _fusion_reserve_ms(
-        self, query: Query, be_apps: Sequence[BEApplication]
-    ) -> float:
-        """Headroom to keep aside for the query's remaining fusions.
-
-        Section IV: "We prioritize the selection of the fused pair" —
-        directly-launched BE kernels must not starve upcoming fusions,
-        so reordering only spends headroom beyond this reservation.
-        Suffix sums over the (static) kernel sequence make the lookup
-        O(1) per decision.
-        """
-        self._sync_model_version()
-        key = (query.sequence_key, self._be_names(be_apps))
-        suffix = self._reserve_cache.get(key)
-        if suffix is None:
-            suffix = [0.0]
-            for instance in reversed(query.instances):
-                cost = (
-                    self._fusion_cost_ms(instance.name, be_apps)
-                    if instance.kind == "tc" and instance.fusable
-                    else 0.0
-                )
-                suffix.append(suffix[-1] + cost)
-            suffix.reverse()
-            self._reserve_cache[key] = suffix
-        return suffix[query.cursor]
-
-    def decide(self, now_ms, active, be_apps):
-        self.decisions += 1
-        session = self.telemetry
-        if not active:
-            action = self._pure_be(be_apps)
-            if session is not None and action is not None:
-                self._record_decision(now_ms, action)
-            return action
-        query = active[0]
-        mode = "fuse"
-        guard_mode = None
-        if self.guard is not None:
-            self.guard.note_decision()
-            mode = guard_mode = self.guard.mode
-            if mode == "exclusive":
-                action = Action(
-                    kind="lc", query=query,
-                    predicted_lc_ms=self.predict_ms(query.current),
-                )
-                if session is not None:
-                    self._record_decision(
-                        now_ms, action, query=query, guard_mode=guard_mode,
-                    )
-                return action
-        reservation = None
-        if session is not None:
-            thr, reservation = self._thr_with_reservation(now_ms, active)
-        else:
-            thr = self.current_thr_ms(now_ms, active)
-        lc_instance = query.current
-        candidates: Optional[list] = [] if session is not None else None
-        if mode == "fuse" and (lc_instance.fusable or lc_instance.kind == "cd"):
-            best: Optional[tuple[float, Action]] = None
-            for app in be_apps:
-                scored = self._fusion_for(lc_instance, app, thr, candidates)
-                if scored is None or scored[0] <= 0:
-                    continue
-                if best is None or scored[0] > best[0]:
-                    best = scored
-                if self.pair_selection == "fifo":
-                    break
-            if best is not None and best[0] > 0:
-                self.fusions += 1
-                gain, action = best
-                chosen = Action(
-                    kind="fused",
-                    query=query,
-                    be_app=action.be_app,
-                    fused=action.fused,
-                    predicted_lc_ms=action.predicted_lc_ms,
-                    predicted_be_ms=action.predicted_be_ms,
-                    predicted_fused_ms=action.predicted_fused_ms,
-                )
-                if session is not None:
-                    self._record_decision(
-                        now_ms, chosen, query=query, thr_ms=thr,
-                        candidates=candidates, reservation=reservation,
-                        gain_ms=gain, guard_mode=guard_mode,
-                    )
-                return chosen
-        if not self.enable_reorder:
-            action = Action(
-                kind="lc", query=query,
-                predicted_lc_ms=self.predict_ms(lc_instance),
-            )
-            if session is not None:
-                self._record_decision(
-                    now_ms, action, query=query, thr_ms=thr,
-                    candidates=candidates or (), reservation=reservation,
-                    guard_mode=guard_mode,
-                )
-            return action
-        reserve = self._fusion_reserve_ms(query, be_apps)
-        action = self._reorder_or_lc(query, be_apps, thr - reserve)
-        if session is not None:
-            self._record_decision(
-                now_ms, action, query=query, thr_ms=thr, reserve_ms=reserve,
-                candidates=candidates or (), reservation=reservation,
-                guard_mode=guard_mode,
-            )
-        return action

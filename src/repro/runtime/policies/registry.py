@@ -1,0 +1,121 @@
+"""The string-keyed scheduler-policy registry (the plugin surface).
+
+Every construction site — :meth:`TackerSystem.make_policy`, the
+cluster/autoscale specs, :func:`run_scenario`, the CLI ``--policy``
+flags — resolves policy names through this registry, so adding a
+policy is one :func:`register_policy` call (entry-point style: import
+your module before naming the policy) and it immediately works
+everywhere, including per-node heterogeneous clusters and the
+tournament experiment.
+
+A factory receives ``(system, guard)`` — the owning
+:class:`~repro.runtime.system.TackerSystem` and an already-resolved
+:class:`~repro.runtime.policies.base.MispredictGuard` (or None) — and
+returns a :class:`~repro.runtime.policies.base.SchedulerPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from difflib import get_close_matches
+from typing import Callable
+
+from ...errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One registered policy: its name, builder and provenance."""
+
+    name: str
+    factory: Callable
+    description: str = ""
+    module: str = ""
+
+
+_REGISTRY: dict[str, PolicyEntry] = {}
+
+
+def register_policy(
+    name: str,
+    factory: Callable,
+    description: str = "",
+    replace: bool = False,
+) -> Callable:
+    """Register ``factory`` under ``name``; returns the factory.
+
+    Duplicate names are rejected unless ``replace=True`` (a silent
+    override would make the winner depend on import order).
+    """
+    if not name or not isinstance(name, str):
+        raise SchedulingError("a policy needs a non-empty string name")
+    if not callable(factory):
+        raise SchedulingError(f"policy {name!r} needs a callable factory")
+    if name in _REGISTRY and not replace:
+        raise SchedulingError(
+            f"policy {name!r} is already registered by "
+            f"{_REGISTRY[name].module or 'an earlier caller'}; "
+            "pass replace=True to override it"
+        )
+    _REGISTRY[name] = PolicyEntry(
+        name=name,
+        factory=factory,
+        description=description,
+        module=getattr(factory, "__module__", ""),
+    )
+    return factory
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a registered policy (test isolation); unknown names pass."""
+    _REGISTRY.pop(name, None)
+
+
+def list_policies() -> tuple:
+    """Registered policy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def policy_entries() -> tuple:
+    """Registered :class:`PolicyEntry` rows, sorted by name."""
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def validate_policy_name(name: str, owner: str = "policy") -> str:
+    """Raise early (with a did-you-mean) unless ``name`` is registered.
+
+    Construction-time validation: a typo'd ``NodeSpec.policy`` fails
+    when the spec is built, not minutes later inside a ``parallel_map``
+    worker.
+    """
+    if name in _REGISTRY:
+        return name
+    known = list_policies()
+    close = get_close_matches(str(name), known, n=1)
+    hint = f"did you mean {close[0]!r}? " if close else ""
+    raise SchedulingError(
+        f"unknown {owner} {name!r}; {hint}"
+        f"registered policies: {', '.join(known)}"
+    )
+
+
+def policy_from_name(name: str, system, guard=None):
+    """Build the registered policy ``name`` bound to ``system``.
+
+    ``guard`` enables the mispredict guard rails: a ``GuardConfig``,
+    ``True`` (defaults), an already-built ``MispredictGuard``, or
+    None/False for the paper's unguarded manager.  None falls back to
+    the system-wide guard configuration.
+    """
+    from .base import GuardConfig, MispredictGuard
+
+    validate_policy_name(name)
+    if guard is None:
+        guard = getattr(system, "guard", None)
+    if guard is True:
+        guard = GuardConfig()
+    if isinstance(guard, GuardConfig):
+        guard = MispredictGuard(guard)
+    if not isinstance(guard, MispredictGuard):
+        guard = None
+    return _REGISTRY[name].factory(system, guard)

@@ -982,7 +982,7 @@ def serve_trace(
     system,
     trace: Trace,
     be_names: Sequence[str],
-    policy_name: str = "tacker",
+    policy_name: Optional[str] = None,
     streaming: bool = True,
     sketch_bins: int = 4096,
     record_kernels: bool = False,
@@ -997,6 +997,8 @@ def serve_trace(
     """
     if not len(trace):
         raise SchedulingError("cannot serve an empty trace")
+    if policy_name is None:
+        policy_name = getattr(system.config, "policy", "tacker")
     for name in trace.services:
         model = model_by_name(name)
         for be_name in be_names:
@@ -1026,7 +1028,7 @@ def serve_trace(
 def run_scenario(
     system,
     scenario: Scenario,
-    policy_name: str = "tacker",
+    policy_name: Optional[str] = None,
     n_queries: Optional[int] = None,
     streaming: bool = True,
     trace: Optional[Trace] = None,
@@ -1040,6 +1042,8 @@ def run_scenario(
     the run's aggregates into the metrics registry under the scenario
     label (a no-op while telemetry is off).
     """
+    if policy_name is None:
+        policy_name = getattr(system.config, "policy", "tacker")
     if trace is None:
         trace = synthesize_trace(
             scenario, system.library, system.oracle, n_queries=n_queries

@@ -44,6 +44,11 @@ class RunConfig:
     #: and keys a separate shared system per scenario in the
     #: experiment layer
     scenario: str = ""
+    #: registered name of the scheduling policy runs under this config
+    #: resolve by default (see :mod:`repro.runtime.policies.registry`);
+    #: part of the hash key, so experiment layers that vary the policy
+    #: get a fresh shared system per policy
+    policy: str = "tacker"
 
     def __post_init__(self) -> None:
         if self.qos_ms <= 0:
@@ -52,6 +57,12 @@ class RunConfig:
             raise ConfigError(f"load must be in (0, 1], got {self.load}")
         if self.queries < 1:
             raise ConfigError(f"queries must be >= 1, got {self.queries}")
+        if self.policy != "tacker":
+            # Lazy import: validating the default at module-import time
+            # would drag the whole policy package into this leaf module.
+            from .policies.registry import validate_policy_name
+
+            validate_policy_name(self.policy, owner="run policy")
 
     def with_overrides(self, **overrides) -> "RunConfig":
         """A copy with the given knobs replaced.

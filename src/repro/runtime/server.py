@@ -22,7 +22,7 @@ from ..gpusim.trace import Timeline
 from ..telemetry import RunTelemetry
 from .faults import FaultInjector
 from .oracle import DurationOracle
-from .policies import Action, SchedulingPolicy
+from .policies import Action, SchedulerPolicy
 from .query import BEApplication, Query
 from .runconfig import DEFAULT_RUN_CONFIG, RunConfig, warn_legacy_knobs
 
@@ -33,7 +33,7 @@ class ExecutedKernel:
 
     start_ms: float
     end_ms: float
-    kind: str       # "lc" | "be" | "fused"
+    kind: str       # "lc" | "be" | "fused" | "hfused" | "spatial" | "chain"
     name: str
     tc_end_ms: float
     cd_end_ms: float
@@ -59,6 +59,11 @@ class ServerResult:
     n_lc_kernels: int = 0
     n_be_kernels: int = 0
     n_fused_kernels: int = 0
+    #: zoo-policy launches: horizontally-fused BE pairs, SM-partitioned
+    #: spatial co-runs, and >2-kernel fusion chains
+    n_hfused_kernels: int = 0
+    n_spatial_kernels: int = 0
+    n_chain_kernels: int = 0
     executed: list[ExecutedKernel] = field(default_factory=list)
     #: per-LC-service latencies (useful under multi-tenant runs)
     latencies_by_model: dict[str, list[float]] = field(default_factory=dict)
@@ -160,7 +165,7 @@ class ColocationServer:
         gpu: GPUConfig,
         *,
         oracle: DurationOracle,
-        policy: SchedulingPolicy,
+        policy: SchedulerPolicy,
         config: Optional[RunConfig] = None,
         qos_ms: Optional[float] = None,
         record_kernels: bool = False,
@@ -416,6 +421,12 @@ class ColocationServer:
             return self._run_be(action, now, result)
         if action.kind == "fused":
             return self._run_fused(action, now, active, result)
+        if action.kind == "hfused":
+            return self._run_hfused(action, now, result)
+        if action.kind == "spatial":
+            return self._run_spatial(action, now, active, result)
+        if action.kind == "chain":
+            return self._run_chain(action, now, active, result)
         raise SchedulingError(f"unknown action kind {action.kind!r}")
 
     def _finish_query_kernel(
@@ -532,5 +543,138 @@ class ColocationServer:
         if self._auditor is not None:
             self._auditor.on_be_retired(app.name, be_solo, end)
         result.note_be_credit(app.name, be_solo, end)
+        self._finish_query_kernel(query, end, active, result)
+        return end
+
+    def _retire_be_head(self, app, result, end: float) -> None:
+        """Retire one BE stream's head, crediting its solo work."""
+        instance = app.head
+        solo = self.oracle.solo_ms(instance.kernel, instance.grid)
+        app.complete_head(solo)
+        if self._auditor is not None:
+            self._auditor.on_be_retired(app.name, solo, end)
+        result.note_be_credit(app.name, solo, end)
+
+    def _corun_profile(self, action: Action):
+        """Replay the profiled co-run recipe a zoo action carries.
+
+        The oracle memoizes (and persists) the record, so this is the
+        same table lookup the policy made at decision time — predicted
+        and served durations agree by construction.
+        """
+        policy_name, launch_a, launch_b, params = action.corun
+        return self.oracle.corun_policy(
+            policy_name, launch_a, launch_b, **dict(params)
+        )
+
+    def _run_hfused(self, action, now, result) -> float:
+        """One launch horizontally fusing two BE streams' heads."""
+        app_a, app_b = action.be_app, action.be_app2
+        inst_a, inst_b = app_a.head, app_b.head
+        corun = self._corun_profile(action)
+        duration = self.gpu.cycles_to_ms(corun.duration_cycles)
+        end = now + duration
+        finish_a = now + self.gpu.cycles_to_ms(corun.finish_a_cycles)
+        finish_b = now + self.gpu.cycles_to_ms(corun.finish_b_cycles)
+        tc_end = max(
+            [now]
+            + [f for inst, f in ((inst_a, finish_a), (inst_b, finish_b))
+               if inst.kind == "tc"]
+        )
+        cd_end = max(
+            [now]
+            + [f for inst, f in ((inst_a, finish_a), (inst_b, finish_b))
+               if inst.kind == "cd"]
+        )
+        name = f"{inst_a.name}+{inst_b.name}"
+        self._record(result, now, end, "hfused", name, tc_end, cd_end,
+                     app_a.name)
+        result.n_hfused_kernels += 1
+        self.policy.note_outcome(
+            "hfused", name, action.predicted_fused_ms, duration
+        )
+        self._retire_be_head(app_a, result, end)
+        self._retire_be_head(app_b, result, end)
+        return end
+
+    def _run_spatial(self, action, now, active, result) -> float:
+        """The LC kernel and a BE head on disjoint SM partitions."""
+        query = action.query
+        app = action.be_app
+        lc_instance = query.current
+        be_instance = app.head
+        if self._telemetry is not None and query.cursor == 0:
+            self._telemetry.note_first_launch(query.qid, now)
+        corun = self._corun_profile(action)
+        duration = self.gpu.cycles_to_ms(corun.duration_cycles)
+        end = now + duration
+        lc_end = now + self.gpu.cycles_to_ms(corun.finish_a_cycles)
+        be_end = now + self.gpu.cycles_to_ms(corun.finish_b_cycles)
+        tc_end = max(
+            [now]
+            + [f for inst, f in ((lc_instance, lc_end), (be_instance, be_end))
+               if inst.kind == "tc"]
+        )
+        cd_end = max(
+            [now]
+            + [f for inst, f in ((lc_instance, lc_end), (be_instance, be_end))
+               if inst.kind == "cd"]
+        )
+        name = f"{lc_instance.name}|{be_instance.name}"
+        self._record(result, now, end, "spatial", name, tc_end, cd_end,
+                     query.model.name)
+        result.n_spatial_kernels += 1
+        self.policy.note_outcome(
+            "spatial", name, action.predicted_fused_ms, duration
+        )
+        self._retire_be_head(app, result, end)
+        # The LC kernel finishes at its own partition's finish time,
+        # though the GPU stays busy until the longer partition drains.
+        self._finish_query_kernel(query, lc_end, active, result)
+        return end
+
+    def _run_chain(self, action, now, active, result) -> float:
+        """A fused pair extended with CD riders (>2-kernel chain).
+
+        The pair's co-run comes from the fused-launch oracle record;
+        each rider's solo time extends the CD pipe behind the pair's CD
+        half, exactly as the policy priced it.  The online fused model
+        is *not* trained on chain makespans — they would bias the pair
+        model the Eq. 8 gate relies on.
+        """
+        query = action.query
+        app = action.be_app
+        fused = action.fused
+        lc_instance = query.current
+        be_instance = app.head
+        if self._telemetry is not None and query.cursor == 0:
+            self._telemetry.note_first_launch(query.qid, now)
+        if lc_instance.kind == "tc":
+            tc_grid, cd_grid = lc_instance.grid, be_instance.grid
+        else:
+            tc_grid, cd_grid = be_instance.grid, lc_instance.grid
+        corun = self.oracle.fused(fused, tc_grid, cd_grid)
+        tc_end = now + self.gpu.cycles_to_ms(corun.finish_a_cycles)
+        cd_end = now + self.gpu.cycles_to_ms(corun.finish_b_cycles)
+        end = now + self.gpu.cycles_to_ms(corun.duration_cycles)
+        rider_solos = []
+        for rider in action.riders:
+            head = rider.head
+            solo = self.oracle.solo_ms(head.kernel, head.grid)
+            rider_solos.append((rider, solo))
+            cd_end += solo
+            end = max(end, cd_end)
+        name = "+".join(
+            [fused.name] + [rider.head.name for rider in action.riders]
+        )
+        self._record(result, now, end, "chain", name, tc_end, cd_end,
+                     query.model.name)
+        result.n_chain_kernels += 1
+        self.policy.note_outcome(
+            "chain", name, action.predicted_fused_ms, end - now
+        )
+        self._retire_be_head(app, result, end)
+        for rider, _ in rider_solos:
+            self._retire_be_head(rider, result, end)
         self._finish_query_kernel(query, end, active, result)
         return end

@@ -30,13 +30,7 @@ from ..models.zoo import ModelSpec, model_by_name
 from ..predictor.online import OnlineModelManager
 from .faults import FaultPlan, make_injector
 from .oracle import DurationOracle, OracleStore
-from .policies import (
-    BaymaxPolicy,
-    GuardConfig,
-    MispredictGuard,
-    SchedulingPolicy,
-    TackerPolicy,
-)
+from .policies import GuardConfig, SchedulerPolicy, policy_from_name
 from .query import BEApplication
 from .runconfig import DEFAULT_RUN_CONFIG, RunConfig, warn_legacy_knobs
 from .server import ColocationServer, ServerResult
@@ -224,8 +218,13 @@ class TackerSystem:
         self,
         name: str,
         guard: "GuardConfig | bool | None" = None,
-    ) -> SchedulingPolicy:
-        """Build a policy instance bound to this system's models.
+    ) -> SchedulerPolicy:
+        """Build a registered policy bound to this system's models.
+
+        Resolves ``name`` through the policy registry
+        (:mod:`repro.runtime.policies.registry`), so third-party
+        policies registered with ``register_policy`` work here — and
+        everywhere this method backs — without touching this class.
 
         ``guard`` enables the mispredict guard rails: a
         :class:`GuardConfig`, ``True`` (defaults), or None/False for
@@ -234,31 +233,16 @@ class TackerSystem:
         """
         if guard is None:
             guard = self.guard
-        if guard is True:
-            guard = GuardConfig()
-        rails = (
-            MispredictGuard(guard)
-            if isinstance(guard, GuardConfig) else None
-        )
-        if name == "tacker":
-            return TackerPolicy(
-                self.gpu, self.models, self.qos_ms, self.artifacts,
-                guard=rails,
-            )
-        if name == "baymax":
-            return BaymaxPolicy(
-                self.gpu, self.models, self.qos_ms, guard=rails
-            )
-        raise SchedulingError(f"unknown policy {name!r}")
+        return policy_from_name(name, self, guard=guard)
 
-    def _make_policy(self, name: str) -> SchedulingPolicy:
+    def _make_policy(self, name: str) -> SchedulerPolicy:
         return self.make_policy(name)
 
     def run_custom(
         self,
         model: ModelSpec,
         be_names: Sequence[str],
-        policy: SchedulingPolicy,
+        policy: SchedulerPolicy,
         n_queries: Optional[int] = None,
         record_kernels: bool = False,
         faults: "FaultPlan | bool | None" = None,

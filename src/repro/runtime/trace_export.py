@@ -37,7 +37,9 @@ _TRACK_NAMES = (
 )
 
 _COLOURS = {"lc": "thread_state_running", "be": "thread_state_iowait",
-            "fused": "thread_state_runnable"}
+            "fused": "thread_state_runnable",
+            "hfused": "thread_state_runnable",
+            "spatial": "rail_response", "chain": "thread_state_runnable"}
 
 
 def _event(name: str, pid: int, tid: int, start_ms: float, end_ms: float,
@@ -70,7 +72,7 @@ def _unit_events(kernel: ExecutedKernel, pid: int) -> list[dict]:
             kernel.name, pid, _CUDA_TID, kernel.start_ms,
             kernel.cd_end_ms, kernel.kind, kernel.service,
         ))
-    if kernel.kind == "fused":
+    if kernel.kind in ("fused", "hfused", "chain"):
         events.append(_event(
             kernel.name, pid, _FUSED_TID, kernel.start_ms, kernel.end_ms,
             kernel.kind, kernel.service,

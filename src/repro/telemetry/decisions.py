@@ -78,7 +78,7 @@ class DecisionRecord:
     index: int
     now_ms: float
     policy: str
-    kind: str                       # "lc" | "be" | "fused"
+    kind: str                       # "lc" | "be" | "fused" | "hfused" | "spatial" | "chain"
     lc_service: Optional[str] = None
     lc_arrival_ms: Optional[float] = None
     lc_kernel: Optional[str] = None
@@ -195,7 +195,9 @@ def validate_decision_jsonl(path: str) -> int:
                         f"{path}:{lineno}: field {key!r} has type "
                         f"{type(record[key]).__name__}"
                     )
-            if record["kind"] not in ("lc", "be", "fused"):
+            if record["kind"] not in (
+                "lc", "be", "fused", "hfused", "spatial", "chain",
+            ):
                 raise ConfigError(
                     f"{path}:{lineno}: unknown kind {record['kind']!r}"
                 )

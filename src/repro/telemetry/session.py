@@ -85,6 +85,9 @@ class RunTelemetry:
             ("lc", result.n_lc_kernels),
             ("be", result.n_be_kernels),
             ("fused", result.n_fused_kernels),
+            ("hfused", getattr(result, "n_hfused_kernels", 0)),
+            ("spatial", getattr(result, "n_spatial_kernels", 0)),
+            ("chain", getattr(result, "n_chain_kernels", 0)),
         ):
             if count:
                 reg.counter(

@@ -109,6 +109,36 @@ class TestTelemetry:
         assert {e["pid"] for e in trace["traceEvents"]} == {1, 2}
 
 
+class TestPolicies:
+    def test_policies_lists_registry(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("tacker", "baymax", "hfuse", "spatial", "gpuos",
+                     "multifuse"):
+            assert name in out
+        assert "repro.runtime.policies.tacker" in out
+
+    def test_run_scenario_rejects_unknown_policy_early(self):
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError, match="did you mean"):
+            main(["run-scenario", "steady", "--quick",
+                  "--policy", "tackr"])
+
+    def test_run_tournament_quick(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        out_path = tmp_path / "tournament.txt"
+        code = main([
+            "run-tournament", "--quick", "--scenario", "steady",
+            "--policy", "tacker", "--policy", "baymax",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        text = out_path.read_text()
+        assert "steady" in text and "tacker" in text
+        assert "zoo_beats_baymax_cells" in text
+
+
 class TestParsing:
     def test_command_required(self):
         with pytest.raises(SystemExit):
