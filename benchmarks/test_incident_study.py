@@ -1,0 +1,36 @@
+"""Incident forensics: attribution must name the injected fault.
+
+The acceptance bar from the observability PR: on the seeded fault
+matrix (predictor bias, node crash, slow node, scaler lag — three
+seeds each) the forensics pipeline's top-ranked cause must match the
+injected fault in at least 90% of the violating runs, and every fault
+channel must actually produce violations (a channel that never
+violates would vacuously pass).
+"""
+
+from conftest import run_once
+
+from repro.experiments import incident_study
+
+
+def test_incident_study(benchmark, report):
+    result = run_once(benchmark, incident_study.run)
+    report(incident_study.HEADERS, result.rows(), result.summary())
+
+    assert len(result.cells) == len(incident_study.FAULTS) * len(
+        incident_study.SEEDS
+    )
+    # every fault channel injected violations (no vacuous accuracy)
+    for fault in incident_study.FAULTS:
+        cells = [c for c in result.cells if c.fault == fault]
+        assert any(c.violations > 0 for c in cells), (
+            f"{fault} runs never violated QoS"
+        )
+        assert any(c.alerts > 0 for c in cells), (
+            f"{fault} runs never fired an alert"
+        )
+    # the headline: top-1 attribution accuracy over violating runs
+    assert result.accuracy >= incident_study.ACCURACY_TARGET, (
+        f"attribution accuracy {result.accuracy:.0%} below "
+        f"{incident_study.ACCURACY_TARGET:.0%}"
+    )

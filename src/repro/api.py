@@ -96,16 +96,29 @@ from .runtime.trace_export import (
     write_cluster_trace,
 )
 from .telemetry import (
+    AlertEvent,
     DecisionRecord,
+    FlightRecorder,
     FusionCandidate,
+    Incident,
     MetricsRegistry,
     ReservationRecord,
     RunTelemetry,
+    SLOMonitor,
+    SLORule,
     Span,
+    attribute_run,
     decision_log_jsonl,
+    diagnose_alerts,
+    render_incident_html,
+    render_incident_text,
     validate_decision_jsonl,
+    validate_incident_jsonl,
     write_decision_log,
+    write_incidents,
 )
+from .telemetry import default_rules as default_slo_rules
+from .telemetry import load_rules as load_slo_rules
 from .telemetry import registry as telemetry_registry
 
 __all__ = [
@@ -170,6 +183,20 @@ __all__ = [
     "decision_log_jsonl",
     "write_decision_log",
     "validate_decision_jsonl",
+    # SLO monitoring + incident forensics
+    "SLORule",
+    "SLOMonitor",
+    "AlertEvent",
+    "FlightRecorder",
+    "Incident",
+    "default_slo_rules",
+    "load_slo_rules",
+    "diagnose_alerts",
+    "attribute_run",
+    "write_incidents",
+    "validate_incident_jsonl",
+    "render_incident_text",
+    "render_incident_html",
     "latency_stats_by_service",
     "active_time_breakdown_by_service",
     "to_chrome_trace",

@@ -38,6 +38,44 @@ def _peak_rss_mb() -> "float | None":
     return peak / 1024.0
 
 
+def _add_slo_arguments(command) -> None:
+    """The shared SLO-monitoring flags of the serving commands."""
+    command.add_argument(
+        "--slo-rules", default=None, metavar="SPEC",
+        help="attach the observe-only SLO monitor: 'default' for the "
+             "stock rule set, or a path to a repro-slo-rules/1 JSON "
+             "file (see docs/incidents.md); omitted = monitoring off",
+    )
+    command.add_argument(
+        "--incidents-out", default=None, metavar="PATH",
+        help="diagnose every fired alert and write the forensic "
+             "incident reports as repro-incident/1 JSONL "
+             "(needs --slo-rules)",
+    )
+
+
+def _handle_incidents(args, alerts) -> None:
+    """Report fired alerts and write the forensic JSONL if asked."""
+    import pathlib
+
+    from .telemetry.forensics import attribute_run, diagnose_alerts
+    from .telemetry.forensics import write_incidents as _write
+
+    print(f"slo: {len(alerts)} alerts fired")
+    if args.incidents_out is None:
+        return
+    incidents = diagnose_alerts(alerts)
+    path = pathlib.Path(args.incidents_out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _write(str(path), incidents)
+    if incidents:
+        top, _ = attribute_run(alerts)
+        print(f"incidents: wrote {len(incidents)} to {path} "
+              f"(top cause: {top})")
+    else:
+        print(f"incidents: wrote 0 to {path}")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -142,6 +180,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="only serve the requested fleet; skip the full "
              "nodes x load x routing sweep and its table",
     )
+    _add_slo_arguments(cluster)
 
     autoscale = commands.add_parser(
         "run-autoscale",
@@ -193,6 +232,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default="benchmarks/results/autoscale.txt",
         help="where --sweep writes the table",
     )
+    _add_slo_arguments(autoscale)
 
     scenario = commands.add_parser(
         "run-scenario",
@@ -251,6 +291,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--require-qos", action="store_true",
         help="exit 1 when the run misses its QoS target (off by default: "
              "overload scenarios miss by design)",
+    )
+    _add_slo_arguments(scenario)
+
+    incidents = commands.add_parser(
+        "incidents",
+        help="validate an incident JSONL file (repro-incident/1) and "
+             "print its forensic timeline",
+    )
+    incidents.add_argument(
+        "path", help="incident JSONL written by --incidents-out",
+    )
+    incidents.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="also render the timeline as a standalone HTML report",
+    )
+    incidents.add_argument(
+        "--json", action="store_true",
+        help="print the raw incident records instead of the text "
+             "timeline",
     )
 
     tournament = commands.add_parser(
@@ -438,6 +497,14 @@ def _cmd_run_cluster(args) -> int:
         be_every=args.be_every,
         guard=not args.no_guard,
     )
+    if args.slo_rules is not None:
+        from dataclasses import replace
+
+        from .telemetry.slo import resolve_rules
+
+        spec = replace(
+            spec, slo_rules=resolve_rules(args.slo_rules, run_cfg.qos_ms)
+        )
     result = serve_cluster(spec, gpu=args.gpu, map_fn=parallel_map)
     print(f"{args.nodes} nodes | routing {result.routing} | "
           f"QoS {result.qos_ms:.0f} ms | load {run_cfg.load} | "
@@ -468,6 +535,8 @@ def _cmd_run_cluster(args) -> int:
           f"p99 {result.fleet_p99_ms:.2f} ms | "
           f"QoS {'yes' if result.fleet_qos_satisfied else 'NO'} "
           f"({result.n_nodes_satisfied}/{len(result.nodes)} nodes)")
+    if args.slo_rules is not None:
+        _handle_incidents(args, result.alerts)
     if not args.no_sweep:
         sweep = cluster_scale.run(gpu=args.gpu)
         path = pathlib.Path(args.out)
@@ -518,6 +587,14 @@ def _cmd_run_autoscale(args) -> int:
     refit = None
     if args.refit_bias is not None:
         refit = RefitPlan(start_epoch=1, bias=args.refit_bias, noise=0.1)
+    slo_rules = ()
+    if args.slo_rules is not None:
+        from .runtime.replay import load_scenario
+        from .telemetry.slo import resolve_rules
+
+        slo_rules = resolve_rules(
+            args.slo_rules, load_scenario(args.scenario).qos_ms
+        )
     spec = AutoscaleSpec(
         scenario=args.scenario,
         scaler=ScalerConfig(policy=args.scaler),
@@ -527,6 +604,7 @@ def _cmd_run_autoscale(args) -> int:
         routing=args.routing,
         node_faults=_parse_node_faults(args),
         refit=refit,
+        slo_rules=slo_rules,
     )
     result = run_autoscale(spec, gpu=args.gpu, map_fn=parallel_map)
     print(f"{args.scenario} | scaler {args.scaler} | "
@@ -559,6 +637,8 @@ def _cmd_run_autoscale(args) -> int:
           f"({summary['saved_vs_static_pct']:+.1f}% vs static) | "
           f"rerouted {summary['rerouted']} | "
           f"rollout {summary['rollout']}")
+    if args.slo_rules is not None:
+        _handle_incidents(args, result.alerts)
     if args.sweep:
         from .experiments import autoscale as autoscale_experiment
 
@@ -618,9 +698,17 @@ def _cmd_run_scenario(args) -> int:
     if args.record is not None:
         path = trace.write_jsonl(args.record)
         print(f"recorded {len(trace)} arrivals to {path}")
+    monitor = None
+    if args.slo_rules is not None:
+        from .telemetry.slo import make_monitor, resolve_rules
+
+        monitor = make_monitor(
+            resolve_rules(args.slo_rules, scenario.qos_ms),
+            scenario.qos_ms, source=scenario.name,
+        )
     result = run_scenario(
         system, scenario, policy_name=args.policy, trace=trace,
-        streaming=not args.no_stream,
+        streaming=not args.no_stream, monitor=monitor,
     )
     wall = time.perf_counter() - start
     if hasattr(result, "summary_dict"):
@@ -642,6 +730,10 @@ def _cmd_run_scenario(args) -> int:
     summary["scenario"] = scenario.name
     summary["policy"] = args.policy
     summary["wall_s"] = round(wall, 3)
+    if monitor is not None:
+        # keyed only when monitoring is on, so a monitor-less run's
+        # summary JSON stays byte-identical to pre-monitor builds
+        summary["alerts"] = len(result.alerts)
     max_rss_mb = _peak_rss_mb()
     if max_rss_mb is not None:
         summary["max_rss_mb"] = round(max_rss_mb, 1)
@@ -662,6 +754,8 @@ def _cmd_run_scenario(args) -> int:
               f"BE work {summary['total_be_work_ms']:.1f} ms")
         rss = f" | peak RSS {max_rss_mb:.0f} MB" if max_rss_mb else ""
         print(f"  wall {wall:.2f} s{rss}")
+    if monitor is not None:
+        _handle_incidents(args, result.alerts)
     if args.max_rss_mb is not None:
         if max_rss_mb is None:
             raise SystemExit("--max-rss-mb needs the resource module")
@@ -747,6 +841,36 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_incidents(args) -> int:
+    import json
+
+    from .telemetry.forensics import (
+        read_incidents,
+        render_incident_html,
+        render_incident_text,
+        validate_incident_jsonl,
+    )
+
+    count = validate_incident_jsonl(args.path)
+    incidents = read_incidents(args.path)
+    if args.json:
+        for record in incidents:
+            print(json.dumps(record, sort_keys=True))
+    else:
+        print(f"{args.path}: {count} incidents (schema valid)")
+        print()
+        print(render_incident_text(incidents), end="")
+    if args.html is not None:
+        import pathlib
+
+        html = render_incident_html(incidents)
+        path = pathlib.Path(args.html)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(html)
+        print(f"wrote HTML timeline to {path}")
+    return 0
+
+
 def _cmd_run_tournament(args) -> int:
     from .experiments import tournament
 
@@ -790,6 +914,7 @@ _COMMANDS = {
     "run-autoscale": _cmd_run_autoscale,
     "run-scenario": _cmd_run_scenario,
     "run-tournament": _cmd_run_tournament,
+    "incidents": _cmd_incidents,
     "policies": _cmd_policies,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,

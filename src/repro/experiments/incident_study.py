@@ -1,0 +1,293 @@
+"""Incident forensics study: does attribution name the injected fault?
+
+The SLO monitor + flight recorder + forensics pipeline (see
+``docs/incidents.md``) claims it can walk an alert's snapshot backwards
+and name the root cause.  This study measures that claim on a seeded
+fault matrix: four fault channels, each injected at several seeds, each
+run monitored with the stock rule set — and the acceptance bar is that
+the *top-ranked* cause matches the injected fault in at least
+:data:`ACCURACY_TARGET` of the violating runs.
+
+The four channels cover the cause taxonomy's actionable half:
+
+* ``predictor-bias`` — a scenario replay whose predictor systematically
+  under-predicts (``FaultPlan(predictor_bias=...)``); the expected
+  verdict is ``predictor-bias`` (solo launches overrun fleet-wide).
+* ``node-crash`` — an autoscale run with one replica crashing
+  mid-transient; expected ``crash-reroute`` (re-routed queries carry
+  their accrued latency as ``penalty_ms``).
+* ``slow-node`` — one silently degraded replica (healthy predictions,
+  scaled actual durations); expected ``slow-node`` (the per-node
+  overrun ratio localizes).
+* ``scaler-lag`` — an under-provisioned fleet whose scaler is rate
+  limited below the flash-crowd's rise; expected ``scaler-lag``
+  (violating epochs with ``desired > nodes`` and no other evidence).
+
+Every cell builds fresh systems (sharing only the persistent duration
+store), the cells fan out via ``parallel_map``, and the rendered table
+is byte-identical serial vs. parallel — it rides in the CI determinism
+gate next to the other committed tables.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+from ..runtime.autoscale import AutoscaleSpec, ScalerConfig, run_autoscale
+from ..runtime.faults import FaultPlan, NodeFault, NodeFaultPlan, make_injector
+from ..runtime.replay import load_scenario, run_scenario
+from ..runtime.system import TackerSystem
+from ..telemetry.forensics import attribute_run
+from ..telemetry.slo import default_rules, make_monitor
+from .common import format_table, parallel_map, register_cache
+
+#: The injected fault channels and the cause each one must resolve to.
+FAULTS = ("predictor-bias", "node-crash", "slow-node", "scaler-lag")
+EXPECTED_CAUSE = {
+    "predictor-bias": "predictor-bias",
+    "node-crash": "crash-reroute",
+    "slow-node": "slow-node",
+    "scaler-lag": "scaler-lag",
+}
+
+#: Seeds per fault channel (each seed moves the fault, not just noise).
+SEEDS = (0, 1, 2)
+
+#: Acceptance bar: top-1 attribution accuracy over violating runs.
+ACCURACY_TARGET = 0.9
+
+#: All cells run against the flash-crowd transient — the one scenario
+#: where every channel produces violations within a short span.
+_SCENARIO = "flash-crowd"
+
+HEADERS = [
+    "fault", "seed", "queries", "violations", "alerts", "top cause",
+    "expected", "match",
+]
+
+_CACHE: dict = register_cache({})
+
+
+@dataclass(frozen=True)
+class IncidentCell:
+    """One (fault, seed) run reduced to its attribution verdict."""
+
+    fault: str
+    seed: int
+    queries: int
+    violations: int
+    alerts: int
+    top_cause: str
+
+    @property
+    def expected(self) -> str:
+        return EXPECTED_CAUSE[self.fault]
+
+    @property
+    def matched(self) -> bool:
+        return self.alerts > 0 and self.top_cause == self.expected
+
+
+def _bias_cell(seed: int, gpu: str) -> IncidentCell:
+    """Scenario replay under a systematically biased predictor."""
+    scenario = load_scenario(_SCENARIO)
+    system = TackerSystem(config=scenario.run_config())
+    monitor = make_monitor(
+        tuple(default_rules(scenario.qos_ms)), scenario.qos_ms,
+        source=f"bias-s{seed}",
+    )
+    injector = make_injector(FaultPlan(
+        seed=101 + seed, predictor_bias=0.55, predictor_noise=0.15,
+    ))
+    system.models.perturb = injector.perturb_prediction
+    try:
+        result = run_scenario(
+            system, scenario, n_queries=300, monitor=monitor
+        )
+    finally:
+        system.models.perturb = None
+    system.flush()
+    top, _ = attribute_run(result.alerts)
+    return IncidentCell(
+        fault="predictor-bias", seed=seed,
+        queries=result.n_queries, violations=result.n_violations,
+        alerts=len(result.alerts), top_cause=top,
+    )
+
+
+def _autoscale_cell(
+    fault: str, seed: int, gpu: str, spec: AutoscaleSpec,
+) -> IncidentCell:
+    result = run_autoscale(spec, gpu=gpu)
+    top, _ = attribute_run(result.alerts)
+    return IncidentCell(
+        fault=fault, seed=seed,
+        queries=result.total_queries, violations=result.total_violations,
+        alerts=len(result.alerts), top_cause=top,
+    )
+
+
+def _run_cell(item: "tuple[str, int, str]") -> IncidentCell:
+    """One (fault, seed) evaluation.  Module-level so ``parallel_map``
+    can pickle it; every cell builds fresh systems, so the verdict is
+    independent of which worker (or none) runs it."""
+    fault, seed, gpu = item
+    rules = tuple(default_rules(load_scenario(_SCENARIO).qos_ms))
+    if fault == "predictor-bias":
+        return _bias_cell(seed, gpu)
+    if fault == "node-crash":
+        spec = AutoscaleSpec(
+            scenario=_SCENARIO, rate_nodes=3, span_ms=6000.0,
+            scaler=ScalerConfig(policy="reactive"),
+            node_faults=NodeFaultPlan(faults=(NodeFault(
+                kind="crash", node=seed % 3,
+                at_ms=1300.0 + 150.0 * seed,
+            ),)),
+            slo_rules=rules,
+        )
+    elif fault == "slow-node":
+        spec = AutoscaleSpec(
+            scenario=_SCENARIO, rate_nodes=3, span_ms=6000.0,
+            scaler=ScalerConfig(policy="reactive"),
+            node_faults=NodeFaultPlan(faults=(NodeFault(
+                kind="slow", node=seed % 3, at_ms=0.0, factor=3.0,
+            ),)),
+            slo_rules=rules,
+        )
+    elif fault == "scaler-lag":
+        # An under-provisioned fleet whose scaler cannot add more than
+        # one replica per epoch: the crowd's rise outruns provisioning
+        # and the violating epochs show ``desired > nodes``.  The seed
+        # moves the control span, shifting which epochs violate.
+        spec = AutoscaleSpec(
+            scenario=_SCENARIO, rate_nodes=2,
+            span_ms=6000.0 + 500.0 * seed,
+            scaler=ScalerConfig(
+                policy="burnrate", max_step_up=1, headroom_nodes=0,
+            ),
+            slo_rules=rules,
+        )
+    else:
+        raise ValueError(f"unknown fault channel {fault!r}")
+    return _autoscale_cell(fault, seed, gpu, spec)
+
+
+@dataclass
+class IncidentStudyResult:
+    cells: list
+    seeds: tuple
+
+    def rows(self) -> list:
+        return [
+            [
+                cell.fault,
+                cell.seed,
+                cell.queries,
+                cell.violations,
+                cell.alerts,
+                cell.top_cause,
+                cell.expected,
+                "yes" if cell.matched else "NO",
+            ]
+            for cell in self.cells
+        ]
+
+    @property
+    def violating(self) -> list:
+        return [c for c in self.cells if c.violations > 0]
+
+    @property
+    def accuracy(self) -> float:
+        """Top-1 attribution accuracy over the violating runs."""
+        violating = self.violating
+        if not violating:
+            return float("nan")
+        return sum(1 for c in violating if c.matched) / len(violating)
+
+    def summary(self) -> dict:
+        summary: dict = {
+            "n_cells": len(self.cells),
+            "violating_runs": len(self.violating),
+            "accuracy_pct": round(self.accuracy * 100, 1),
+            "target_pct": round(ACCURACY_TARGET * 100, 1),
+        }
+        for fault in FAULTS:
+            cells = [
+                c for c in self.cells
+                if c.fault == fault and c.violations > 0
+            ]
+            if cells:
+                hit = sum(1 for c in cells if c.matched)
+                summary[f"accuracy[{fault}]"] = f"{hit}/{len(cells)}"
+        return summary
+
+
+def run(
+    gpu: str = "rtx2080ti",
+    seeds: "tuple[int, ...]" = SEEDS,
+    workers: "int | None" = None,
+) -> IncidentStudyResult:
+    """The fault matrix.  The cells fan out via ``parallel_map``; each
+    is a pure function of its (fault, seed), so the table is
+    byte-identical serial vs. parallel."""
+    key = (gpu, tuple(seeds), workers)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    items = [
+        (fault, seed, gpu) for fault in FAULTS for seed in seeds
+    ]
+    cells = parallel_map(_run_cell, items, workers=workers)
+    result = IncidentStudyResult(cells=list(cells), seeds=tuple(seeds))
+    _CACHE[key] = result
+    return result
+
+
+def render(result: IncidentStudyResult) -> str:
+    """The study as the exact text the benchmark suite writes."""
+    lines = [format_table(HEADERS, result.rows()), "", "summary:"]
+    lines.extend(
+        f"  {key} = {value}" for key, value in result.summary().items()
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: "list[str]") -> int:
+    """CLI entry (the CI incident-smoke job runs the study with
+    ``--out`` and checks the accuracy bar)."""
+    import argparse
+
+    from .. import audit
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.incident_study"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the rendered table to this file",
+    )
+    args = parser.parse_args(argv)
+    result = run()
+    text = render(result)
+    print(text)
+    if args.out:
+        import pathlib
+
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    if audit.active():
+        checks = audit.summary()
+        print("audit:")
+        for invariant, count in checks.items():
+            print(f"  {invariant} = {count}")
+    if result.accuracy < ACCURACY_TARGET:
+        print(f"attribution accuracy {result.accuracy:.0%} below the "
+              f"{ACCURACY_TARGET:.0%} bar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -75,6 +75,7 @@ from .replay import StreamingResult, load_scenario, synthesize_trace
 from .runconfig import RunConfig
 from .server import ColocationServer
 from .system import TackerSystem
+from ..telemetry.slo import make_monitor
 from .workload import (
     PoissonArrivals,
     be_application,
@@ -219,6 +220,9 @@ class AutoscaleSpec:
     refit: Optional[RefitPlan] = None
     occurrence_threshold: int = DEFAULT_OCCURRENCE_THRESHOLD
     sketch_bins: int = 4096
+    #: SLO alert rules the (serial) controller evaluates on fleet-level
+    #: epoch aggregates; empty = monitoring off, a true no-op
+    slo_rules: tuple = ()
 
     def __post_init__(self) -> None:
         if self.epoch_ms <= 0:
@@ -437,6 +441,18 @@ class EpochNodeStats:
     n_fused_kernels: int
     guard_events: int
     latencies_ms: tuple = ()
+    #: prediction-overrun evidence for incident forensics: sum and count
+    #: of per-launch actual/predicted duration ratios on this node-epoch
+    pred_ratio_sum: float = 0.0
+    pred_ratio_n: int = 0
+
+    @property
+    def mean_overrun_ratio(self) -> float:
+        """Mean actual/predicted launch-duration ratio (NaN when the
+        epoch launched nothing with a usable prediction)."""
+        if not self.pred_ratio_n:
+            return float("nan")
+        return self.pred_ratio_sum / self.pred_ratio_n
 
 
 class _SlowCorun:
@@ -480,6 +496,39 @@ class _SlowOracle:
         return getattr(self._oracle, name)
 
 
+class _PredictionTap:
+    """A minimal server monitor that only folds prediction overruns.
+
+    Worker-side epoch simulations do not evaluate alert rules (the
+    serial controller is the fleet's monitor — that keeps the alert
+    stream independent of worker layout); they only need to ship back
+    the actual/predicted duration ratio evidence incident forensics
+    uses to localize a slow node or a biased refit.  Every other
+    monitor hook is a no-op.
+    """
+
+    def __init__(self):
+        self.ratio_sum = 0.0
+        self.n = 0
+
+    def note_outcome(self, kind, name, predicted_ms, actual_ms, now_ms):
+        if predicted_ms > 0:
+            self.ratio_sum += actual_ms / predicted_ms
+            self.n += 1
+
+    def note_query(self, *args, **kwargs):
+        pass
+
+    def note_guard(self, *args, **kwargs):
+        pass
+
+    def note_admission(self, *args, **kwargs):
+        pass
+
+    def note_fault(self, *args, **kwargs):
+        pass
+
+
 def run_epoch_node(spec: EpochNodeSpec) -> EpochNodeStats:
     """Simulate one replica for one epoch.  Module-level so
     :func:`~repro.experiments.common.parallel_map` can pickle it.
@@ -509,9 +558,12 @@ def run_epoch_node(spec: EpochNodeSpec) -> EpochNodeStats:
     oracle = system.oracle
     if spec.slow_factor != 1.0:
         oracle = _SlowOracle(system.oracle, spec.slow_factor)
+    tap = _PredictionTap()
     server = ColocationServer(
         system.gpu, oracle=oracle, policy=policy,
         config=spec.run, faults=injector, record_kernels=False,
+        monitor=tap,
+        metric_labels={"node": spec.name, "epoch": str(spec.epoch)},
     )
     queries = [
         Query(models[service], arrival_ms, instances[service],
@@ -554,6 +606,8 @@ def run_epoch_node(spec: EpochNodeSpec) -> EpochNodeStats:
         n_be_kernels=result.n_be_kernels,
         n_fused_kernels=result.n_fused_kernels,
         guard_events=guard_events,
+        pred_ratio_sum=tap.ratio_sum,
+        pred_ratio_n=tap.n,
     )
 
 
@@ -715,6 +769,9 @@ class AutoscaleResult:
     #: fleet capacity actually billed, in simulated node-seconds
     #: (crashed nodes bill to their crash instant)
     node_seconds: float
+    #: SLO alerts the controller's monitor fired, as plain dicts
+    #: (sorted by firing time); [] when monitoring is off
+    alerts: list = field(default_factory=list)
 
     @property
     def n_epochs(self) -> int:
@@ -907,6 +964,9 @@ def run_autoscale(
     decisions: list = []
     rollout_events: list = []
     rollout = _RolloutState(spec.refit)
+    # The fleet monitor lives in the (serial) controller: alert streams
+    # depend only on epoch aggregates, never on worker layout.
+    monitor = make_monitor(spec.slo_rules, scenario.qos_ms, source="autoscale")
     crashed: list = []
     node_seconds = 0.0
     total_rerouted = 0
@@ -1072,12 +1132,37 @@ def run_autoscale(
         all_stats.extend(stats)
         total_rerouted += epoch_rerouted
         rollout.observe(epoch, stats, rollout_events)
+        epoch_entry = None
+        if monitor is not None:
+            epoch_entry = {
+                "epoch": epoch,
+                "end_ms": t1,
+                "served": served,
+                "violations": violations,
+                "nodes": len(epochs[-1].nodes),
+                "routed_util": util,
+                "burn_rate": burn,
+                "demand_units": demand,
+                "guard_events": guard_events,
+                "crashed": [f"node{n:03d}" for n in sorted(lost)],
+                "n_rerouted": epoch_rerouted,
+                "node_overrun": {
+                    s.name: s.mean_overrun_ratio
+                    for s in stats if s.pred_ratio_n
+                },
+                "refit_nodes": sorted(
+                    f"node{n:03d}" for n in refitting
+                ),
+            }
 
         # -- act: crashed capacity leaves, the scaler sizes the rest --
         for node in sorted(lost):
             active.remove(node)
             crashed.append(node)
         if epoch == n_epochs - 1:
+            if epoch_entry is not None:
+                epoch_entry.update(desired=len(active), action="final")
+                monitor.note_epoch(epoch_entry)
             prev_demand = demand
             continue
         obs = EpochObservation(
@@ -1123,6 +1208,9 @@ def run_autoscale(
             routed_util=util,
             reason=reason,
         ))
+        if epoch_entry is not None:
+            epoch_entry.update(desired=target, action=action)
+            monitor.note_epoch(epoch_entry)
         prev_demand = demand
 
     result = AutoscaleResult(
@@ -1141,6 +1229,7 @@ def run_autoscale(
         crashed=tuple(crashed),
         n_rerouted=total_rerouted,
         node_seconds=node_seconds,
+        alerts=monitor.alert_dicts() if monitor is not None else [],
     )
     publish_autoscale_metrics(result)
     return result

@@ -48,6 +48,7 @@ from .query import BEApplication, Query
 from .runconfig import DEFAULT_RUN_CONFIG, RunConfig
 from .server import ColocationServer, ServerResult
 from .system import TackerSystem
+from ..telemetry.slo import make_monitor, merge_alerts
 from .workload import (
     be_application,
     merged_arrival_stream,
@@ -283,6 +284,9 @@ class ClusterSpec:
     #: fleet-wide Chrome-trace export; off by default — it is the one
     #: per-launch allocation the serving hot path otherwise avoids)
     record_kernels: bool = False
+    #: SLO alert rules evaluated per node on the measured policy's run
+    #: (see ``docs/incidents.md``); empty = monitoring off, a true no-op
+    slo_rules: tuple = ()
 
     def __post_init__(self) -> None:
         if not self.nodes:
@@ -519,6 +523,8 @@ class NodeRunSpec:
     guard: bool
     faults: Optional[FaultPlan]
     record_kernels: bool = False
+    #: SLO alert rules for this node's monitor (empty = off)
+    slo_rules: tuple = ()
 
 
 @dataclass
@@ -561,6 +567,7 @@ class RoutingPlan:
                     guard=node.guard,
                     faults=faults,
                     record_kernels=self.spec.record_kernels,
+                    slo_rules=self.spec.slo_rules,
                 )
             )
         return specs
@@ -716,13 +723,24 @@ def run_node(spec: NodeRunSpec) -> "NodeResult":
     # dict.fromkeys dedups policy == baseline (legal under per-node
     # overrides): a second run would see predictor state mutated by the
     # first and break byte-reproducibility.
+    monitor = None
     for policy_name in dict.fromkeys((spec.policy, spec.baseline)):
         policy = system.make_policy(policy_name, guard=spec.guard)
         injector = make_injector(spec.faults)
+        # Only the measured policy's run is monitored: alerts compare
+        # the deployed scheduler against its SLO, not the baseline.
+        node_monitor = None
+        if policy_name == spec.policy:
+            node_monitor = make_monitor(
+                spec.slo_rules, spec.run.qos_ms, source=spec.name
+            )
+            monitor = node_monitor
         server = ColocationServer(
             system.gpu, oracle=system.oracle, policy=policy,
             config=spec.run, faults=injector,
             record_kernels=spec.record_kernels,
+            monitor=node_monitor,
+            metric_labels={"node": spec.name},
         )
         queries = [
             Query(models[name], arrival_ms, instances[name])
@@ -749,6 +767,7 @@ def run_node(spec: NodeRunSpec) -> "NodeResult":
         stolen=spec.stolen,
         policy=spec.policy,
         baseline=spec.baseline,
+        alerts=tuple(monitor.alert_dicts()) if monitor is not None else (),
     )
 
 
@@ -767,6 +786,9 @@ class NodeResult:
     #: override may put any registered policy in either slot
     policy: str = ""
     baseline: str = ""
+    #: SLO alerts fired on this node's measured-policy run, as plain
+    #: dicts (picklable across the worker boundary); () when off
+    alerts: tuple = ()
 
     @property
     def improvement(self) -> float:
@@ -802,6 +824,9 @@ class ClusterResult:
     nodes: list
     #: (thief, donor, be_name) work-stealing records
     steals: tuple
+    #: fleet-wide SLO alerts, merged from every node's monitor and
+    #: sorted on (at_ms, source, rule_id); [] when monitoring is off
+    alerts: list = field(default_factory=list)
 
     @property
     def n_queries(self) -> int:
@@ -888,4 +913,5 @@ def serve_cluster(
         horizon_ms=plan.horizon_ms,
         nodes=nodes,
         steals=plan.steals,
+        alerts=merge_alerts([node.alerts for node in nodes]),
     )

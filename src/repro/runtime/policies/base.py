@@ -363,6 +363,10 @@ class SchedulerPolicy(ABC):
             lc_arrival_ms=query.arrival_ms if query is not None else None,
             lc_kernel=query.current.name if query is not None else None,
             be_app=action.be_app.name if action.be_app is not None else None,
+            be_app2=(
+                action.be_app2.name if action.be_app2 is not None else None
+            ),
+            riders=tuple(rider.name for rider in action.riders),
             fused_kernel=(
                 action.fused.name if action.fused is not None else None
             ),

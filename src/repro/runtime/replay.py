@@ -68,6 +68,10 @@ TRACE_SCHEMA = "repro-trace/1"
 #: Version tag of the scenario config format.
 SCENARIO_SCHEMA = "repro-scenario/1"
 
+#: Version tag of the folded replay summary (v2 added the tumbling
+#: violation-window fields; :func:`summary_v1_view` is the v1 reader).
+REPLAY_SUMMARY_SCHEMA = "repro-replay-summary/2"
+
 #: The named scenarios the library ships (see ``scenarios/*.json``).
 NAMED_SCENARIOS = (
     "steady", "diurnal", "flash-crowd", "bursty-mmpp", "tenant-churn",
@@ -824,10 +828,13 @@ class StreamingResult(ServerResult):
         be_names: Sequence[str],
         sketch_upper_ms: Optional[float] = None,
         sketch_bins: int = 4096,
+        window_ms: float = 1000.0,
     ):
         upper = (
             sketch_upper_ms if sketch_upper_ms is not None else 4.0 * qos_ms
         )
+        if window_ms <= 0:
+            raise SchedulingError("window_ms must be positive")
         super().__init__(
             qos_ms=qos_ms,
             horizon_ms=horizon_ms,
@@ -846,6 +853,15 @@ class StreamingResult(ServerResult):
         self.tc_active_ms = 0.0
         self.cd_active_ms = 0.0
         self.both_active_ms = 0.0
+        #: tumbling violation windows (the SLO monitor's assertion unit)
+        self.window_ms = float(window_ms)
+        self.n_windows = 0
+        self.violation_windows = 0
+        self.worst_window_p99_ms = float("nan")
+        self._window_end: Optional[float] = None
+        self._window_count = 0
+        self._window_violations = 0
+        self._window_sketch = QuantileSketch(upper, sketch_bins)
 
     # -- event hooks (constant-memory overrides) ------------------------------
 
@@ -862,7 +878,10 @@ class StreamingResult(ServerResult):
         if overlap > 0:
             self.both_active_ms += overlap
 
-    def note_query_latency(self, model_name: str, latency_ms: float) -> None:
+    def note_query_latency(
+        self, model_name: str, latency_ms: float,
+        end_ms: Optional[float] = None,
+    ) -> None:
         self.n_queries += 1
         if latency_ms > self.qos_ms:
             self.n_violations += 1
@@ -873,6 +892,66 @@ class StreamingResult(ServerResult):
                 self.qos_ms, self._sketch_upper_ms, self._sketch_bins
             )
         fold.add(latency_ms, self.qos_ms)
+        if end_ms is not None:
+            self._fold_window(latency_ms, end_ms)
+
+    def _fold_window(self, latency_ms: float, end_ms: float) -> None:
+        """Tumbling-window violation fold (completion-time windows).
+
+        Completions arrive in non-decreasing end time (the serving loop
+        is serial), so one open window suffices; empty windows carry no
+        data and are skipped rather than counted.
+        """
+        if self._window_end is None:
+            self._window_end = (
+                (int(end_ms / self.window_ms) + 1) * self.window_ms
+            )
+        elif end_ms >= self._window_end:
+            self._close_window()
+            while end_ms >= self._window_end:
+                self._window_end += self.window_ms
+        self._window_count += 1
+        if latency_ms > self.qos_ms:
+            self._window_violations += 1
+        self._window_sketch.add(latency_ms)
+
+    def _close_window(self) -> None:
+        if not self._window_count:
+            return
+        self.n_windows += 1
+        if self._window_violations:
+            self.violation_windows += 1
+        p99 = self._window_sketch.quantile(0.99)
+        if not (self.worst_window_p99_ms >= p99):  # NaN-safe max
+            self.worst_window_p99_ms = p99
+        self._window_count = 0
+        self._window_violations = 0
+        self._window_sketch = QuantileSketch(
+            self._sketch_upper_ms, self._sketch_bins
+        )
+
+    def window_stats(self) -> dict:
+        """Closed-window aggregates plus the still-open window.
+
+        Read-only: calling it mid-run (or twice) never perturbs the
+        fold, so ``summary_dict`` stays safe to re-render.
+        """
+        windows = self.n_windows
+        bad = self.violation_windows
+        worst = self.worst_window_p99_ms
+        if self._window_count:
+            windows += 1
+            if self._window_violations:
+                bad += 1
+            p99 = self._window_sketch.quantile(0.99)
+            if not (worst >= p99):
+                worst = p99
+        return {
+            "window_ms": self.window_ms,
+            "windows": windows,
+            "violation_windows": bad,
+            "worst_window_p99_ms": worst,
+        }
 
     # note_be_credit: the base dict-accumulator is already O(1).
 
@@ -921,9 +1000,16 @@ class StreamingResult(ServerResult):
         }
 
     def summary_dict(self) -> dict:
-        """A deterministic, JSON-safe folded summary of the run."""
+        """A deterministic, JSON-safe folded summary of the run.
+
+        Schema v2 adds the tumbling-window violation fold
+        (``window_ms``/``windows``/``violation_windows``/
+        ``worst_window_p99_ms``); see :func:`summary_v1_view` for the
+        v1 reader.
+        """
+        windows = self.window_stats()
         return {
-            "schema": "repro-replay-summary/1",
+            "schema": REPLAY_SUMMARY_SCHEMA,
             "qos_ms": self.qos_ms,
             "horizon_ms": self.horizon_ms,
             "start_ms": self.start_ms,
@@ -954,7 +1040,40 @@ class StreamingResult(ServerResult):
             "active": self.active_breakdown(),
             "services": self.latency_stats_by_service(),
             "guard_mode_decisions": dict(self.guard_mode_decisions),
+            "window_ms": windows["window_ms"],
+            "windows": windows["windows"],
+            "violation_windows": windows["violation_windows"],
+            "worst_window_p99_ms": windows["worst_window_p99_ms"],
         }
+
+
+#: Fields :data:`REPLAY_SUMMARY_SCHEMA` (v2) added over v1.
+_SUMMARY_V2_KEYS = (
+    "window_ms", "windows", "violation_windows", "worst_window_p99_ms",
+)
+
+
+def summary_v1_view(summary: dict) -> dict:
+    """Read a v1 *or* v2 replay summary as the v1 shape.
+
+    The v1 reader kept for consumers pinned to
+    ``repro-replay-summary/1``: v2's added window fields are dropped
+    and the schema tag rewritten; a v1 summary passes through
+    unchanged.  Unknown schemas raise.
+    """
+    schema = summary.get("schema")
+    if schema == "repro-replay-summary/1":
+        return dict(summary)
+    if schema != REPLAY_SUMMARY_SCHEMA:
+        raise SchedulingError(
+            f"not a replay summary (schema = {schema!r})"
+        )
+    view = {
+        key: value for key, value in summary.items()
+        if key not in _SUMMARY_V2_KEYS
+    }
+    view["schema"] = "repro-replay-summary/1"
+    return view
 
 
 # -- serving ------------------------------------------------------------------
@@ -986,6 +1105,7 @@ def serve_trace(
     streaming: bool = True,
     sketch_bins: int = 4096,
     record_kernels: bool = False,
+    monitor=None,
 ) -> ServerResult:
     """Play one trace through a system's co-location server.
 
@@ -993,7 +1113,9 @@ def serve_trace(
     :class:`StreamingResult` via :meth:`ColocationServer.run_stream`;
     ``streaming=False`` materializes every query and returns the
     list-based :class:`ServerResult` — the reference the exactness
-    tests compare the fold against.
+    tests compare the fold against.  ``monitor`` attaches an
+    observe-only :class:`~repro.telemetry.slo.SLOMonitor`; its fired
+    alerts land on ``result.alerts``.
     """
     if not len(trace):
         raise SchedulingError("cannot serve an empty trace")
@@ -1009,20 +1131,27 @@ def serve_trace(
         system.gpu, oracle=system.oracle, policy=policy,
         config=system.config, record_kernels=record_kernels,
         audit_run=system.audit, telemetry_run=system.telemetry,
+        monitor=monitor,
     )
     horizon_ms = trace.horizon_ms(system.qos_ms)
     if not streaming:
-        return server.run(list(trace_queries(trace, system.library)), be_apps)
-    result = StreamingResult(
-        qos_ms=system.qos_ms,
-        horizon_ms=horizon_ms,
-        be_names=[app.name for app in be_apps],
-        sketch_bins=sketch_bins,
-    )
-    return server.run_stream(
-        trace_queries(trace, system.library), be_apps, horizon_ms,
-        result=result,
-    )
+        result = server.run(
+            list(trace_queries(trace, system.library)), be_apps
+        )
+    else:
+        fold = StreamingResult(
+            qos_ms=system.qos_ms,
+            horizon_ms=horizon_ms,
+            be_names=[app.name for app in be_apps],
+            sketch_bins=sketch_bins,
+        )
+        result = server.run_stream(
+            trace_queries(trace, system.library), be_apps, horizon_ms,
+            result=fold,
+        )
+    if monitor is not None:
+        result.alerts = monitor.alert_dicts()
+    return result
 
 
 def run_scenario(
@@ -1033,6 +1162,7 @@ def run_scenario(
     streaming: bool = True,
     trace: Optional[Trace] = None,
     sketch_bins: int = 4096,
+    monitor=None,
 ) -> ServerResult:
     """Synthesize (or accept) a scenario's trace and serve it.
 
@@ -1050,7 +1180,7 @@ def run_scenario(
         )
     result = serve_trace(
         system, trace, scenario.be_apps, policy_name,
-        streaming=streaming, sketch_bins=sketch_bins,
+        streaming=streaming, sketch_bins=sketch_bins, monitor=monitor,
     )
     publish_scenario_metrics(result, scenario.name, policy_name)
     return result

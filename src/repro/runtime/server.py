@@ -20,6 +20,7 @@ from ..config import GPUConfig
 from ..errors import SchedulingError
 from ..gpusim.trace import Timeline
 from ..telemetry import RunTelemetry
+from ..telemetry.slo import SLOMonitor
 from .faults import FaultInjector
 from .oracle import DurationOracle
 from .policies import Action, SchedulerPolicy
@@ -80,6 +81,8 @@ class ServerResult:
     fault_events: dict[str, int] = field(default_factory=dict)
     #: the run's telemetry session (None when telemetry was off)
     telemetry: Optional[RunTelemetry] = None
+    #: fired SLO alerts, as plain dicts ([] when no monitor attached)
+    alerts: list = field(default_factory=list)
 
     def p99_by_model(self) -> dict[str, float]:
         """99th-percentile latency per LC service."""
@@ -145,8 +148,16 @@ class ServerResult:
                                service)
             )
 
-    def note_query_latency(self, model_name: str, latency_ms: float) -> None:
-        """Record one completed LC query's end-to-end latency."""
+    def note_query_latency(
+        self, model_name: str, latency_ms: float,
+        end_ms: Optional[float] = None,
+    ) -> None:
+        """Record one completed LC query's end-to-end latency.
+
+        ``end_ms`` (the completion instant) feeds time-windowed folds
+        (see :class:`repro.runtime.replay.StreamingResult`); the
+        list-based result has no use for it.
+        """
         self.latencies_ms.append(latency_ms)
         self.latencies_by_model.setdefault(model_name, []).append(latency_ms)
 
@@ -172,6 +183,8 @@ class ColocationServer:
         faults: Optional[FaultInjector] = None,
         audit_run: Optional[bool] = None,
         telemetry_run: Optional[bool] = None,
+        monitor: Optional[SLOMonitor] = None,
+        metric_labels: Optional[dict] = None,
     ):
         if qos_ms is not None:
             warn_legacy_knobs("ColocationServer", ("qos_ms",))
@@ -193,6 +206,12 @@ class ColocationServer:
         #: run config and the process-wide switch (:mod:`repro.telemetry`)
         self.telemetry_run = telemetry_run
         self._telemetry: Optional[RunTelemetry] = None
+        #: online SLO monitor (observe-only; None = unmonitored run)
+        self.monitor = monitor
+        #: extra label values stamped on every metric family the run's
+        #: telemetry session publishes (e.g. ``{"node": "node2"}``)
+        self.metric_labels = dict(metric_labels or {})
+        self._guard_seen = 0
 
     def run(
         self,
@@ -288,10 +307,13 @@ class ColocationServer:
             RunTelemetry(
                 policy=self.policy.policy_name,
                 scenario=self.config.scenario,
+                extra_labels=dict(self.metric_labels),
             )
             if tracing else None
         )
         self.policy.telemetry = self._telemetry
+        guard = self.policy.guard
+        self._guard_seen = len(guard.transitions) if guard is not None else 0
         now = 0.0
         start_ms: Optional[float] = None
         active: list[Query] = []
@@ -400,6 +422,8 @@ class ColocationServer:
             return action
         if self._telemetry is not None:
             self._telemetry.note_admission_override(override)
+        if self.monitor is not None:
+            self.monitor.note_admission(override, now)
         query = active[0]
         return Action(
             kind="lc", query=query,
@@ -436,10 +460,44 @@ class ColocationServer:
         query.advance(end)
         if query.done:
             active.remove(query)
-            result.note_query_latency(query.model.name, query.latency_ms)
+            result.note_query_latency(query.model.name, query.latency_ms, end)
             self.policy.note_query_done(query.latency_ms)
             if self._telemetry is not None:
                 self._telemetry.note_query_complete(query, end)
+            if self.monitor is not None:
+                guard = self.policy.guard
+                self.monitor.note_query(
+                    query.model.name, query.arrival_ms, query.latency_ms,
+                    end,
+                    guard_mode=guard.mode if guard is not None else "fuse",
+                    guard_risk=guard.risk if guard is not None else 0.0,
+                    penalty_ms=getattr(query, "penalty_ms", 0.0),
+                )
+                self._sync_guard(end)
+
+    def _note_outcome(
+        self, kind: str, name: str, predicted: float, actual: float,
+        end: float,
+    ) -> None:
+        """Feed one launch outcome to the policy and the SLO monitor."""
+        self.policy.note_outcome(kind, name, predicted, actual)
+        if self.monitor is not None:
+            self.monitor.note_outcome(kind, name, predicted, actual, end)
+            self._sync_guard(end)
+
+    def _sync_guard(self, now: float) -> None:
+        """Forward any new guard-ladder transitions to the monitor."""
+        guard = self.policy.guard
+        if guard is None or self.monitor is None:
+            return
+        transitions = guard.transitions
+        risks = guard.transition_risks
+        while self._guard_seen < len(transitions):
+            index = self._guard_seen
+            _, old_mode, new_mode = transitions[index]
+            risk = risks[index] if index < len(risks) else 0.0
+            self.monitor.note_guard(now, old_mode, new_mode, risk)
+            self._guard_seen += 1
 
     def _record(self, result: ServerResult, start: float, end: float,
                 kind: str, name: str, tc_end: float, cd_end: float,
@@ -461,8 +519,8 @@ class ColocationServer:
         self._record(result, now, end, "lc", instance.name, tc_end, cd_end,
                      query.model.name)
         result.n_lc_kernels += 1
-        self.policy.note_outcome(
-            "lc", instance.name, action.predicted_lc_ms, duration
+        self._note_outcome(
+            "lc", instance.name, action.predicted_lc_ms, duration, end
         )
         self._finish_query_kernel(query, end, active, result)
         return end
@@ -485,9 +543,14 @@ class ColocationServer:
         self._record(result, now, end, "be", instance.name, tc_end, cd_end,
                      app.name)
         result.n_be_kernels += 1
-        self.policy.note_outcome(
-            "be", instance.name, action.predicted_be_ms, duration
+        self._note_outcome(
+            "be", instance.name, action.predicted_be_ms, duration, end
         )
+        if self.monitor is not None:
+            if dropped:
+                self.monitor.note_fault("be_drop", end, name=instance.name)
+            if duration > solo:
+                self.monitor.note_fault("be_delay", end, name=instance.name)
         if dropped:
             # The launch failed at completion: its GPU time is burned,
             # no work retires, and the stream must relaunch the kernel.
@@ -518,8 +581,8 @@ class ColocationServer:
         self._record(result, now, end, "fused", fused.name, tc_end, cd_end,
                      query.model.name)
         result.n_fused_kernels += 1
-        self.policy.note_outcome(
-            "fused", fused.name, action.predicted_fused_ms, duration
+        self._note_outcome(
+            "fused", fused.name, action.predicted_fused_ms, duration, end
         )
 
         # Online model maintenance (Section VI-C).
@@ -590,8 +653,8 @@ class ColocationServer:
         self._record(result, now, end, "hfused", name, tc_end, cd_end,
                      app_a.name)
         result.n_hfused_kernels += 1
-        self.policy.note_outcome(
-            "hfused", name, action.predicted_fused_ms, duration
+        self._note_outcome(
+            "hfused", name, action.predicted_fused_ms, duration, end
         )
         self._retire_be_head(app_a, result, end)
         self._retire_be_head(app_b, result, end)
@@ -624,8 +687,8 @@ class ColocationServer:
         self._record(result, now, end, "spatial", name, tc_end, cd_end,
                      query.model.name)
         result.n_spatial_kernels += 1
-        self.policy.note_outcome(
-            "spatial", name, action.predicted_fused_ms, duration
+        self._note_outcome(
+            "spatial", name, action.predicted_fused_ms, duration, end
         )
         self._retire_be_head(app, result, end)
         # The LC kernel finishes at its own partition's finish time,
@@ -670,8 +733,8 @@ class ColocationServer:
         self._record(result, now, end, "chain", name, tc_end, cd_end,
                      query.model.name)
         result.n_chain_kernels += 1
-        self.policy.note_outcome(
-            "chain", name, action.predicted_fused_ms, end - now
+        self._note_outcome(
+            "chain", name, action.predicted_fused_ms, end - now, end
         )
         self._retire_be_head(app, result, end)
         for rider, _ in rider_solos:

@@ -11,6 +11,14 @@ Three layers (see ``docs/observability.md``):
   text exposition and deterministic worker merges
   (:mod:`repro.telemetry.registry`).
 
+Two active layers sit on top (see ``docs/incidents.md``):
+
+* **SLO monitor** — declarative alert rules evaluated on the simulated
+  clock with a bounded flight recorder (:mod:`repro.telemetry.slo`);
+* **incident forensics** — cause attribution over flight-recorder
+  snapshots, versioned JSONL reports
+  (:mod:`repro.telemetry.forensics`).
+
 Enable with ``RunConfig(telemetry=True)``, the CLI ``--telemetry``
 flag, ``REPRO_TELEMETRY=1``, or :func:`enable`.  Disabled, the whole
 layer is a no-op behind per-site ``None`` checks.
@@ -44,7 +52,35 @@ from .registry import (
     Histogram,
     MetricsRegistry,
 )
+from .forensics import (
+    CAUSES,
+    INCIDENT_SCHEMA,
+    Incident,
+    attribute_run,
+    diagnose_alert,
+    diagnose_alerts,
+    incidents_jsonl,
+    read_incidents,
+    render_incident_html,
+    render_incident_text,
+    validate_incident_jsonl,
+    write_incidents,
+)
 from .session import RunTelemetry, merge_session
+from .slo import (
+    RULE_KINDS,
+    SLO_RULES_SCHEMA,
+    AlertEvent,
+    FlightRecorder,
+    SLOMonitor,
+    SLORule,
+    default_rules,
+    load_rules,
+    make_monitor,
+    merge_alerts,
+    resolve_rules,
+    rules_to_dict,
+)
 from .spans import Span
 
 __all__ = [
@@ -73,4 +109,28 @@ __all__ = [
     "RunTelemetry",
     "merge_session",
     "Span",
+    "RULE_KINDS",
+    "SLO_RULES_SCHEMA",
+    "AlertEvent",
+    "FlightRecorder",
+    "SLOMonitor",
+    "SLORule",
+    "default_rules",
+    "load_rules",
+    "make_monitor",
+    "merge_alerts",
+    "resolve_rules",
+    "rules_to_dict",
+    "CAUSES",
+    "INCIDENT_SCHEMA",
+    "Incident",
+    "attribute_run",
+    "diagnose_alert",
+    "diagnose_alerts",
+    "incidents_jsonl",
+    "read_incidents",
+    "render_incident_html",
+    "render_incident_text",
+    "validate_incident_jsonl",
+    "write_incidents",
 ]

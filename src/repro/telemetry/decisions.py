@@ -83,6 +83,10 @@ class DecisionRecord:
     lc_arrival_ms: Optional[float] = None
     lc_kernel: Optional[str] = None
     be_app: Optional[str] = None
+    #: second BE app of a horizontally-fused pair ("hfused" decisions)
+    be_app2: Optional[str] = None
+    #: rider BE apps a "chain" decision appended behind the fused pair
+    riders: tuple = ()
     fused_kernel: Optional[str] = None
     guard_mode: Optional[str] = None
     thr_ms: Optional[float] = None
@@ -209,6 +213,24 @@ def validate_decision_jsonl(path: str) -> int:
                         raise ConfigError(
                             f"{path}:{lineno}: bad candidate field {key!r}"
                         )
+            riders = record.get("riders", [])
+            if not isinstance(riders, list) or not all(
+                isinstance(rider, str) for rider in riders
+            ):
+                raise ConfigError(
+                    f"{path}:{lineno}: riders must be a list of BE app "
+                    "names"
+                )
+            if record["kind"] == "hfused":
+                if not isinstance(record.get("be_app2"), str):
+                    raise ConfigError(
+                        f"{path}:{lineno}: hfused decision without its "
+                        "second BE app (be_app2)"
+                    )
+            if record["kind"] == "chain" and not riders:
+                raise ConfigError(
+                    f"{path}:{lineno}: chain decision without riders"
+                )
             if record["kind"] == "fused":
                 chosen = [
                     c for c in record["candidates"]

@@ -1,0 +1,541 @@
+"""Automated incident forensics over flight-recorder snapshots.
+
+When an :class:`~repro.telemetry.slo.AlertEvent` fires, it carries the
+flight recorder's view of the recent past: kernel outcomes (predicted
+vs actual durations), completed queries, guard transitions, fault
+events and autoscale epochs.  This module walks that snapshot backwards
+and attributes the breach to a ranked list of causes:
+
+* ``eq8-overrun`` — a fused co-run (Eq. 8 pair or a zoo policy's
+  hfused/spatial/chain launch) overran its predicted ``Tk_fuse`` while
+  solo launches stayed on-model: co-run interference the predictor
+  missed;
+* ``predictor-bias`` — solo launches overran too: the duration
+  predictor is systematically biased or noisy across the board;
+* ``stale-refit`` — the overrun is confined to nodes under a predictor
+  refit rollout: the new model is the regression;
+* ``slow-node`` — the overrun is confined to one node that is *not*
+  being refitted: hardware-level slowdown (thermal throttle, noisy
+  neighbour) the dispatcher cannot see;
+* ``crash-reroute`` — violating queries carry re-route latency from a
+  crashed replica;
+* ``scaler-lag`` — the fleet was undersized while the autoscaler was
+  still reacting (demand exceeded provisioned capacity, scale-up in
+  flight);
+* ``overload`` — violations with none of the above signatures: pure
+  demand beyond what the configuration can serve.
+
+Scores are deterministic arithmetic over the snapshot, so the same run
+always yields the same ranking — serial or parallel.  Incidents
+serialize as versioned JSONL (:data:`INCIDENT_SCHEMA`) with sorted keys
+and fixed separators, the same byte-stability contract as the decision
+log.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..errors import ConfigError
+from .slo import RULE_KINDS, AlertEvent, FUSED_KINDS
+
+#: Versioned schema tag on every incident record.
+INCIDENT_SCHEMA = "repro-incident/1"
+
+#: The forensics cause taxonomy, every incident's ranking draws from it.
+CAUSES = (
+    "eq8-overrun",
+    "predictor-bias",
+    "stale-refit",
+    "slow-node",
+    "crash-reroute",
+    "scaler-lag",
+    "overload",
+)
+
+#: A launch whose actual/predicted ratio exceeds this counts as overrun.
+OVERRUN_RATIO = 1.15
+
+#: A node whose mean overrun exceeds the fleet median by this factor is
+#: localized (slow-node / stale-refit evidence).
+LOCAL_EXCESS = 1.25
+
+
+@dataclass
+class Incident:
+    """One diagnosed SLO breach: the alert plus its ranked causes."""
+
+    index: int
+    at_ms: float
+    rule_id: str
+    rule_kind: str
+    severity: str
+    value: float
+    threshold: float
+    source: str
+    #: ranked ``{"cause", "score", "evidence"}`` dicts, best first
+    causes: list = field(default_factory=list)
+    top_cause: str = "overload"
+    #: condensed view of the snapshot (channel counts, recent breaches)
+    window: dict = field(default_factory=dict)
+    snapshot_hash: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": INCIDENT_SCHEMA,
+            "index": self.index,
+            "at_ms": self.at_ms,
+            "rule_id": self.rule_id,
+            "rule_kind": self.rule_kind,
+            "severity": self.severity,
+            "value": self.value,
+            "threshold": self.threshold,
+            "source": self.source,
+            "causes": self.causes,
+            "top_cause": self.top_cause,
+            "window": self.window,
+            "snapshot_hash": self.snapshot_hash,
+        }
+
+
+# -- evidence extraction ------------------------------------------------------
+
+
+def _overrun_stats(rows: "list[dict]") -> dict:
+    """Overrun fraction and mean ratio of one outcome-row group."""
+    ratios = [
+        row["actual_ms"] / row["predicted_ms"]
+        for row in rows if row.get("predicted_ms", 0) > 0
+    ]
+    if not ratios:
+        return {"count": 0, "overrun_frac": 0.0, "mean_ratio": 1.0}
+    overruns = [r for r in ratios if r > OVERRUN_RATIO]
+    return {
+        "count": len(ratios),
+        "overrun_frac": len(overruns) / len(ratios),
+        "mean_ratio": sum(ratios) / len(ratios),
+    }
+
+
+def _median(values: "list[float]") -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _node_overruns(epochs: "list[dict]") -> "dict[str, list[float]]":
+    """Per-node overrun-ratio samples across the recorded epochs."""
+    samples: "dict[str, list[float]]" = {}
+    for epoch in epochs:
+        for node, ratio in (epoch.get("node_overrun") or {}).items():
+            samples.setdefault(str(node), []).append(float(ratio))
+    return samples
+
+
+def score_causes(snapshot: dict) -> "list[dict]":
+    """Rank the cause taxonomy against one flight-recorder snapshot.
+
+    Returns ``{"cause", "score", "evidence"}`` dicts sorted best-first;
+    ties break alphabetically so the ranking is total and reproducible.
+    """
+    outcomes = snapshot.get("outcomes", [])
+    queries = snapshot.get("queries", [])
+    faults = snapshot.get("faults", [])
+    epochs = snapshot.get("epochs", [])
+
+    solo = _overrun_stats(
+        [r for r in outcomes if r.get("kind") not in FUSED_KINDS]
+    )
+    fused = _overrun_stats(
+        [r for r in outcomes if r.get("kind") in FUSED_KINDS]
+    )
+    violated = [q for q in queries if q.get("violated")]
+    violated_frac = len(violated) / len(queries) if queries else 0.0
+
+    scores: "dict[str, tuple[float, dict]]" = {}
+
+    # predictor-bias: solo launches are off-model across the board.
+    bias_score = solo["overrun_frac"] * max(0.0, solo["mean_ratio"] - 1.0)
+    scores["predictor-bias"] = (bias_score, {
+        "solo_overrun_frac": solo["overrun_frac"],
+        "solo_mean_ratio": solo["mean_ratio"],
+        "solo_count": solo["count"],
+    })
+
+    # eq8-overrun: fused launches overran while solo stayed on-model.
+    eq8_score = (
+        fused["overrun_frac"]
+        * max(0.0, fused["mean_ratio"] - 1.0)
+        * (1.0 - solo["overrun_frac"])
+    )
+    scores["eq8-overrun"] = (eq8_score, {
+        "fused_overrun_frac": fused["overrun_frac"],
+        "fused_mean_ratio": fused["mean_ratio"],
+        "fused_count": fused["count"],
+    })
+
+    # localized overrun (fleet runs): one node far off the fleet median.
+    node_samples = _node_overruns(epochs)
+    refit_nodes = {
+        str(node) for epoch in epochs
+        for node in (epoch.get("refit_nodes") or ())
+    }
+    slow_score = 0.0
+    stale_score = 0.0
+    local_evidence: dict = {"nodes": len(node_samples)}
+    if len(node_samples) >= 2:
+        means = {
+            node: sum(vals) / len(vals)
+            for node, vals in node_samples.items()
+        }
+        median = _median(list(means.values()))
+        worst_node, worst = max(
+            means.items(), key=lambda item: (item[1], item[0])
+        )
+        local_evidence.update({
+            "worst_node": worst_node,
+            "worst_mean_ratio": worst,
+            "fleet_median_ratio": median,
+            "refit_nodes": sorted(refit_nodes),
+        })
+        if median > 0 and worst / median > LOCAL_EXCESS \
+                and worst > OVERRUN_RATIO:
+            localized = worst / median - 1.0
+            if worst_node in refit_nodes:
+                stale_score = localized
+            else:
+                slow_score = localized
+    scores["slow-node"] = (slow_score, local_evidence)
+    scores["stale-refit"] = (stale_score, dict(local_evidence))
+
+    # crash-reroute: violating queries carry re-route penalties, or the
+    # recorded epochs/faults show crashes.
+    reroute_queries = [
+        q for q in violated if q.get("penalty_ms", 0.0) > 0.0
+    ]
+    crash_epochs = [
+        e for e in epochs
+        if e.get("crashed") or e.get("n_rerouted", 0) > 0
+    ]
+    crash_faults = [
+        f for f in faults if f.get("channel") in ("crash", "reroute")
+    ]
+    crash_score = 0.0
+    if violated and reroute_queries:
+        crash_score = len(reroute_queries) / len(violated)
+    elif crash_epochs:
+        bad_epochs = [e for e in epochs if e.get("violations", 0) > 0]
+        overlap = [e for e in crash_epochs if e.get("violations", 0) > 0]
+        if bad_epochs:
+            crash_score = 0.9 * len(overlap) / len(bad_epochs)
+    elif crash_faults:
+        crash_score = 0.5
+    scores["crash-reroute"] = (crash_score, {
+        "reroute_queries": len(reroute_queries),
+        "violated_queries": len(violated),
+        "crash_epochs": len(crash_epochs),
+        "crash_faults": len(crash_faults),
+    })
+
+    # scaler-lag: violating epochs where demand outran the provisioned
+    # fleet while no crash/overrun explains it (desired > nodes means a
+    # scale-up was warranted but not yet effective).
+    lag_epochs = [
+        e for e in epochs
+        if e.get("violations", 0) > 0
+        and not e.get("crashed") and e.get("n_rerouted", 0) == 0
+        and (
+            e.get("desired", e.get("nodes", 0)) > e.get("nodes", 0)
+            or e.get("routed_util", 0.0) > 1.0
+        )
+    ]
+    bad_epochs = [e for e in epochs if e.get("violations", 0) > 0]
+    lag_frac = len(lag_epochs) / len(bad_epochs) if bad_epochs else 0.0
+    health = max(
+        0.0,
+        1.0 - solo["overrun_frac"] - fused["overrun_frac"]
+        - slow_score - stale_score,
+    )
+    scores["scaler-lag"] = (0.5 * lag_frac * health, {
+        "lag_epochs": len(lag_epochs),
+        "violating_epochs": len(bad_epochs),
+    })
+
+    # overload: the residual — violations with no specific signature.
+    scores["overload"] = (
+        0.02 + 0.1 * violated_frac,
+        {"violated_frac": violated_frac, "queries": len(queries)},
+    )
+
+    ranked = [
+        {"cause": cause, "score": score, "evidence": evidence}
+        for cause, (score, evidence) in scores.items()
+        if score > 0.0
+    ]
+    ranked.sort(key=lambda c: (-c["score"], c["cause"]))
+    return ranked
+
+
+def _condense_window(snapshot: dict) -> dict:
+    """Channel counts plus the trailing breaches, for the report."""
+    queries = snapshot.get("queries", [])
+    violated = [q for q in queries if q.get("violated")]
+    return {
+        "counts": {
+            channel: len(snapshot.get(channel, []))
+            for channel in sorted(snapshot)
+        },
+        "violated_queries": len(violated),
+        "last_breaches": [
+            {
+                "service": q.get("service"),
+                "arrival_ms": q.get("arrival_ms"),
+                "latency_ms": q.get("latency_ms"),
+                "penalty_ms": q.get("penalty_ms", 0.0),
+            }
+            for q in violated[-5:]
+        ],
+    }
+
+
+# -- diagnosis ----------------------------------------------------------------
+
+AlertLike = Union[AlertEvent, dict]
+
+
+def _alert_dict(alert: AlertLike) -> dict:
+    return alert.to_dict() if isinstance(alert, AlertEvent) else alert
+
+
+def diagnose_alert(alert: AlertLike, index: int = 0) -> Incident:
+    """Attribute one fired alert to its ranked causes."""
+    data = _alert_dict(alert)
+    snapshot = data.get("snapshot", {})
+    causes = score_causes(snapshot)
+    top = causes[0]["cause"] if causes else "overload"
+    return Incident(
+        index=index,
+        at_ms=data["at_ms"],
+        rule_id=data["rule_id"],
+        rule_kind=data["kind"],
+        severity=data.get("severity", "page"),
+        value=data["value"],
+        threshold=data["threshold"],
+        source=str(data.get("context", {}).get("source", "")),
+        causes=causes,
+        top_cause=top,
+        window=_condense_window(snapshot),
+        snapshot_hash=data.get("snapshot_hash", ""),
+    )
+
+
+def diagnose_alerts(alerts: Sequence[AlertLike]) -> "list[Incident]":
+    """Diagnose a whole alert stream, preserving event order."""
+    return [
+        diagnose_alert(alert, index)
+        for index, alert in enumerate(alerts)
+    ]
+
+
+def attribute_run(
+    alerts: Sequence[AlertLike],
+) -> "tuple[Optional[str], dict[str, float]]":
+    """Aggregate cause scores over a run's alerts.
+
+    Returns ``(top_cause, {cause: summed score})`` — the study's top-1
+    attribution.  ``(None, {})`` when no alert fired.
+    """
+    totals: "dict[str, float]" = {}
+    for incident in diagnose_alerts(alerts):
+        for cause in incident.causes:
+            totals[cause["cause"]] = (
+                totals.get(cause["cause"], 0.0) + cause["score"]
+            )
+    if not totals:
+        return None, {}
+    top = max(sorted(totals), key=lambda c: totals[c])
+    return top, totals
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def incidents_jsonl(incidents: Sequence[Incident]) -> str:
+    """Byte-stable JSONL: sorted keys, fixed separators, one per line."""
+    lines = [
+        json.dumps(
+            incident.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        for incident in incidents
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_incidents(path: str, incidents: Sequence[Incident]) -> int:
+    """Write an incident report as :data:`INCIDENT_SCHEMA` JSONL."""
+    with open(path, "w") as handle:
+        handle.write(incidents_jsonl(incidents))
+    return len(incidents)
+
+
+def read_incidents(path: str) -> "list[dict]":
+    """Load (and validate) an incident JSONL file as plain dicts."""
+    validate_incident_jsonl(path)
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+_REQUIRED = {
+    "schema": str,
+    "index": int,
+    "at_ms": (int, float),
+    "rule_id": str,
+    "rule_kind": str,
+    "severity": str,
+    "value": (int, float),
+    "threshold": (int, float),
+    "causes": list,
+    "top_cause": str,
+    "window": dict,
+}
+
+
+def validate_incident_jsonl(path: str) -> int:
+    """Validate an incident JSONL file; returns the record count."""
+    count = 0
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from exc
+            for key, types in _REQUIRED.items():
+                if key not in record:
+                    raise ConfigError(
+                        f"{path}:{lineno}: missing key {key!r}"
+                    )
+                if not isinstance(record[key], types):
+                    raise ConfigError(
+                        f"{path}:{lineno}: {key!r} has type "
+                        f"{type(record[key]).__name__}"
+                    )
+            if record["schema"] != INCIDENT_SCHEMA:
+                raise ConfigError(
+                    f"{path}:{lineno}: schema {record['schema']!r} "
+                    f"is not {INCIDENT_SCHEMA!r}"
+                )
+            if record["rule_kind"] not in RULE_KINDS:
+                raise ConfigError(
+                    f"{path}:{lineno}: unknown rule kind "
+                    f"{record['rule_kind']!r}"
+                )
+            if record["top_cause"] not in CAUSES:
+                raise ConfigError(
+                    f"{path}:{lineno}: unknown cause "
+                    f"{record['top_cause']!r}"
+                )
+            last = float("inf")
+            for cause in record["causes"]:
+                if cause.get("cause") not in CAUSES:
+                    raise ConfigError(
+                        f"{path}:{lineno}: unknown cause "
+                        f"{cause.get('cause')!r} in ranking"
+                    )
+                score = cause.get("score")
+                if not isinstance(score, (int, float)) or score > last:
+                    raise ConfigError(
+                        f"{path}:{lineno}: causes are not ranked "
+                        "by descending score"
+                    )
+                last = score
+            if record["causes"] and \
+                    record["top_cause"] != record["causes"][0]["cause"]:
+                raise ConfigError(
+                    f"{path}:{lineno}: top_cause disagrees with the "
+                    "ranking"
+                )
+            count += 1
+    return count
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def render_incident_text(incidents: "Sequence[Union[Incident, dict]]") -> str:
+    """Plain-text incident timeline (the `repro incidents` default)."""
+    records = [
+        i.to_dict() if isinstance(i, Incident) else i for i in incidents
+    ]
+    if not records:
+        return "no incidents\n"
+    lines = [f"{len(records)} incident(s)", ""]
+    for record in records:
+        source = f" [{record['source']}]" if record.get("source") else ""
+        lines.append(
+            f"#{record['index']} t={record['at_ms']:.1f}ms "
+            f"{record['severity'].upper()} {record['rule_id']} "
+            f"({record['rule_kind']}){source} "
+            f"value={record['value']:.3f} thr={record['threshold']:.3f}"
+        )
+        for cause in record["causes"][:3]:
+            lines.append(
+                f"    {cause['cause']:<16} score={cause['score']:.3f}"
+            )
+        for breach in record["window"].get("last_breaches", [])[-3:]:
+            lines.append(
+                f"    breach {breach['service']} "
+                f"arrival={breach['arrival_ms']:.1f}ms "
+                f"latency={breach['latency_ms']:.2f}ms"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_incident_html(incidents: "Sequence[Union[Incident, dict]]") -> str:
+    """Minimal standalone HTML timeline of the incident report."""
+    records = [
+        i.to_dict() if isinstance(i, Incident) else i for i in incidents
+    ]
+    rows = []
+    for record in records:
+        causes = ", ".join(
+            f"{c['cause']} ({c['score']:.3f})"
+            for c in record["causes"][:3]
+        )
+        rows.append(
+            "<tr>"
+            f"<td>{record['index']}</td>"
+            f"<td>{record['at_ms']:.1f}</td>"
+            f"<td>{_html.escape(record['severity'])}</td>"
+            f"<td>{_html.escape(record['rule_id'])}</td>"
+            f"<td>{_html.escape(record['top_cause'])}</td>"
+            f"<td>{_html.escape(causes)}</td>"
+            "</tr>"
+        )
+    body = "\n".join(rows) or "<tr><td colspan=6>no incidents</td></tr>"
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        "<title>Incident report</title>"
+        "<style>body{font-family:monospace}table{border-collapse:collapse}"
+        "td,th{border:1px solid #999;padding:4px 8px}</style>"
+        "</head><body>\n"
+        f"<h1>Incident report ({len(records)} incident(s))</h1>\n"
+        "<table><tr><th>#</th><th>t (ms)</th><th>severity</th>"
+        "<th>rule</th><th>top cause</th><th>ranked causes</th></tr>\n"
+        f"{body}\n</table></body></html>\n"
+    )

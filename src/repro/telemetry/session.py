@@ -30,6 +30,11 @@ class RunTelemetry:
     spans: list = field(default_factory=list)
     decisions: list = field(default_factory=list)
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: extra label values stamped on every family this session publishes
+    #: (fleet runs label per-node sessions with ``node``/``epoch``, so
+    #: the registry merge keeps per-node identity instead of folding
+    #: every replica into one unlabeled series)
+    extra_labels: dict = field(default_factory=dict)
     #: transient first-launch times keyed by qid; qids are process-local
     #: so this never participates in equality or exports (and is empty
     #: once every query completed)
@@ -71,10 +76,16 @@ class RunTelemetry:
 
     # -- run-end aggregation --------------------------------------------------
 
+    def _labels(self, **labels) -> dict:
+        """Family labels plus this session's extra label values."""
+        merged = dict(self.extra_labels)
+        merged.update(labels)
+        return merged
+
     def publish_result(self, result, guard=None) -> None:
         """Fold a finished run's aggregates into the session registry."""
         reg = self.registry
-        run_labels = {"policy": self.policy}
+        run_labels = self._labels(policy=self.policy)
         if self.scenario:
             run_labels["scenario"] = self.scenario
         reg.counter(
@@ -92,7 +103,7 @@ class RunTelemetry:
             if count:
                 reg.counter(
                     "repro_kernels_total", "Executed launches by kind.",
-                    kind=kind, policy=self.policy,
+                    **self._labels(kind=kind, policy=self.policy),
                 ).inc(count)
         decision_kinds: dict = {}
         for record in self.decisions:
@@ -101,7 +112,7 @@ class RunTelemetry:
         for kind in sorted(decision_kinds):
             reg.counter(
                 "repro_decisions_total", "Scheduling decisions by kind.",
-                kind=kind, policy=self.policy,
+                **self._labels(kind=kind, policy=self.policy),
             ).inc(decision_kinds[kind])
         for outcome, count in (
             ("shed", result.n_shed_be),
@@ -111,7 +122,7 @@ class RunTelemetry:
                 reg.counter(
                     "repro_admission_total",
                     "BE launches refused by admission control.",
-                    outcome=outcome,
+                    **self._labels(outcome=outcome),
                 ).inc(count)
         for outcome, count in (
             ("dropped", result.n_dropped_be),
@@ -121,32 +132,32 @@ class RunTelemetry:
                 reg.counter(
                     "repro_be_faults_total",
                     "Injected BE completion faults endured.",
-                    outcome=outcome,
+                    **self._labels(outcome=outcome),
                 ).inc(count)
         for mode, count in sorted(result.guard_mode_decisions.items()):
             if count:
                 reg.counter(
                     "repro_guard_decisions_total",
                     "Guarded decisions per degradation mode.",
-                    mode=mode,
+                    **self._labels(mode=mode),
                 ).inc(count)
         if guard is not None:
             for _, old, new in guard.transitions:
                 reg.counter(
                     "repro_guard_transitions_total",
                     "Guard-ladder mode transitions.",
-                    from_mode=old, to_mode=new,
+                    **self._labels(from_mode=old, to_mode=new),
                 ).inc()
         for service in sorted(result.latencies_by_model):
             latencies = result.latencies_by_model[service]
             reg.counter(
                 "repro_queries_total", "Completed LC queries per service.",
-                service=service,
+                **self._labels(service=service),
             ).inc(len(latencies))
             histogram = reg.histogram(
                 "repro_query_latency_ms",
                 "End-to-end LC query latency (simulated ms).",
-                service=service,
+                **self._labels(service=service),
             )
             for latency in latencies:
                 histogram.observe(latency)

@@ -335,8 +335,64 @@ class TestStreamingFold:
     def test_summary_dict_json_safe(self, both):
         _, fold = both
         summary = fold.summary_dict()
-        assert summary["schema"] == "repro-replay-summary/1"
+        assert summary["schema"] == "repro-replay-summary/2"
         json.dumps(summary)  # must not raise
+
+    def test_window_fold_counts_synthetic_stream(self):
+        """Hand-fed completions land in known tumbling windows."""
+        fold = StreamingResult(
+            qos_ms=50.0, horizon_ms=5000.0, be_names=("fft",),
+            window_ms=1000.0,
+        )
+        # window [0, 1000): clean; [1000, 2000): one violation;
+        # [3000, 4000): all violations ([2000, 3000) is empty and must
+        # not be counted).
+        for latency, end in [
+            (10.0, 100.0), (20.0, 900.0),
+            (30.0, 1100.0), (80.0, 1900.0),
+            (90.0, 3100.0), (95.0, 3200.0),
+        ]:
+            fold.note_query_latency("Resnet50", latency, end_ms=end)
+        stats = fold.window_stats()
+        assert stats["window_ms"] == 1000.0
+        assert stats["windows"] == 3
+        assert stats["violation_windows"] == 2
+        drift = stats["worst_window_p99_ms"] - 95.0
+        assert 0.0 <= drift <= fold.sketch.tolerance_ms
+        # read-only: a second call returns the same numbers
+        assert fold.window_stats() == stats
+
+    def test_window_fold_of_a_real_run(self, both):
+        exact, fold = both
+        stats = fold.window_stats()
+        assert stats["windows"] >= 1
+        assert 0 <= stats["violation_windows"] <= stats["windows"]
+        span = exact.end_ms - exact.start_ms
+        assert stats["windows"] <= span / stats["window_ms"] + 2
+        # the worst window cannot beat the whole run's p99
+        assert stats["worst_window_p99_ms"] >= fold.p99_latency_ms \
+            or stats["windows"] == 1
+
+    def test_summary_v1_view_roundtrip(self, both):
+        from repro.runtime.replay import summary_v1_view
+
+        _, fold = both
+        summary = fold.summary_dict()
+        view = summary_v1_view(summary)
+        assert view["schema"] == "repro-replay-summary/1"
+        for key in (
+            "window_ms", "windows", "violation_windows",
+            "worst_window_p99_ms",
+        ):
+            assert key in summary and key not in view
+        # everything else passes through untouched
+        for key, value in view.items():
+            if key != "schema":
+                assert summary[key] == value
+        # a v1 summary passes through unchanged
+        assert summary_v1_view(view) == view
+        with pytest.raises(SchedulingError, match="not a replay"):
+            summary_v1_view({"schema": "repro-replay-summary/9"})
 
     def test_empty_streaming_run_rejected(self, system, library, oracle):
         empty = Trace(("Resnet50",), np.array([]), np.array([]))

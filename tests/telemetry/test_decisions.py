@@ -96,3 +96,51 @@ class TestJsonl:
         path.write_text(json.dumps(record) + "\n")
         with pytest.raises(ConfigError, match="admitted candidate"):
             validate_decision_jsonl(str(path))
+
+
+class TestZooKinds:
+    """The scheduler-zoo decision kinds: hfused, spatial, chain."""
+
+    def record_dict(self, **overrides):
+        record = json.loads(decision_log_jsonl([fused_record()]).strip())
+        record.update(overrides)
+        return record
+
+    def write(self, tmp_path, record):
+        path = tmp_path / "decisions.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        return str(path)
+
+    def test_hfused_with_second_be_validates(self, tmp_path):
+        record = self.record_dict(
+            kind="hfused", final_kind="hfused", be_app2="mriq",
+        )
+        assert validate_decision_jsonl(self.write(tmp_path, record)) == 1
+
+    def test_hfused_without_be_app2_rejected(self, tmp_path):
+        record = self.record_dict(kind="hfused", final_kind="hfused")
+        record.pop("be_app2", None)
+        with pytest.raises(ConfigError, match="be_app2"):
+            validate_decision_jsonl(self.write(tmp_path, record))
+
+    def test_spatial_validates(self, tmp_path):
+        record = self.record_dict(kind="spatial", final_kind="spatial")
+        assert validate_decision_jsonl(self.write(tmp_path, record)) == 1
+
+    def test_chain_with_riders_validates(self, tmp_path):
+        record = self.record_dict(
+            kind="chain", final_kind="chain", riders=["mriq", "cutcp"],
+        )
+        assert validate_decision_jsonl(self.write(tmp_path, record)) == 1
+
+    def test_chain_without_riders_rejected(self, tmp_path):
+        record = self.record_dict(
+            kind="chain", final_kind="chain", riders=[],
+        )
+        with pytest.raises(ConfigError, match="without riders"):
+            validate_decision_jsonl(self.write(tmp_path, record))
+
+    def test_non_string_riders_rejected(self, tmp_path):
+        record = self.record_dict(riders=[7])
+        with pytest.raises(ConfigError, match="riders"):
+            validate_decision_jsonl(self.write(tmp_path, record))

@@ -1,0 +1,282 @@
+"""Tests for incident forensics: cause scoring, JSONL, rendering.
+
+Each cause in the taxonomy gets a synthetic flight-recorder snapshot
+bearing exactly its signature, and ``score_causes`` must rank it first
+— the unit-level twin of the incident study's end-to-end accuracy bar.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.forensics import (
+    CAUSES,
+    INCIDENT_SCHEMA,
+    attribute_run,
+    diagnose_alert,
+    diagnose_alerts,
+    incidents_jsonl,
+    read_incidents,
+    render_incident_html,
+    render_incident_text,
+    score_causes,
+    validate_incident_jsonl,
+    write_incidents,
+)
+from repro.telemetry.slo import SLOMonitor, SLORule
+
+
+def outcome(kind, ratio, at_ms=0.0):
+    return {
+        "at_ms": at_ms, "kind": kind, "name": "k",
+        "predicted_ms": 1.0, "actual_ms": ratio,
+    }
+
+
+def query(violated, penalty_ms=0.0, at_ms=0.0):
+    return {
+        "at_ms": at_ms, "service": "svc", "arrival_ms": 0.0,
+        "latency_ms": 80.0 if violated else 10.0, "violated": violated,
+        "penalty_ms": penalty_ms,
+    }
+
+
+def top_cause(snapshot):
+    causes = score_causes(snapshot)
+    assert causes, "no cause scored above zero"
+    return causes[0]["cause"]
+
+
+class TestScoreCauses:
+    def test_predictor_bias(self):
+        snapshot = {
+            "outcomes": [outcome("lc", 1.6) for _ in range(20)],
+            "queries": [query(True) for _ in range(10)],
+        }
+        assert top_cause(snapshot) == "predictor-bias"
+
+    def test_eq8_overrun(self):
+        snapshot = {
+            "outcomes": (
+                [outcome("lc", 1.0) for _ in range(20)]
+                + [outcome("fused", 1.7) for _ in range(20)]
+            ),
+            "queries": [query(True) for _ in range(10)],
+        }
+        assert top_cause(snapshot) == "eq8-overrun"
+
+    def test_hfused_counts_as_a_co_run(self):
+        snapshot = {
+            "outcomes": (
+                [outcome("lc", 1.0) for _ in range(20)]
+                + [outcome("hfused", 1.7) for _ in range(20)]
+            ),
+        }
+        assert top_cause(snapshot) == "eq8-overrun"
+
+    def test_slow_node(self):
+        snapshot = {
+            "epochs": [{
+                "end_ms": 1000.0, "violations": 3,
+                "node_overrun": {
+                    "node000": 2.1, "node001": 1.0, "node002": 1.02,
+                },
+            }],
+        }
+        assert top_cause(snapshot) == "slow-node"
+
+    def test_stale_refit_wins_when_worst_node_is_refitting(self):
+        snapshot = {
+            "epochs": [{
+                "end_ms": 1000.0, "violations": 3,
+                "node_overrun": {
+                    "node000": 2.1, "node001": 1.0, "node002": 1.02,
+                },
+                "refit_nodes": ["node000"],
+            }],
+        }
+        assert top_cause(snapshot) == "stale-refit"
+
+    def test_crash_reroute_from_penalties(self):
+        snapshot = {
+            "queries": [query(True, penalty_ms=30.0) for _ in range(5)]
+            + [query(False) for _ in range(5)],
+        }
+        assert top_cause(snapshot) == "crash-reroute"
+
+    def test_crash_reroute_from_epochs(self):
+        snapshot = {
+            "epochs": [
+                {"end_ms": 1000.0, "violations": 4,
+                 "crashed": ["node001"], "n_rerouted": 7},
+            ],
+        }
+        assert top_cause(snapshot) == "crash-reroute"
+
+    def test_scaler_lag(self):
+        snapshot = {
+            "epochs": [
+                {"end_ms": 1000.0, "violations": 5, "served": 50,
+                 "nodes": 2, "desired": 4, "n_rerouted": 0},
+            ],
+            "queries": [query(True) for _ in range(5)],
+        }
+        assert top_cause(snapshot) == "scaler-lag"
+
+    def test_overload_is_the_residual(self):
+        snapshot = {"queries": [query(True) for _ in range(10)]}
+        assert top_cause(snapshot) == "overload"
+        assert top_cause({}) == "overload"
+
+    def test_ranking_is_sorted_and_closed(self):
+        snapshot = {
+            "outcomes": [outcome("lc", 1.6) for _ in range(20)],
+            "queries": [query(True, penalty_ms=5.0) for _ in range(10)],
+        }
+        causes = score_causes(snapshot)
+        scores = [c["score"] for c in causes]
+        assert scores == sorted(scores, reverse=True)
+        assert all(c["cause"] in CAUSES for c in causes)
+
+
+def fired_alert():
+    """A real alert from a monitor fed a biased stream."""
+    monitor = SLOMonitor((SLORule(
+        rule_id="burn", kind="burn-rate", threshold=1.0,
+        slo_budget=0.1, min_events=5, cooldown_ms=0.0,
+    ),), qos_ms=50.0, source="node3")
+    for i in range(10):
+        monitor.note_outcome("lc", "k", 1.0, 1.6, 100.0 + 10.0 * i)
+        monitor.note_query("svc", 0.0, 80.0, 100.0 + 10.0 * i)
+    assert monitor.alerts
+    return monitor.alerts[0]
+
+
+class TestDiagnosis:
+    def test_diagnose_accepts_event_and_dict(self):
+        alert = fired_alert()
+        from_event = diagnose_alert(alert, index=2)
+        from_dict = diagnose_alert(alert.to_dict(), index=2)
+        assert from_event == from_dict
+        assert from_event.index == 2
+        assert from_event.source == "node3"
+        assert from_event.top_cause == "predictor-bias"
+        assert from_event.snapshot_hash == alert.snapshot_hash
+        assert from_event.window["violated_queries"] > 0
+        assert len(from_event.window["last_breaches"]) <= 5
+
+    def test_diagnose_alerts_preserves_order(self):
+        alert = fired_alert()
+        incidents = diagnose_alerts([alert, alert.to_dict()])
+        assert [i.index for i in incidents] == [0, 1]
+
+    def test_attribute_run(self):
+        top, totals = attribute_run([fired_alert()])
+        assert top == "predictor-bias"
+        assert totals["predictor-bias"] > 0
+        assert attribute_run([]) == (None, {})
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        incidents = diagnose_alerts([fired_alert()])
+        path = str(tmp_path / "incidents.jsonl")
+        assert write_incidents(path, incidents) == 1
+        assert validate_incident_jsonl(path) == 1
+        [record] = read_incidents(path)
+        assert record == incidents[0].to_dict()
+        assert record["schema"] == INCIDENT_SCHEMA
+
+    def test_jsonl_is_byte_stable(self):
+        incidents = diagnose_alerts([fired_alert()])
+        text = incidents_jsonl(incidents)
+        assert text == incidents_jsonl(diagnose_alerts([fired_alert()]))
+        line = text.strip()
+        assert list(json.loads(line)) == sorted(json.loads(line))
+        assert ": " not in line.split('"last_breaches"')[0]
+        assert incidents_jsonl([]) == ""
+
+    def good_record(self):
+        return diagnose_alert(fired_alert()).to_dict()
+
+    def write_bad(self, tmp_path, **overrides):
+        record = self.good_record()
+        record.update(overrides)
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        return str(path)
+
+    def test_validator_rejects_bad_schema(self, tmp_path):
+        path = self.write_bad(tmp_path, schema="repro-incident/9")
+        with pytest.raises(ConfigError, match="schema"):
+            validate_incident_jsonl(path)
+
+    def test_validator_rejects_missing_key(self, tmp_path):
+        record = self.good_record()
+        del record["top_cause"]
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ConfigError, match="missing key"):
+            validate_incident_jsonl(str(path))
+
+    def test_validator_rejects_unknown_cause(self, tmp_path):
+        path = self.write_bad(tmp_path, top_cause="gremlins")
+        with pytest.raises(ConfigError, match="unknown cause"):
+            validate_incident_jsonl(path)
+
+    def test_validator_rejects_unsorted_causes(self, tmp_path):
+        record = self.good_record()
+        record["causes"] = list(reversed(record["causes"]))
+        record["top_cause"] = record["causes"][0]["cause"]
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ConfigError, match="descending"):
+            validate_incident_jsonl(str(path))
+
+    def test_validator_rejects_top_cause_mismatch(self, tmp_path):
+        record = self.good_record()
+        assert record["causes"][0]["cause"] != "overload" \
+            or len(record["causes"]) > 1
+        other = next(
+            c["cause"] for c in record["causes"]
+            if c["cause"] != record["top_cause"]
+        )
+        path = self.write_bad(tmp_path, top_cause=other)
+        with pytest.raises(ConfigError, match="disagrees"):
+            validate_incident_jsonl(path)
+
+    def test_validator_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{nope\n")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            validate_incident_jsonl(str(path))
+
+
+class TestRendering:
+    def test_text_timeline(self):
+        incidents = diagnose_alerts([fired_alert()])
+        text = render_incident_text(incidents)
+        assert "1 incident(s)" in text
+        assert "predictor-bias" in text
+        assert "burn" in text
+        assert "[node3]" in text
+        # dict records render identically to Incident objects
+        assert render_incident_text(
+            [i.to_dict() for i in incidents]
+        ) == text
+
+    def test_text_empty(self):
+        assert render_incident_text([]) == "no incidents\n"
+
+    def test_html_escapes_and_lists_causes(self):
+        incident = diagnose_alert(fired_alert())
+        incident.rule_id = "<burn>"
+        html = render_incident_html([incident])
+        assert "&lt;burn&gt;" in html
+        assert "<burn>" not in html
+        assert "predictor-bias" in html
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_html_empty(self):
+        assert "no incidents" in render_incident_html([])

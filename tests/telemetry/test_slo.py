@@ -1,0 +1,356 @@
+"""Tests for the online SLO monitor: rules, recorder, determinism.
+
+The two contracts everything else leans on:
+
+* observe-only — attaching a monitor never changes what a run does, so
+  a monitored run's scheduling outputs are byte-identical to an
+  unmonitored one;
+* deterministic — the same spec produces the same alert stream (times,
+  rule ids, snapshot hashes) serially and under a worker pool.
+"""
+
+import dataclasses
+import functools
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import parallel_map
+from repro.runtime.cluster import default_cluster_spec, serve_cluster
+from repro.runtime.replay import load_scenario, run_scenario
+from repro.runtime.runconfig import RunConfig
+from repro.runtime.system import TackerSystem
+from repro.telemetry.slo import (
+    SLO_RULES_SCHEMA,
+    AlertEvent,
+    FlightRecorder,
+    SLOMonitor,
+    SLORule,
+    alert_from_dict,
+    default_rules,
+    load_rules,
+    make_monitor,
+    merge_alerts,
+    resolve_rules,
+    rules_to_dict,
+    snapshot_hash,
+)
+
+
+class TestRuleValidation:
+    def test_defaults_are_valid(self):
+        rules = default_rules(50.0)
+        assert {r.kind for r in rules} == {
+            "burn-rate", "p99-threshold", "guard-escalation",
+            "prediction-error",
+        }
+
+    @pytest.mark.parametrize("bad", [
+        dict(rule_id=""),
+        dict(kind="latency"),
+        dict(severity="fatal"),
+        dict(threshold=0.0),
+        dict(short_window_ms=0.0),
+        dict(short_window_ms=2000.0, long_window_ms=1000.0),
+        dict(slo_budget=0.0),
+        dict(slo_budget=1.5),
+        dict(ewma_alpha=0.0),
+        dict(min_events=0),
+        dict(cooldown_ms=-1.0),
+    ])
+    def test_rejects_bad_fields(self, bad):
+        fields = dict(rule_id="r", kind="burn-rate")
+        fields.update(bad)
+        with pytest.raises(ConfigError):
+            SLORule(**fields)
+
+
+class TestRuleFiles:
+    def test_roundtrip(self, tmp_path):
+        rules = default_rules(50.0)
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps(rules_to_dict(rules)))
+        assert load_rules(str(path)) == rules
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"schema": "nope/1", "rules": []}))
+        with pytest.raises(ConfigError, match=SLO_RULES_SCHEMA):
+            load_rules(str(path))
+
+    def test_rejects_empty_and_unknown_keys(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps(
+            {"schema": SLO_RULES_SCHEMA, "rules": []}
+        ))
+        with pytest.raises(ConfigError, match="non-empty"):
+            load_rules(str(path))
+        path.write_text(json.dumps({
+            "schema": SLO_RULES_SCHEMA,
+            "rules": [{"rule_id": "r", "kind": "burn-rate", "burn": 2}],
+        }))
+        with pytest.raises(ConfigError, match="unknown keys"):
+            load_rules(str(path))
+
+    def test_resolve(self, tmp_path):
+        assert resolve_rules(None, 50.0) == ()
+        assert resolve_rules("default", 50.0) == default_rules(50.0)
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps(rules_to_dict(default_rules(9.0))))
+        assert resolve_rules(str(path), 50.0) == default_rules(9.0)
+
+    def test_make_monitor_none_for_empty(self):
+        assert make_monitor((), 50.0) is None
+        assert isinstance(
+            make_monitor(default_rules(50.0), 50.0), SLOMonitor
+        )
+
+
+class TestFlightRecorder:
+    def test_capacity_bounds_every_channel(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record("queries", {"at_ms": float(i)})
+        snapshot = recorder.snapshot()
+        assert [e["at_ms"] for e in snapshot["queries"]] == [
+            6.0, 7.0, 8.0, 9.0,
+        ]
+        assert set(snapshot) == set(FlightRecorder.CHANNELS)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            FlightRecorder(capacity=0)
+
+    def test_snapshot_hash_is_canonical(self):
+        a = snapshot_hash({"b": 1, "a": 2})
+        b = snapshot_hash({"a": 2, "b": 1})
+        assert a == b and len(a) == 16
+
+
+def burn_monitor(**overrides):
+    fields = dict(
+        rule_id="burn", kind="burn-rate", threshold=1.0,
+        short_window_ms=1000.0, long_window_ms=5000.0,
+        slo_budget=0.1, min_events=5, cooldown_ms=1000.0,
+    )
+    fields.update(overrides)
+    return SLOMonitor((SLORule(**fields),), qos_ms=50.0)
+
+
+class TestBurnRule:
+    def test_fires_when_both_windows_burn(self):
+        monitor = burn_monitor()
+        for i in range(10):
+            monitor.note_query("svc", 0.0, 80.0, 100.0 + 10.0 * i)
+        assert monitor.alerts
+        alert = monitor.alerts[0]
+        assert alert.rule_id == "burn"
+        # every query violated: burn = 1.0 / 0.1 budget
+        assert alert.context["short_burn"] == pytest.approx(10.0)
+        assert alert.value == alert.context["short_burn"]
+
+    def test_min_events_gates_firing(self):
+        monitor = burn_monitor()
+        for i in range(4):
+            monitor.note_query("svc", 0.0, 80.0, 100.0 + 10.0 * i)
+        assert monitor.alerts == []
+
+    def test_cooldown_suppresses_refires(self):
+        monitor = burn_monitor(cooldown_ms=10_000.0)
+        for i in range(50):
+            monitor.note_query("svc", 0.0, 80.0, 100.0 + 10.0 * i)
+        assert len(monitor.alerts) == 1
+
+    def test_clean_stream_never_fires(self):
+        monitor = burn_monitor()
+        for i in range(50):
+            monitor.note_query("svc", 0.0, 10.0, 100.0 + 10.0 * i)
+        assert monitor.alerts == []
+
+
+class TestP99Rule:
+    def p99_monitor(self):
+        return SLOMonitor((SLORule(
+            rule_id="p99", kind="p99-threshold", threshold=1.0,
+            short_window_ms=1000.0, long_window_ms=1000.0,
+            min_events=3, cooldown_ms=0.0,
+        ),), qos_ms=50.0)
+
+    def test_fires_at_window_close(self):
+        monitor = self.p99_monitor()
+        for i in range(5):
+            monitor.note_query("svc", 0.0, 80.0, 100.0 + 10.0 * i)
+        assert monitor.alerts == []  # window still open
+        monitor.note_query("svc", 0.0, 10.0, 1500.0)  # closes [0, 1000)
+        assert len(monitor.alerts) == 1
+        alert = monitor.alerts[0]
+        assert alert.at_ms == 1000.0  # deterministic close time
+        assert alert.context["p99_ms"] == pytest.approx(80.0)
+        assert alert.context["limit_ms"] == pytest.approx(50.0)
+
+    def test_small_window_never_fires(self):
+        monitor = self.p99_monitor()
+        monitor.note_query("svc", 0.0, 80.0, 100.0)
+        monitor.note_query("svc", 0.0, 80.0, 200.0)
+        monitor.note_query("svc", 0.0, 10.0, 1500.0)
+        assert monitor.alerts == []  # 2 events < min_events
+
+
+class TestGuardRule:
+    def guard_monitor(self):
+        return SLOMonitor((SLORule(
+            rule_id="guard", kind="guard-escalation", threshold=1.0,
+            min_events=1, cooldown_ms=0.0, severity="warn",
+        ),), qos_ms=50.0)
+
+    def test_escalation_fires_and_recovery_does_not(self):
+        monitor = self.guard_monitor()
+        monitor.note_guard(100.0, "fuse", "reorder", 0.4)
+        monitor.note_guard(200.0, "reorder", "fuse", 0.1)
+        assert len(monitor.alerts) == 1
+        assert monitor.alerts[0].severity == "warn"
+        assert monitor.alerts[0].context["to_mode"] == "reorder"
+
+    def test_exclusive_pages(self):
+        monitor = self.guard_monitor()
+        monitor.note_guard(100.0, "reorder", "exclusive", 0.8)
+        assert monitor.alerts[0].severity == "page"
+
+
+class TestEwmaRule:
+    def test_persistent_overrun_fires(self):
+        monitor = SLOMonitor((SLORule(
+            rule_id="ewma", kind="prediction-error", threshold=0.3,
+            ewma_alpha=0.2, min_events=5, cooldown_ms=1e9,
+        ),), qos_ms=50.0)
+        for i in range(10):
+            monitor.note_outcome("lc", "k", 1.0, 1.5, 10.0 * i)
+        assert len(monitor.alerts) == 1
+        assert monitor.alerts[0].value == pytest.approx(0.5)
+
+    def test_unpredicted_launches_are_ignored(self):
+        monitor = SLOMonitor((SLORule(
+            rule_id="ewma", kind="prediction-error", threshold=0.3,
+            min_events=1,
+        ),), qos_ms=50.0)
+        for i in range(10):
+            monitor.note_outcome("be", "k", 0.0, 1.5, 10.0 * i)
+        assert monitor.alerts == []
+
+
+class TestAlertPlumbing:
+    def test_alert_roundtrips_through_dict(self):
+        monitor = burn_monitor()
+        for i in range(10):
+            monitor.note_query("svc", 0.0, 80.0, 100.0 + 10.0 * i)
+        [alert] = monitor.alerts
+        clone = alert_from_dict(alert.to_dict())
+        assert isinstance(clone, AlertEvent)
+        assert clone == alert
+        assert clone.snapshot_hash == snapshot_hash(clone.snapshot)
+
+    def test_source_is_stamped_into_context(self):
+        monitor = SLOMonitor(
+            default_rules(50.0), 50.0, source="node7",
+        )
+        for i in range(30):
+            monitor.note_query("svc", 0.0, 80.0, 100.0 + 10.0 * i)
+        assert monitor.alerts
+        assert all(
+            a.context["source"] == "node7" for a in monitor.alerts
+        )
+
+    def test_merge_orders_by_time_source_rule(self):
+        def alert(at_ms, source, rule_id):
+            return {
+                "at_ms": at_ms, "rule_id": rule_id,
+                "context": {"source": source},
+            }
+
+        merged = merge_alerts([
+            [alert(5.0, "node1", "b"), alert(5.0, "node1", "a")],
+            [alert(1.0, "node0", "z")],
+            [alert(5.0, "node0", "z")],
+        ])
+        assert [
+            (a["at_ms"], a["context"]["source"], a["rule_id"])
+            for a in merged
+        ] == [
+            (1.0, "node0", "z"), (5.0, "node0", "z"),
+            (5.0, "node1", "a"), (5.0, "node1", "b"),
+        ]
+
+
+def monitored_spec(slo_rules):
+    spec = default_cluster_spec(
+        2, lc_names=("resnet50",), be_names=("fft",),
+        run=RunConfig(queries=60, load=0.95),
+    )
+    return dataclasses.replace(spec, slo_rules=tuple(slo_rules))
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def monitored(self):
+        spec = monitored_spec(())
+        rules = default_rules(spec.run.qos_ms)
+        return serve_cluster(monitored_spec(rules))
+
+    def test_cluster_run_fires_alerts(self, monitored):
+        assert monitored.alerts
+        sources = {a["context"]["source"] for a in monitored.alerts}
+        assert sources <= {"node0", "node1"}
+
+    def test_alert_stream_serial_equals_workers(self, monitored):
+        rules = default_rules(monitored_spec(()).run.qos_ms)
+        parallel = serve_cluster(
+            monitored_spec(rules),
+            map_fn=functools.partial(parallel_map, workers=2),
+        )
+        assert json.dumps(parallel.alerts, sort_keys=True) == \
+            json.dumps(monitored.alerts, sort_keys=True)
+
+    def test_monitor_is_observe_only(self, monitored):
+        bare = serve_cluster(monitored_spec(()))
+        assert bare.alerts == []
+        assert [n.tacker.latencies_ms for n in bare.nodes] == \
+            [n.tacker.latencies_ms for n in monitored.nodes]
+        assert [n.tacker.n_fused_kernels for n in bare.nodes] == \
+            [n.tacker.n_fused_kernels for n in monitored.nodes]
+
+    @pytest.mark.parametrize("scenario_name", ["diurnal", "flash-crowd"])
+    def test_autoscale_alerts_serial_equal_workers(self, scenario_name):
+        from repro.runtime.autoscale import AutoscaleSpec, run_autoscale
+
+        def alerts(map_fn):
+            scenario = load_scenario(scenario_name)
+            spec = AutoscaleSpec(
+                scenario=scenario_name, rate_nodes=2, span_ms=4000.0,
+                slo_rules=default_rules(scenario.qos_ms),
+            )
+            return run_autoscale(spec, map_fn=map_fn).alerts
+
+        serial = alerts(None)
+        parallel = alerts(functools.partial(parallel_map, workers=4))
+        assert json.dumps(serial, sort_keys=True) == \
+            json.dumps(parallel, sort_keys=True)
+        for alert in serial:
+            assert {"rule_id", "at_ms", "snapshot_hash"} <= set(alert)
+
+    def test_scenario_replay_observe_only(self, gpu):
+        scenario = load_scenario("flash-crowd")
+        summaries = []
+        for rules in ((), default_rules(scenario.qos_ms)):
+            system = TackerSystem(gpu=gpu, config=scenario.run_config())
+            monitor = make_monitor(
+                rules, scenario.qos_ms, source=scenario.name
+            )
+            result = run_scenario(
+                system, scenario, n_queries=120, monitor=monitor
+            )
+            summaries.append(result.summary_dict())
+            if rules:
+                assert result.alerts
+        assert json.dumps(summaries[0], sort_keys=True) == \
+            json.dumps(summaries[1], sort_keys=True)
